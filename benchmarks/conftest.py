@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``test_fig3*`` benchmark regenerates one subfigure of the paper's
+Figure 3: it runs the parameter sweep once (printing and persisting the
+series under ``results/``), asserts the paper's qualitative shape, and
+times one representative configuration with pytest-benchmark.
+
+Dataset sizes follow ``REPRO_SCALE`` (default 0.1 of the paper's sizes).
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture()
+def record_table():
+    """Print a sweep result and persist it under ``results/``."""
+
+    def _record(result):
+        path = result.save(RESULTS_DIR)
+        print("\n" + result.table())
+        print(f"[saved to {path}]")
+        return path
+
+    return _record

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the core primitives (throughput sanity checks)."""
+
+from repro.core import PatternIndex, detect_violations, normalize
+from repro.datagen import cust_street_cfd, generate_cust
+from repro.experiments import scaled
+from repro.relational import Eq
+
+
+def test_centralized_detection_throughput(benchmark):
+    data = generate_cust(scaled(400_000))
+    cfd = cust_street_cfd(255)
+    report = benchmark.pedantic(
+        lambda: detect_violations(data, cfd, collect_tuples=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert report is not None
+
+
+def test_pattern_index_lookup(benchmark):
+    cfd = cust_street_cfd(255)
+    (variable,) = normalize(cfd).variables
+    index = PatternIndex(variable.patterns)
+    data = generate_cust(scaled(200_000))
+    positions = data.schema.positions(variable.lhs)
+    rows = data.rows
+
+    def lookup_all():
+        return sum(
+            1
+            for row in rows
+            if index.first_match(tuple(row[p] for p in positions)) is not None
+        )
+
+    matched = benchmark.pedantic(lookup_all, rounds=3, iterations=1)
+    assert matched > 0
+
+
+def test_group_by_throughput(benchmark):
+    data = generate_cust(scaled(400_000))
+    groups = benchmark.pedantic(
+        lambda: data.group_by(["CC", "AC", "zip"]), rounds=3, iterations=1
+    )
+    assert groups
+
+
+def test_selection_throughput(benchmark):
+    data = generate_cust(scaled(400_000))
+    selected = benchmark.pedantic(
+        lambda: data.select(Eq("CC", 44)), rounds=3, iterations=1
+    )
+    assert len(selected) > 0

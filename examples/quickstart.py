@@ -1,0 +1,76 @@
+"""Quickstart: the paper's running example, end to end.
+
+Reproduces Examples 1–6 of *Detecting Inconsistencies in Distributed Data*
+(Fan, Geerts, Ma, Müller; ICDE 2010) on the EMP relation of Figure 1:
+define CFDs, detect violations centrally, partition the data across three
+sites and compare the distributed detection algorithms.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import detect_violations
+from repro.datagen import (
+    emp_horizontal_predicates,
+    emp_instance,
+    emp_tableau_cfds,
+)
+from repro.detect import ctr_detect, pat_detect_rt, pat_detect_s
+from repro.partition import partition_by_predicates
+
+
+def main() -> None:
+    # -- the data and the rules (Fig. 1(a), Example 2) -----------------------
+    d0 = emp_instance()
+    print("The EMP relation D0 (Fig. 1a):")
+    print(d0.pretty(limit=10))
+
+    phi1, phi2, phi3 = emp_tableau_cfds()
+    print("\nData quality rules (pattern tableaux of Example 2):")
+    for cfd in (phi1, phi2, phi3):
+        from repro import format_cfd
+
+        print(f"  {cfd.name}: {format_cfd(cfd)}")
+
+    # -- centralized detection (Example 1) ------------------------------------
+    report = detect_violations(d0, [phi1, phi2, phi3])
+    ids = sorted(key[0] for key in report.tuple_keys)
+    print(f"\nCentralized detection: violating tuples {ids}")
+    print(report.summary())
+
+    # -- distribute the data (Fig. 1(b)) --------------------------------------
+    predicates = emp_horizontal_predicates()
+    cluster = partition_by_predicates(
+        d0, list(predicates.values()), names=list(predicates)
+    )
+    print(f"\nHorizontal partition by title: {cluster}")
+
+    # -- distributed detection (Examples 5 and 6) -----------------------------
+    print(f"\nDetecting {phi1.name} = ([CC, zip] -> [street]) distributedly:")
+    for algorithm in (ctr_detect, pat_detect_s, pat_detect_rt):
+        outcome = algorithm(cluster, phi1)
+        same = outcome.report.violations == detect_violations(d0, phi1).violations
+        print(
+            f"  {outcome.algorithm:<12} shipped {outcome.tuples_shipped} tuples, "
+            f"simulated response {outcome.response_time * 1000:.2f} ms, "
+            f"coordinators {outcome.details['coordinators']}, "
+            f"matches centralized: {same}"
+        )
+
+    print(
+        "\nAs in the paper: CTRDETECT picks S2 and ships 4 tuples; the "
+        "per-pattern algorithms ship only 3 (pattern (44,_) at S2, (31,_) at S1)."
+    )
+
+    # -- constant CFDs need no shipment at all (Example 4) --------------------
+    outcome = ctr_detect(cluster, phi3)
+    print(
+        f"\n{phi3.name} is a constant CFD: checked locally, "
+        f"shipped {outcome.tuples_shipped} tuples, found "
+        f"{sorted(k[0] for k in outcome.report.tuple_keys)} (t2, t3, t6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

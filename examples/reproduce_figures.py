@@ -1,0 +1,28 @@
+"""Regenerate every table/figure of the paper's evaluation (Figure 3).
+
+Runs all nine experiments at ``REPRO_SCALE`` (default 0.1 of the paper's
+dataset sizes), prints each series and saves the tables under ``results/``.
+
+Run with::
+
+    python examples/reproduce_figures.py            # ~minutes at scale 0.1
+    REPRO_SCALE=0.02 python examples/reproduce_figures.py   # quick look
+"""
+
+import time
+
+from repro.experiments import ALL_FIGURES, scale
+
+
+def main() -> None:
+    print(f"Reproducing Figure 3 at REPRO_SCALE={scale()}\n")
+    for name, fn in ALL_FIGURES.items():
+        start = time.time()
+        result = fn()
+        path = result.save("results")
+        print(result.table())
+        print(f"[{name}: {time.time() - start:.1f}s wall, saved to {path}]\n")
+
+
+if __name__ == "__main__":
+    main()

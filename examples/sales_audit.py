@@ -1,0 +1,59 @@
+"""Multi-rule audit of distributed sales records (the paper's CUST scenario).
+
+A retailer's customer/order records are spread uniformly over eight sites.
+The data steward maintains several CFDs with overlapping left-hand sides —
+``(CC, AC, zip) → street`` and ``(CC, AC) → city`` — and wants all
+violations with minimal traffic.  This is the Exp-5/6 setting: SEQDETECT
+checks the rules one by one; CLUSTDETECT merges them (the second LHS is a
+subset of the first) and ships shared tuples once.
+
+Run with::
+
+    python examples/sales_audit.py
+"""
+
+from repro.core import detect_violations
+from repro.datagen import cust_overlapping_cfds, generate_cust
+from repro.detect import clust_detect, naive_detect, seq_detect
+from repro.partition import partition_uniform
+
+N_TUPLES = 80_000
+N_SITES = 8
+
+
+def main() -> None:
+    print(f"Generating {N_TUPLES} sales records over {N_SITES} sites ...")
+    cust = generate_cust(N_TUPLES)
+    cluster = partition_uniform(cust, N_SITES)
+
+    street_cfd, city_cfd = cust_overlapping_cfds(255, 26)
+    print(f"Rules: {street_cfd.name} (255 patterns), {city_cfd.name} (26 patterns)")
+    print(f"Overlap: LHS({city_cfd.name}) ⊆ LHS({street_cfd.name}) -> mergeable\n")
+
+    central = detect_violations(cust, [street_cfd, city_cfd], collect_tuples=False)
+    print(f"Ground truth (centralized): {len(central)} violating patterns")
+    for line in central.summary().splitlines():
+        print(f"  {line}")
+
+    print(f"\n{'algorithm':<14} {'tuples shipped':>14} {'response (s)':>13} {'correct':>8}")
+    for label, outcome in (
+        ("NAIVE", naive_detect(cluster, [street_cfd, city_cfd])),
+        ("SEQDETECT", seq_detect(cluster, [street_cfd, city_cfd], single="rt")),
+        ("CLUSTDETECT", clust_detect(cluster, [street_cfd, city_cfd], strategy="rt")),
+    ):
+        correct = outcome.report.violations == central.violations
+        print(
+            f"{label:<14} {outcome.tuples_shipped:>14} "
+            f"{outcome.response_time:>13.3f} {str(correct):>8}"
+        )
+
+    clust = clust_detect(cluster, [street_cfd, city_cfd], strategy="rt")
+    print(
+        f"\nCLUSTDETECT merged the rules into cluster(s) "
+        f"{clust.details['clusters']}: tuples matching both rules crossed "
+        "the network once instead of twice."
+    )
+
+
+if __name__ == "__main__":
+    main()

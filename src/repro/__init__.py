@@ -1,0 +1,62 @@
+"""repro — reproduction of *Detecting Inconsistencies in Distributed Data*
+(Fan, Geerts, Ma, Müller; ICDE 2010).
+
+Public API overview
+-------------------
+
+Formalism and centralized detection
+    :class:`~repro.core.CFD`, :func:`~repro.core.parse_cfd`,
+    :func:`~repro.core.detect_violations`, :func:`~repro.core.satisfies`.
+
+Relational substrate
+    :class:`~repro.relational.Schema`, :class:`~repro.relational.Relation`,
+    predicate combinators (:class:`~repro.relational.Eq`, ...).
+
+Partitioning
+    :func:`~repro.partition.horizontal_partition`,
+    :func:`~repro.partition.vertical_partition` and friends.
+
+Distributed detection
+    :class:`~repro.distributed.Cluster` plus the algorithms of Section IV:
+    :func:`~repro.detect.ctr_detect`, :func:`~repro.detect.pat_detect_s`,
+    :func:`~repro.detect.pat_detect_rt`, :func:`~repro.detect.seq_detect`,
+    :func:`~repro.detect.clust_detect`.
+
+Vertical-partition theory
+    :func:`~repro.partition.is_dependency_preserving`,
+    :func:`~repro.partition.minimum_refinement`.
+"""
+
+from .core import (
+    CFD,
+    CFDError,
+    PatternTuple,
+    Violation,
+    ViolationReport,
+    WILDCARD,
+    detect_violations,
+    format_cfd,
+    parse_cfd,
+    satisfies,
+)
+from .relational import Eq, Relation, Schema, TruePred
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CFD",
+    "CFDError",
+    "PatternTuple",
+    "Violation",
+    "ViolationReport",
+    "WILDCARD",
+    "detect_violations",
+    "format_cfd",
+    "parse_cfd",
+    "satisfies",
+    "Eq",
+    "Relation",
+    "Schema",
+    "TruePred",
+    "__version__",
+]

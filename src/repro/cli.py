@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``check``
+    Centralized detection over a CSV file: load the data, evaluate the
+    CFDs, print the violation summary.  Exit code 1 when violations exist
+    (so the command slots into data-quality CI gates).
+
+``detect``
+    Distributed detection: partition the CSV across simulated sites and
+    run one of the Section IV algorithms, reporting violations, tuples
+    shipped and the simulated response time.
+
+``sql``
+    Print the SQL detection queries of [2] for a CFD (runnable on any SQL
+    engine; see ``repro.core.sql``).
+
+``figures``
+    Regenerate the paper's Figure 3 experiments (all or a subset).
+
+CFDs are given in the paper notation accepted by
+:func:`repro.core.parse_cfd`, e.g. ``"([CC=44, zip] -> [street])"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import CFD, detect_violations, parse_cfd
+from .core.sql import violation_sql
+from .detect import (
+    clust_detect,
+    ctr_detect,
+    naive_detect,
+    pat_detect_rt,
+    pat_detect_s,
+    seq_detect,
+)
+from .relational import infer_column_types, load_csv
+
+
+def _load_cfds(texts: Sequence[str]) -> list[CFD]:
+    return [
+        parse_cfd(text, name=f"cfd{i + 1}") for i, text in enumerate(texts)
+    ]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "CFD violation detection in distributed data "
+            "(Fan, Geerts, Ma, Müller; ICDE 2010)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    check = commands.add_parser("check", help="centralized detection on a CSV")
+    check.add_argument("--data", required=True, help="CSV file with a header row")
+    check.add_argument(
+        "--cfd", action="append", required=True,
+        help="a CFD in paper notation; repeatable",
+    )
+    check.add_argument(
+        "--key", default=None, help="key column (default: first column)"
+    )
+
+    detect = commands.add_parser("detect", help="distributed detection on a CSV")
+    detect.add_argument("--data", required=True)
+    detect.add_argument("--cfd", action="append", required=True)
+    detect.add_argument("--key", default=None)
+    detect.add_argument("--sites", type=int, default=4)
+    detect.add_argument(
+        "--partition-by", default=None, metavar="ATTR",
+        help="fragment by attribute value instead of uniformly",
+    )
+    detect.add_argument(
+        "--algorithm",
+        choices=["ctr", "pat-s", "pat-rt", "seq", "clust", "naive"],
+        default="pat-rt",
+    )
+
+    sql = commands.add_parser("sql", help="print the detection SQL for a CFD")
+    sql.add_argument("--cfd", action="append", required=True)
+    sql.add_argument("--table", default="D")
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the paper's Figure 3 experiments"
+    )
+    figures.add_argument(
+        "--only", action="append", default=None,
+        help="figure ids (fig3a..fig3i); repeatable; default all",
+    )
+    figures.add_argument("--out", default="results")
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    relation = infer_column_types(
+        load_csv(args.data, key=[args.key] if args.key else None)
+    )
+    cfds = _load_cfds(args.cfd)
+    report = detect_violations(relation, cfds)
+    print(f"{len(relation)} tuples, {len(cfds)} CFD(s)")
+    print(report.summary())
+    if report.tuple_keys:
+        shown = sorted(report.tuple_keys)[:20]
+        print(f"violating tuple keys ({len(report.tuple_keys)}): {shown}")
+    return 1 if report else 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from .partition import partition_by_attribute, partition_uniform
+
+    relation = infer_column_types(
+        load_csv(args.data, key=[args.key] if args.key else None)
+    )
+    cfds = _load_cfds(args.cfd)
+    if args.partition_by:
+        cluster = partition_by_attribute(relation, args.partition_by)
+    else:
+        cluster = partition_uniform(relation, args.sites)
+    print(f"{cluster!r}")
+
+    if args.algorithm in {"ctr", "pat-s", "pat-rt"}:
+        single = {"ctr": ctr_detect, "pat-s": pat_detect_s, "pat-rt": pat_detect_rt}[
+            args.algorithm
+        ]
+        outcome = None
+        for cfd in cfds:
+            part = single(cluster, cfd)
+            outcome = part if outcome is None else _merge(outcome, part)
+    elif args.algorithm == "seq":
+        outcome = seq_detect(cluster, cfds)
+    elif args.algorithm == "clust":
+        outcome = clust_detect(cluster, cfds)
+    else:
+        outcome = naive_detect(cluster, cfds)
+
+    print(outcome.report.summary())
+    print(
+        f"tuples shipped: {outcome.tuples_shipped}; "
+        f"simulated response time: {outcome.response_time:.3f}s"
+    )
+    return 1 if outcome.report else 0
+
+
+def _merge(a, b):
+    a.report.merge(b.report)
+    a.shipments.merge(b.shipments)
+    a.cost.stages.extend(b.cost.stages)
+    return a
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    for text in args.cfd:
+        cfd = parse_cfd(text)
+        print(f"-- {text}")
+        for query in violation_sql(cfd, args.table):
+            print(query + ";")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments import ALL_FIGURES
+
+    wanted = args.only or list(ALL_FIGURES)
+    unknown = [name for name in wanted if name not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}", file=sys.stderr)
+        return 2
+    for name in wanted:
+        result = ALL_FIGURES[name]()
+        result.save(args.out)
+        print(result.table())
+        print()
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "check": _cmd_check,
+        "detect": _cmd_detect,
+        "sql": _cmd_sql,
+        "figures": _cmd_figures,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

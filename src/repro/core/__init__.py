@@ -1,0 +1,72 @@
+"""The paper's primary formalism: CFDs, violations, centralized detection."""
+
+from .cfd import (
+    CFD,
+    CFDError,
+    PatternTuple,
+    WILDCARD,
+    is_wildcard,
+    matches,
+    satisfies,
+    tuple_matches,
+)
+from .epatterns import NotValue, OneOf, PatternPredicate, Range, is_predicate
+from .detection import (
+    check_cost,
+    detect_constant,
+    detect_normalized,
+    detect_variable,
+    detect_violations,
+)
+from .implication import ChaseState, Inconsistent, chase, implies, implies_all
+from .normalize import (
+    ConstantCFD,
+    NormalizedCFD,
+    PatternIndex,
+    VariableCFD,
+    normalize,
+    normalize_all,
+    sort_patterns_by_generality,
+)
+from .parser import format_cfd, parse_cfd
+from .sql import run_detection_on_sqlite, violation_sql
+from .violations import Violation, ViolationReport
+
+__all__ = [
+    "CFD",
+    "CFDError",
+    "PatternTuple",
+    "WILDCARD",
+    "is_wildcard",
+    "matches",
+    "satisfies",
+    "tuple_matches",
+    "NotValue",
+    "OneOf",
+    "PatternPredicate",
+    "Range",
+    "is_predicate",
+    "check_cost",
+    "detect_constant",
+    "detect_normalized",
+    "detect_variable",
+    "detect_violations",
+    "ChaseState",
+    "Inconsistent",
+    "chase",
+    "implies",
+    "implies_all",
+    "ConstantCFD",
+    "NormalizedCFD",
+    "PatternIndex",
+    "VariableCFD",
+    "normalize",
+    "normalize_all",
+    "sort_patterns_by_generality",
+    "format_cfd",
+    "run_detection_on_sqlite",
+    "violation_sql",
+    "parse_cfd",
+    "Violation",
+    "ViolationReport",
+]

@@ -1,0 +1,229 @@
+"""Conditional functional dependencies (CFDs).
+
+A CFD ``φ = R(X → Y, Tp)`` (Section II-A) pairs an embedded FD ``X → Y``
+with a *pattern tableau* ``Tp``.  Each pattern tuple constrains the subset
+of tuples whose ``X`` attributes match its LHS: among them the embedded FD
+must hold, and their ``Y`` values must match the pattern's RHS constants.
+
+The module defines the wildcard ``'_'`` (:data:`WILDCARD`), the match
+operator ``≍`` (:func:`matches`), pattern tuples, the :class:`CFD` container
+and the satisfaction test ``D |= φ`` (:func:`satisfies`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..relational import Relation
+from .epatterns import PatternPredicate
+
+
+class _Wildcard:
+    """The unnamed variable ``'_'`` of pattern tuples (a singleton)."""
+
+    _instance: "_Wildcard | None" = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "_"
+
+    def __deepcopy__(self, memo) -> "_Wildcard":
+        return self
+
+    def __copy__(self) -> "_Wildcard":
+        return self
+
+
+WILDCARD = _Wildcard()
+
+
+def is_wildcard(value: object) -> bool:
+    """Whether ``value`` is the pattern wildcard ``'_'``."""
+    return value is WILDCARD
+
+
+def matches(value: object, pattern_value: object) -> bool:
+    """The match operator ``value ≍ pattern_value``.
+
+    ``η1 ≍ η2`` iff they are equal or the pattern side is ``'_'``.
+    (Data values are never wildcards, so the operator is used one-sided.)
+    Extended (eCFD) pattern entries match through their predicate
+    (:mod:`repro.core.epatterns`).
+    """
+    if pattern_value is WILDCARD:
+        return True
+    if isinstance(pattern_value, PatternPredicate):
+        return pattern_value.matches(value)
+    return value == pattern_value
+
+
+def tuple_matches(values: Sequence[object], pattern: Sequence[object]) -> bool:
+    """Pointwise extension of ``≍`` to tuples of equal width."""
+    return all(matches(v, p) for v, p in zip(values, pattern))
+
+
+class CFDError(ValueError):
+    """Raised for malformed CFDs or pattern tableaux."""
+
+
+class PatternTuple:
+    """One row ``(tp[X] ‖ tp[Y])`` of a pattern tableau.
+
+    Entries are constants or :data:`WILDCARD`.  Positions follow the owning
+    CFD's ``lhs``/``rhs`` attribute lists.
+    """
+
+    __slots__ = ("lhs", "rhs")
+
+    def __init__(self, lhs: Sequence[object], rhs: Sequence[object]) -> None:
+        self.lhs = tuple(lhs)
+        self.rhs = tuple(rhs)
+
+    def lhs_wildcard_count(self) -> int:
+        """Number of wildcards on the LHS — the 'generality' sort key."""
+        return sum(1 for v in self.lhs if is_wildcard(v))
+
+    def lhs_constants(self, attributes: Sequence[str]) -> dict[str, object]:
+        """Mapping of LHS attribute -> constant for the non-wildcard entries."""
+        return {
+            a: v for a, v in zip(attributes, self.lhs) if not is_wildcard(v)
+        }
+
+    def matches_lhs(self, values: Sequence[object]) -> bool:
+        """``values ≍ tp[X]``."""
+        return tuple_matches(values, self.lhs)
+
+    def matches_rhs(self, values: Sequence[object]) -> bool:
+        """``values ≍ tp[Y]``."""
+        return tuple_matches(values, self.rhs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternTuple):
+            return NotImplemented
+        return self.lhs == other.lhs and self.rhs == other.rhs
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs))
+
+    def __repr__(self) -> str:
+        lhs = ", ".join(map(repr, self.lhs))
+        rhs = ", ".join(map(repr, self.rhs))
+        return f"({lhs} ‖ {rhs})"
+
+
+class CFD:
+    """A conditional functional dependency ``(X → Y, Tp)``.
+
+    Parameters
+    ----------
+    lhs, rhs:
+        Attribute lists of the embedded FD.  An attribute may appear on both
+        sides (the paper's ``t[A_L]``/``t[A_R]``); positions keep them apart.
+    tableau:
+        Pattern tuples whose widths must equal ``len(lhs)``/``len(rhs)``.
+    name:
+        Optional identifier used in violation reports; defaults to the
+        textual form of the embedded FD.
+    """
+
+    __slots__ = ("lhs", "rhs", "tableau", "name")
+
+    def __init__(
+        self,
+        lhs: Sequence[str],
+        rhs: Sequence[str],
+        tableau: Iterable[PatternTuple | tuple] | None = None,
+        name: str | None = None,
+    ) -> None:
+        self.lhs = tuple(lhs)
+        self.rhs = tuple(rhs)
+        if not self.lhs or not self.rhs:
+            raise CFDError("a CFD needs non-empty LHS and RHS attribute lists")
+        if len(set(self.lhs)) != len(self.lhs) or len(set(self.rhs)) != len(self.rhs):
+            raise CFDError("duplicate attribute within one side of a CFD")
+        if tableau is None:
+            # A traditional FD: single all-wildcard pattern tuple.
+            tableau = [
+                PatternTuple([WILDCARD] * len(self.lhs), [WILDCARD] * len(self.rhs))
+            ]
+        rows = []
+        for row in tableau:
+            if not isinstance(row, PatternTuple):
+                lhs_part, rhs_part = row
+                row = PatternTuple(lhs_part, rhs_part)
+            if len(row.lhs) != len(self.lhs) or len(row.rhs) != len(self.rhs):
+                raise CFDError(
+                    f"pattern tuple {row!r} does not fit ({self.lhs} -> {self.rhs})"
+                )
+            rows.append(row)
+        if not rows:
+            raise CFDError("a CFD needs at least one pattern tuple")
+        self.tableau = tuple(rows)
+        self.name = name or f"[{','.join(self.lhs)}]->[{','.join(self.rhs)}]"
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """All attributes mentioned, LHS first, without duplicates."""
+        seen = dict.fromkeys(self.lhs)
+        seen.update(dict.fromkeys(self.rhs))
+        return tuple(seen)
+
+    def is_fd(self) -> bool:
+        """Whether this is a traditional FD (single all-wildcard pattern)."""
+        return len(self.tableau) == 1 and all(
+            is_wildcard(v) for v in self.tableau[0].lhs + self.tableau[0].rhs
+        )
+
+    def with_tableau(self, tableau: Iterable[PatternTuple], name: str | None = None) -> "CFD":
+        """Copy of this CFD with a different pattern tableau."""
+        return CFD(self.lhs, self.rhs, tableau, name=name or self.name)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CFD):
+            return NotImplemented
+        return (
+            self.lhs == other.lhs
+            and self.rhs == other.rhs
+            and self.tableau == other.tableau
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lhs, self.rhs, self.tableau))
+
+    def __repr__(self) -> str:
+        return (
+            f"CFD([{', '.join(self.lhs)}] -> [{', '.join(self.rhs)}], "
+            f"{list(self.tableau)!r})"
+        )
+
+
+def satisfies(relation: Relation, cfd: CFD) -> bool:
+    """The satisfaction test ``D |= φ`` (Section II-A).
+
+    For each pattern tuple ``tp`` and each pair ``t1, t2`` with
+    ``t1[X] = t2[X] ≍ tp[X]``, require ``t1[Y] = t2[Y] ≍ tp[Y]``.
+    Implemented by grouping rather than pairwise enumeration.
+    """
+    lhs_pos = relation.schema.positions(cfd.lhs)
+    rhs_pos = relation.schema.positions(cfd.rhs)
+    for tp in cfd.tableau:
+        groups: dict[tuple, tuple] = {}
+        for row in relation.rows:
+            x = tuple(row[p] for p in lhs_pos)
+            if not tp.matches_lhs(x):
+                continue
+            y = tuple(row[p] for p in rhs_pos)
+            if not tp.matches_rhs(y):
+                return False
+            previous = groups.setdefault(x, y)
+            if previous != y:
+                return False
+    return True

@@ -1,0 +1,249 @@
+"""CFD implication ``Σ |= φ`` via a two-tuple chase.
+
+Section V characterizes locally checkable CFDs through dependency
+preservation, which needs an implication test.  For CFDs over attributes
+with *infinite domains* (the setting of the paper's Section V examples) the
+classical two-tuple chase for FD implication generalizes soundly and
+completely:
+
+* Build a symbolic witness — two tuples that match the LHS pattern of the
+  tested CFD and are otherwise unconstrained (a single tuple suffices for
+  constant CFDs, which one tuple alone can violate).
+* Repeatedly apply the CFDs of Σ whose preconditions are *forced* by the
+  current state: a constant pattern entry fires only against a cell already
+  bound to that constant; a variable CFD fires on the pair only when the
+  two tuples provably agree on its whole LHS.
+* ``Σ |= φ`` iff the chase forces φ's conclusion or derives a
+  contradiction (then no instance satisfying Σ contains a matching
+  witness, so φ holds vacuously).
+
+Completeness argument: cells live in a union-find whose classes contain at
+most one constant, and constants are canonical nodes — so two cells are
+equal under the *generic* valuation (fresh distinct values per class,
+avoiding all constants of Σ ∪ {φ}) iff they share a class.  The generic
+instance then satisfies Σ but violates φ whenever the chase terminates
+without deriving the conclusion.  With finite domains implication is
+coNP-complete [2] and this test is only sound; the test suite checks the
+infinite-domain behaviour against a brute-force finite-model oracle with a
+sufficiently large domain.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from .cfd import CFD, is_wildcard
+from .epatterns import is_predicate
+from .normalize import ConstantCFD, VariableCFD, normalize
+
+
+def _reject_predicates(cfds: Sequence["CFD"]) -> None:
+    """eCFD predicate entries are outside the chase's scope ([17])."""
+    for cfd in cfds:
+        for tp in cfd.tableau:
+            if any(is_predicate(v) for v in tp.lhs + tp.rhs):
+                raise NotImplementedError(
+                    "implication with extended (eCFD) pattern entries is "
+                    f"not supported: {cfd.name}"
+                )
+
+# Union-find nodes: ("var", serial) or ("const", type-name, value)
+_Node = tuple
+
+
+class Inconsistent(Exception):
+    """The chase merged two distinct constants: no witness instance exists."""
+
+
+class ChaseState:
+    """Two symbolic tuples over a set of attributes, with a union-find.
+
+    Shared infrastructure of the implication test and the dependency-
+    preservation test (:mod:`repro.partition.preservation`).
+    """
+
+    def __init__(self, attributes: Sequence[str]) -> None:
+        self.attributes = tuple(attributes)
+        self._parent: dict[_Node, _Node] = {}
+        self._serial = itertools.count()
+        self.cells: list[dict[str, _Node]] = [
+            {a: self.fresh_var() for a in attributes} for _ in range(2)
+        ]
+
+    # -- union-find ------------------------------------------------------
+
+    def fresh_var(self) -> _Node:
+        node = ("var", next(self._serial))
+        self._parent[node] = node
+        return node
+
+    def const_node(self, value: object) -> _Node:
+        node = ("const", type(value).__name__, value)
+        if node not in self._parent:
+            self._parent[node] = node
+        return node
+
+    def find(self, node: _Node) -> _Node:
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, a: _Node, b: _Node) -> bool:
+        """Merge classes; constants stay roots.  Returns True on change."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        a_const = ra[0] == "const"
+        b_const = rb[0] == "const"
+        if a_const and b_const:
+            raise Inconsistent()
+        if a_const:
+            self._parent[rb] = ra
+        else:
+            self._parent[ra] = rb
+        return True
+
+    # -- queries ---------------------------------------------------------
+
+    def equal(self, tuple_a: int, tuple_b: int, attribute: str) -> bool:
+        return self.find(self.cells[tuple_a][attribute]) == self.find(
+            self.cells[tuple_b][attribute]
+        )
+
+    def bound_to(self, tuple_index: int, attribute: str) -> object | None:
+        """The constant the cell is bound to, if any (as its node)."""
+        root = self.find(self.cells[tuple_index][attribute])
+        return root if root[0] == "const" else None
+
+    def is_bound_to(self, tuple_index: int, attribute: str, value: object) -> bool:
+        return self.bound_to(tuple_index, attribute) == self.const_node(value)
+
+    def bind(self, tuple_index: int, attribute: str, value: object) -> bool:
+        return self.union(
+            self.cells[tuple_index][attribute], self.const_node(value)
+        )
+
+    def equate(self, attribute: str) -> bool:
+        return self.union(
+            self.cells[0][attribute], self.cells[1][attribute]
+        )
+
+
+def _apply_constant(state: ChaseState, rule: ConstantCFD) -> bool:
+    """Fire a constant CFD on every tuple whose LHS is forced; True on change."""
+    changed = False
+    for t in range(2):
+        if all(
+            state.is_bound_to(t, attr, value)
+            for attr, value in zip(rule.lhs, rule.values)
+        ):
+            changed |= state.bind(t, rule.rhs_attr, rule.rhs_value)
+    return changed
+
+
+def _apply_variable(state: ChaseState, rule: VariableCFD) -> bool:
+    """Fire a variable CFD on the tuple pair when its whole LHS is forced."""
+    changed = False
+    for row in rule.patterns:
+        applies = True
+        for attr, entry in zip(rule.lhs, row):
+            if not state.equal(0, 1, attr):
+                applies = False
+                break
+            if not is_wildcard(entry) and not (
+                state.is_bound_to(0, attr, entry)
+            ):
+                applies = False
+                break
+        if applies:
+            for attr in rule.rhs:
+                changed |= state.equate(attr)
+    return changed
+
+
+def chase(state: ChaseState, sigma_normalized) -> None:
+    """Run to fixpoint (raises :class:`Inconsistent` on contradiction)."""
+    changed = True
+    while changed:
+        changed = False
+        for normalized in sigma_normalized:
+            for constant in normalized.constants:
+                changed |= _apply_constant(state, constant)
+            for variable in normalized.variables:
+                changed |= _apply_variable(state, variable)
+
+
+def _witness_attributes(
+    sigma: Sequence[CFD], phi: CFD, extra: Iterable[str] = ()
+) -> tuple[str, ...]:
+    seen: dict[str, None] = {}
+    for cfd in list(sigma) + [phi]:
+        for attr in cfd.attributes:
+            seen.setdefault(attr)
+    for attr in extra:
+        seen.setdefault(attr)
+    return tuple(seen)
+
+
+def _implies_variable(
+    sigma_normalized, attributes: Sequence[str], psi: VariableCFD
+) -> bool:
+    for row in psi.patterns:
+        state = ChaseState(attributes)
+        try:
+            for attr, entry in zip(psi.lhs, row):
+                state.equate(attr)
+                if not is_wildcard(entry):
+                    state.bind(0, attr, entry)
+            chase(state, sigma_normalized)
+        except Inconsistent:
+            continue  # no matching witness: this pattern is vacuous
+        if not all(state.equal(0, 1, attr) for attr in psi.rhs):
+            return False
+    return True
+
+
+def _implies_constant(
+    sigma_normalized, attributes: Sequence[str], psi: ConstantCFD
+) -> bool:
+    state = ChaseState(attributes)
+    try:
+        for attr, value in zip(psi.lhs, psi.values):
+            state.bind(0, attr, value)
+        chase(state, sigma_normalized)
+    except Inconsistent:
+        return True  # vacuous: Σ forbids any tuple matching the LHS
+    return state.is_bound_to(0, psi.rhs_attr, psi.rhs_value)
+
+
+def implies(
+    sigma: Iterable[CFD], phi: CFD, attributes: Iterable[str] | None = None
+) -> bool:
+    """Whether ``Σ |= φ`` (infinite-domain semantics).
+
+    ``attributes`` optionally fixes the witness schema; by default it is the
+    union of the attributes of Σ and φ (other attributes are unconstrained
+    and cannot affect implication).
+    """
+    sigma = list(sigma)
+    _reject_predicates(sigma + [phi])
+    witness_attrs = _witness_attributes(sigma, phi, attributes or ())
+    sigma_normalized = [normalize(cfd) for cfd in sigma]
+    psi = normalize(phi)
+    return all(
+        _implies_constant(sigma_normalized, witness_attrs, constant)
+        for constant in psi.constants
+    ) and all(
+        _implies_variable(sigma_normalized, witness_attrs, variable)
+        for variable in psi.variables
+    )
+
+
+def implies_all(sigma: Iterable[CFD], gamma: Iterable[CFD]) -> bool:
+    """Whether ``Σ |= Γ``."""
+    sigma = list(sigma)
+    return all(implies(sigma, phi) for phi in gamma)

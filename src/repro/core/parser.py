@@ -1,0 +1,197 @@
+"""Textual notation for CFDs, following the paper's examples.
+
+Supported forms (whitespace-insensitive)::
+
+    parse_cfd("([CC=44, zip] -> [street])")                 # cfd1 of Example 1
+    parse_cfd("([CC, title] -> [salary])")                  # a plain FD (cfd3)
+    parse_cfd("([CC=44, AC=131] -> [city='EDI'])")          # constant RHS (cfd4)
+    parse_cfd("([CC, zip] -> [street]) with (44, _ || _), (31, _ || _)")
+
+When ``A=value`` constants appear inside the attribute lists, they define a
+single pattern tuple (constants where given, ``_`` elsewhere).  A ``with``
+clause instead supplies an explicit tableau; its rows are written
+``(lhs values || rhs values)`` as in the paper's Example 2.
+
+Values: quoted tokens stay strings; unquoted all-digit tokens become ``int``;
+``_`` is the wildcard.
+
+Extended (eCFD) entries are also accepted, inline or in tableau rows::
+
+    parse_cfd("([CC != 1, zip] -> [street])")            # negation
+    parse_cfd("([price >= 100] -> [quantity])")          # range
+    parse_cfd("([CC = {44|31}] -> [street])")            # disjunction
+    parse_cfd("([a, b] -> [c]) with (!5, {1|2} || _)")   # tableau form
+"""
+
+from __future__ import annotations
+
+import re
+
+from .cfd import CFD, CFDError, PatternTuple, WILDCARD
+from .epatterns import NotValue, OneOf, Range
+
+_TOKEN = re.compile(
+    r"""
+    '(?P<sq>[^']*)'        # single-quoted
+    | "(?P<dq>[^"]*)"      # double-quoted
+    | (?P<bare>[^,()\s|]+) # bare word
+    """,
+    re.VERBOSE,
+)
+
+
+def _parse_value(token: str) -> object:
+    token = token.strip()
+    if token == "_":
+        return WILDCARD
+    if token.startswith("{") and token.endswith("}"):
+        options = [t.strip() for t in token[1:-1].split("|") if t.strip()]
+        if not options:
+            raise CFDError(f"empty disjunction {token!r}")
+        return OneOf(_parse_value(t) for t in options)
+    for op in ("<=", ">=", "<", ">"):
+        if token.startswith(op):
+            return Range(op, _parse_value(token[len(op):]))
+    if token.startswith("!") and len(token) > 1:
+        return NotValue(_parse_value(token[1:]))
+    if (token.startswith("'") and token.endswith("'")) or (
+        token.startswith('"') and token.endswith('"')
+    ):
+        return token[1:-1]
+    if re.fullmatch(r"-?\d+", token):
+        return int(token)
+    return token
+
+
+def _split_commas(text: str) -> list[str]:
+    """Split on top-level commas, respecting quotes."""
+    parts, depth, current, quote = [], 0, [], None
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+_ATTR_SPEC = re.compile(
+    r"^(?P<attr>[^<>!={}\s]+)\s*(?P<op>!=|<=|>=|<|>|=)\s*(?P<value>.+)$",
+    re.DOTALL,
+)
+
+
+def _parse_attr_specs(text: str) -> tuple[list[str], list[object]]:
+    """Parse ``CC=44, AC!=1, price>=100, zip`` into names and entries."""
+    attributes: list[str] = []
+    entries: list[object] = []
+    for part in _split_commas(text):
+        if not part:
+            raise CFDError(f"empty attribute entry in {text!r}")
+        match = _ATTR_SPEC.match(part)
+        if match:
+            attributes.append(match.group("attr"))
+            op = match.group("op")
+            value = match.group("value").strip()
+            if op == "=":
+                entries.append(_parse_value(value))
+            elif op == "!=":
+                entries.append(NotValue(_parse_value(value)))
+            else:
+                entries.append(Range(op, _parse_value(value)))
+        else:
+            attributes.append(part.strip())
+            entries.append(WILDCARD)
+    return attributes, entries
+
+
+def _parse_pattern_row(text: str, n_lhs: int, n_rhs: int) -> PatternTuple:
+    if "||" in text:
+        lhs_text, _, rhs_text = text.partition("||")
+    else:
+        lhs_text, rhs_text = text, ""
+    lhs = [_parse_value(t) for t in _split_commas(lhs_text)]
+    rhs = [_parse_value(t) for t in _split_commas(rhs_text)] if rhs_text.strip() else []
+    if not rhs:
+        rhs = [WILDCARD] * n_rhs
+    if len(lhs) != n_lhs or len(rhs) != n_rhs:
+        raise CFDError(
+            f"pattern row {text!r} has {len(lhs)}‖{len(rhs)} entries, "
+            f"expected {n_lhs}‖{n_rhs}"
+        )
+    return PatternTuple(lhs, rhs)
+
+
+_CFD_RE = re.compile(
+    r"""^\s*\(\s*\[(?P<lhs>[^\]]*)\]\s*->\s*\[(?P<rhs>[^\]]*)\]\s*\)
+        (?:\s*(?:with|,)\s*(?P<tableau>.*))?\s*$""",
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def parse_cfd(text: str, name: str | None = None) -> CFD:
+    """Parse the paper's CFD notation into a :class:`CFD`.
+
+    Raises :class:`CFDError` on malformed input.
+    """
+    match = _CFD_RE.match(text)
+    if not match:
+        raise CFDError(f"cannot parse CFD: {text!r}")
+    lhs_attrs, lhs_entries = _parse_attr_specs(match.group("lhs"))
+    rhs_attrs, rhs_entries = _parse_attr_specs(match.group("rhs"))
+    tableau_text = match.group("tableau")
+
+    inline_constants = any(
+        entry is not WILDCARD for entry in lhs_entries + rhs_entries
+    )
+    if tableau_text:
+        if inline_constants:
+            raise CFDError(
+                "give constants either inline or in a 'with' tableau, not both: "
+                f"{text!r}"
+            )
+        rows_text = re.findall(r"\(([^()]*)\)", tableau_text)
+        if not rows_text:
+            raise CFDError(f"no pattern rows found in tableau of {text!r}")
+        tableau = [
+            _parse_pattern_row(row, len(lhs_attrs), len(rhs_attrs))
+            for row in rows_text
+        ]
+    else:
+        tableau = [PatternTuple(lhs_entries, rhs_entries)]
+    return CFD(lhs_attrs, rhs_attrs, tableau, name=name)
+
+
+def format_cfd(cfd: CFD) -> str:
+    """Render a CFD back to the paper-style notation."""
+    header = f"([{', '.join(cfd.lhs)}] -> [{', '.join(cfd.rhs)}])"
+
+    def fmt(value: object) -> str:
+        if value is WILDCARD:
+            return "_"
+        if isinstance(value, str):
+            return f"'{value}'"
+        return str(value)
+
+    rows = ", ".join(
+        "(" + ", ".join(map(fmt, tp.lhs)) + " || " + ", ".join(map(fmt, tp.rhs)) + ")"
+        for tp in cfd.tableau
+    )
+    return f"{header} with {rows}"

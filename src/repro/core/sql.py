@@ -1,0 +1,176 @@
+"""SQL generation for CFD violation detection (the technique of [2]).
+
+The paper's centralized baseline: "from a set Σ of CFDs, a fixed number of
+SQL queries can be automatically generated that, when evaluated on D,
+return all the violations of Σ in D".  This module emits those queries for
+any CFD, in the two-query shape of [2]:
+
+* ``Q_C`` — a scan catching *single-tuple* violations of the constant
+  pattern entries: tuples matching a pattern's LHS whose RHS disagrees
+  with the pattern's RHS constants;
+* ``Q_V`` — a GROUP BY on ``X`` over the tuples matching some pattern's
+  LHS, keeping groups with more than one distinct value on some RHS
+  attribute (*pairwise* violations).
+
+Both return the ``Vioπ`` projection (the ``X`` attributes).  The paper's
+original macro encodes the tableau in an auxiliary pattern table; for
+self-containedness we inline the tableau as OR-ed match conditions, which
+is equivalent and keeps the emitted SQL runnable on any engine.  The test
+suite executes the generated SQL on sqlite3 and asserts it returns exactly
+``Vioπ(φ, D)`` as computed by :func:`repro.core.detect_violations`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..relational import Relation
+from .cfd import CFD, is_wildcard
+from .epatterns import is_predicate
+from .normalize import normalize
+
+
+def _quote_ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _quote_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def _entry_condition(attr: str, value: object) -> str:
+    if is_predicate(value):
+        return value.sql_condition(_quote_ident(attr), _quote_value)
+    return f"{_quote_ident(attr)} = {_quote_value(value)}"
+
+
+def _match_condition(attrs: Iterable[str], row: Iterable[object]) -> str:
+    """The SQL condition for ``t[X] ≍ tp[X]`` (wildcards drop out)."""
+    parts = [
+        _entry_condition(attr, value)
+        for attr, value in zip(attrs, row)
+        if not is_wildcard(value)
+    ]
+    return " AND ".join(parts) if parts else "1=1"
+
+
+def constant_violation_sql(cfd: CFD, table: str) -> str | None:
+    """``Q_C``: single-tuple violations of the constant normal forms.
+
+    Returns ``None`` when the CFD has no constant pattern entries.
+    """
+    normalized = normalize(cfd)
+    if not normalized.constants:
+        return None
+    select_list = ", ".join(_quote_ident(a) for a in cfd.lhs)
+    branches = []
+    for constant in normalized.constants:
+        condition = _match_condition(constant.lhs, constant.values)
+        branches.append(
+            f"({condition} AND NOT "
+            f"({_entry_condition(constant.rhs_attr, constant.rhs_value)}))"
+        )
+    where = " OR ".join(branches)
+    return (
+        f"SELECT DISTINCT {select_list} FROM {_quote_ident(table)} "
+        f"WHERE {where}"
+    )
+
+
+def variable_violation_sql(cfd: CFD, table: str) -> str | None:
+    """``Q_V``: pairwise violations of the variable normal forms.
+
+    Returns ``None`` when every pattern binds every RHS attribute to a
+    constant (then ``Q_C`` alone suffices).
+    """
+    normalized = normalize(cfd)
+    if not normalized.variables:
+        return None
+    queries = []
+    for variable in normalized.variables:
+        group_list = ", ".join(_quote_ident(a) for a in variable.lhs)
+        match = " OR ".join(
+            f"({_match_condition(variable.lhs, row)})"
+            for row in variable.patterns
+        )
+        having = " OR ".join(
+            f"COUNT(DISTINCT {_quote_ident(attr)}) > 1"
+            for attr in variable.rhs
+        )
+        queries.append(
+            f"SELECT {group_list} FROM {_quote_ident(table)} "
+            f"WHERE {match} GROUP BY {group_list} HAVING {having}"
+        )
+    return " UNION ".join(queries)
+
+
+def violation_sql(cfd: CFD, table: str) -> list[str]:
+    """All detection queries for one CFD (one or two, as in [2])."""
+    queries = []
+    constant = constant_violation_sql(cfd, table)
+    if constant:
+        queries.append(constant)
+    variable = variable_violation_sql(cfd, table)
+    if variable:
+        queries.append(variable)
+    return queries
+
+
+def create_table_sql(relation: Relation, table: str) -> str:
+    """A CREATE TABLE statement matching the relation's schema.
+
+    Column affinities are inferred from the first row (INTEGER/REAL for
+    numeric columns, TEXT otherwise); sqlite's flexible typing makes this
+    adequate for round-tripping generated data.
+    """
+    sample = relation.rows[0] if relation.rows else None
+    columns = []
+    for position, attr in enumerate(relation.schema.attributes):
+        affinity = "TEXT"
+        if sample is not None:
+            value = sample[position]
+            if isinstance(value, bool):
+                affinity = "INTEGER"
+            elif isinstance(value, int):
+                affinity = "INTEGER"
+            elif isinstance(value, float):
+                affinity = "REAL"
+        columns.append(f"{_quote_ident(attr)} {affinity}")
+    return f"CREATE TABLE {_quote_ident(table)} ({', '.join(columns)})"
+
+
+def run_detection_on_sqlite(
+    relation: Relation, cfds: CFD | Iterable[CFD]
+) -> set[tuple[str, tuple]]:
+    """Execute the generated SQL on an in-memory sqlite3 database.
+
+    Returns ``{(cfd_name, x_values), ...}`` — the ``Vioπ`` entries — for
+    direct comparison with :func:`repro.core.detect_violations`.  This is
+    the paper's "centralized SQL technique" made runnable.
+    """
+    import sqlite3
+
+    if isinstance(cfds, CFD):
+        cfds = [cfds]
+    connection = sqlite3.connect(":memory:")
+    try:
+        table = "D"
+        connection.execute(create_table_sql(relation, table))
+        width = len(relation.schema)
+        placeholders = ", ".join("?" * width)
+        connection.executemany(
+            f"INSERT INTO D VALUES ({placeholders})", relation.rows
+        )
+        found: set[tuple[str, tuple]] = set()
+        for cfd in cfds:
+            for query in violation_sql(cfd, table):
+                for row in connection.execute(query):
+                    found.add((cfd.name, tuple(row)))
+        return found
+    finally:
+        connection.close()

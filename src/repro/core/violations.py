@@ -1,0 +1,114 @@
+"""Violation sets ``Vio`` and projected violations ``Vioπ`` (Section II-C).
+
+``Vioπ(φ, D)`` — the projection of the violating tuples onto the ``X``
+attributes of ``φ`` — is what the distributed algorithms compute and ship,
+because it is often far smaller than ``Vio(φ, D)`` and, per the paper, used
+interchangeably with it.  A :class:`ViolationReport` therefore carries a set
+of :class:`Violation` records at Vioπ granularity plus, when the detector
+has whole tuples at hand (centralized runs, constant CFDs checked locally),
+the key projections of the violating tuples (``Vio`` granularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One element of ``Vioπ(φ, D)``: an ``X``-value that witnesses errors.
+
+    ``cfd`` is the source CFD's name; ``lhs_attributes``/``lhs_values`` are
+    the CFD's ``X`` list and the violating projection ``t[X]``.  Remaining
+    attributes of the schema are implicitly ``null`` as in the paper.
+    """
+
+    cfd: str
+    lhs_attributes: tuple[str, ...]
+    lhs_values: tuple[object, ...]
+
+    def __repr__(self) -> str:
+        binding = ", ".join(
+            f"{a}={v!r}" for a, v in zip(self.lhs_attributes, self.lhs_values)
+        )
+        return f"Vioπ[{self.cfd}]({binding})"
+
+
+class ViolationReport:
+    """Aggregated detection output for a set Σ of CFDs."""
+
+    __slots__ = ("violations", "tuple_keys")
+
+    def __init__(
+        self,
+        violations: Iterable[Violation] = (),
+        tuple_keys: Iterable[tuple] = (),
+    ) -> None:
+        self.violations: set[Violation] = set(violations)
+        #: key projections of violating tuples (``Vio`` granularity), when known
+        self.tuple_keys: set[tuple] = set(tuple_keys)
+
+    # -- building --------------------------------------------------------
+
+    def add(self, violation: Violation) -> None:
+        self.violations.add(violation)
+
+    def add_tuple_key(self, key: tuple) -> None:
+        self.tuple_keys.add(key)
+
+    def merge(self, other: "ViolationReport") -> "ViolationReport":
+        """In-place union with another report; returns self."""
+        self.violations |= other.violations
+        self.tuple_keys |= other.tuple_keys
+        return self
+
+    @classmethod
+    def union(cls, reports: Iterable["ViolationReport"]) -> "ViolationReport":
+        """Union of several reports (``Vioπ(Σ, D) = ⋃ Vioπ(φ, D_i)``)."""
+        merged = cls()
+        for report in reports:
+            merged.merge(report)
+        return merged
+
+    # -- queries ---------------------------------------------------------
+
+    def for_cfd(self, name: str) -> set[Violation]:
+        """The Vioπ entries attributed to the CFD named ``name``."""
+        return {v for v in self.violations if v.cfd == name}
+
+    def cfd_names(self) -> set[str]:
+        """Names of CFDs with at least one violation."""
+        return {v.cfd for v in self.violations}
+
+    def is_clean(self) -> bool:
+        """Whether no violations were found."""
+        return not self.violations
+
+    def __len__(self) -> int:
+        return len(self.violations)
+
+    def __iter__(self) -> Iterator[Violation]:
+        return iter(self.violations)
+
+    def __bool__(self) -> bool:  # truthiness = "found something"
+        return bool(self.violations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ViolationReport):
+            return NotImplemented
+        return self.violations == other.violations
+
+    def __repr__(self) -> str:
+        return (
+            f"ViolationReport({len(self.violations)} Vioπ entries, "
+            f"{len(self.tuple_keys)} violating tuple keys)"
+        )
+
+    def summary(self) -> str:
+        """A short per-CFD count table."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.cfd] = counts.get(violation.cfd, 0) + 1
+        lines = [f"{name}: {count} violating pattern(s)" for name, count in sorted(counts.items())]
+        return "\n".join(lines) if lines else "no violations"

@@ -1,0 +1,63 @@
+"""Dataset generators: the paper's running example and evaluation workloads."""
+
+from .cust import (
+    CUST_SCHEMA,
+    all_cc_ac_pairs,
+    city_of,
+    cust_city_cfd,
+    cust_overlapping_cfds,
+    cust_street_cfd,
+    generate_cust,
+    street_of,
+)
+from .emp import (
+    EMP_SCHEMA,
+    EXAMPLE1_VIOLATING_IDS,
+    emp_cfds,
+    emp_horizontal_predicates,
+    emp_instance,
+    emp_tableau_cfds,
+    emp_vertical_attribute_sets,
+)
+from .errors import corrupt_attribute, swap_with, typo
+from .xref import (
+    ORGANISMS_XREF8,
+    ORGANISMS_XREFH,
+    XREF_SCHEMA,
+    generate_xref,
+    n_info_types,
+    xref_mining_fd,
+    xref_object_type_cfd,
+    xref_overlapping_cfds,
+    xref_priority_cfd,
+)
+
+__all__ = [
+    "CUST_SCHEMA",
+    "all_cc_ac_pairs",
+    "city_of",
+    "cust_city_cfd",
+    "cust_overlapping_cfds",
+    "cust_street_cfd",
+    "generate_cust",
+    "street_of",
+    "EMP_SCHEMA",
+    "EXAMPLE1_VIOLATING_IDS",
+    "emp_cfds",
+    "emp_horizontal_predicates",
+    "emp_instance",
+    "emp_tableau_cfds",
+    "emp_vertical_attribute_sets",
+    "corrupt_attribute",
+    "swap_with",
+    "typo",
+    "ORGANISMS_XREF8",
+    "ORGANISMS_XREFH",
+    "XREF_SCHEMA",
+    "generate_xref",
+    "n_info_types",
+    "xref_mining_fd",
+    "xref_object_type_cfd",
+    "xref_overlapping_cfds",
+    "xref_priority_cfd",
+]

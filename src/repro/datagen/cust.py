@@ -1,0 +1,160 @@
+"""The CUST workload: synthetic sales records (Section VI, datasets cust8/16).
+
+The paper populated a CUST relation — address attributes as in the running
+EMP example plus order attributes (item title, price, quantity) — from
+web-scraped seeds, at 800K (``cust8``) and 1.6M (``cust16``) tuples.  This
+generator reproduces the *structure* the experiments rely on:
+
+* functional ground truth: ``(CC, AC)`` determines ``city`` and
+  ``(CC, AC, zip)`` determines ``street`` — with errors injected at a
+  configurable rate so the CFDs have violations to find;
+* enough distinct ``(CC, AC)`` combinations to build tableaux of up to 300
+  pattern tuples (Exp-3 sweeps ``|Tp|`` to 255);
+* value skew, so fragments differ in their per-pattern statistics (which is
+  what the coordinator-selection heuristics exploit).
+
+Everything is deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core import CFD, PatternTuple, WILDCARD
+from ..relational import Relation, Schema
+
+CUST_ATTRIBUTES = (
+    "id",
+    "name",
+    "CC",
+    "AC",
+    "phn",
+    "street",
+    "city",
+    "zip",
+    "item",
+    "price",
+    "quantity",
+)
+
+CUST_SCHEMA = Schema("CUST", CUST_ATTRIBUTES, key=("id",))
+
+#: country codes, weighted toward a few markets (skew drives the statistics)
+_COUNTRY_CODES = (44, 1, 31, 49, 33, 34)
+_CC_WEIGHTS = (30, 25, 15, 12, 10, 8)
+_ACS_PER_CC = 60  # 360 (CC, AC) pairs in total
+_ZIPS_PER_AC = 4
+_ITEMS = tuple(f"item{i:02d}" for i in range(40))
+
+
+def _area_codes(cc: int) -> list[int]:
+    return [cc * 1000 + i for i in range(_ACS_PER_CC)]
+
+
+def city_of(cc: int, ac: int) -> str:
+    """The ground-truth city of an area code."""
+    return f"city_{cc}_{ac % 23}"
+
+
+def street_of(cc: int, zip_code: str) -> str:
+    """The ground-truth street of a zip code."""
+    return f"street_{cc}_{zip_code}"
+
+
+def zip_of(cc: int, ac: int, k: int) -> str:
+    return f"Z{cc}_{ac}_{k}"
+
+
+def all_cc_ac_pairs() -> list[tuple[int, int]]:
+    """Every (CC, AC) combination, most frequent countries first."""
+    return [(cc, ac) for cc in _COUNTRY_CODES for ac in _area_codes(cc)]
+
+
+def generate_cust(
+    n_tuples: int,
+    seed: int = 7,
+    error_rate: float = 0.02,
+) -> Relation:
+    """Generate a CUST instance with injected CFD violations.
+
+    ``error_rate`` is the probability that a tuple gets a wrong ``street``
+    and, independently, a wrong ``city`` — creating violations of the
+    street and city CFDs below.
+    """
+    rng = random.Random(seed)
+    rows = []
+    for i in range(n_tuples):
+        (cc,) = rng.choices(_COUNTRY_CODES, weights=_CC_WEIGHTS)
+        # area codes are Zipf-flavoured within a country
+        ac_rank = min(
+            int(rng.paretovariate(1.2)) - 1, _ACS_PER_CC - 1
+        )
+        ac = cc * 1000 + ac_rank
+        zip_code = zip_of(cc, ac, rng.randrange(_ZIPS_PER_AC))
+        street = street_of(cc, zip_code)
+        city = city_of(cc, ac)
+        if rng.random() < error_rate:
+            street = f"{street}~err{rng.randrange(2)}"
+        if rng.random() < error_rate:
+            city = f"{city}~err{rng.randrange(2)}"
+        rows.append(
+            (
+                i,
+                f"cust{i}",
+                cc,
+                ac,
+                5_000_000 + i,
+                street,
+                city,
+                zip_code,
+                rng.choice(_ITEMS),
+                round(rng.uniform(1.0, 500.0), 2),
+                rng.randrange(1, 9),
+            )
+        )
+    return Relation(CUST_SCHEMA, rows, copy=False)
+
+
+def cust_street_cfd(n_patterns: int = 255) -> CFD:
+    """The representative single CFD of Exp-1/2/3: 4 attributes, ``|Tp|``
+    pattern tuples.
+
+    ``([CC, AC, zip] → [street])`` with one pattern per (CC, AC) pair:
+    within a country and area code, zip determines street.
+    """
+    pairs = all_cc_ac_pairs()
+    if not 1 <= n_patterns <= len(pairs):
+        raise ValueError(
+            f"n_patterns must be in [1, {len(pairs)}], got {n_patterns}"
+        )
+    tableau = [
+        PatternTuple((cc, ac, WILDCARD), (WILDCARD,))
+        for cc, ac in pairs[:n_patterns]
+    ]
+    return CFD(
+        ["CC", "AC", "zip"], ["street"], tableau, name=f"cust_street[{n_patterns}]"
+    )
+
+
+def cust_city_cfd(n_patterns: int = 26) -> CFD:
+    """The second, overlapping CFD of Exp-5/6: ``([CC, AC] → [city])``.
+
+    Its LHS is a subset of :func:`cust_street_cfd`'s LHS, which is exactly
+    the CLUSTDETECT merge condition.
+    """
+    pairs = all_cc_ac_pairs()
+    if not 1 <= n_patterns <= len(pairs):
+        raise ValueError(
+            f"n_patterns must be in [1, {len(pairs)}], got {n_patterns}"
+        )
+    tableau = [
+        PatternTuple((cc, ac), (WILDCARD,)) for cc, ac in pairs[:n_patterns]
+    ]
+    return CFD(["CC", "AC"], ["city"], tableau, name=f"cust_city[{n_patterns}]")
+
+
+def cust_overlapping_cfds(
+    n_patterns_a: int = 255, n_patterns_b: int = 26
+) -> list[CFD]:
+    """The pair of overlapping CFDs used by the multi-CFD experiments."""
+    return [cust_street_cfd(n_patterns_a), cust_city_cfd(n_patterns_b)]

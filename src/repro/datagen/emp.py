@@ -1,0 +1,96 @@
+"""The paper's running example: the EMP relation ``D0`` of Figure 1.
+
+Provides the instance verbatim, the data quality rules cfd1–cfd5 of
+Example 1 (and their tableau forms φ1–φ3 of Example 2), the horizontal
+partition ``DH1/DH2/DH3`` of Figure 1(b) and the vertical partition
+``DV1/DV2/DV3`` described in Example 1.  The test suite pins every claim the
+paper makes about this data (violating tuples, coordinator choices,
+shipment counts, the minimum augmentation of Example 7) to these objects.
+"""
+
+from __future__ import annotations
+
+from ..core import CFD, parse_cfd
+from ..relational import Eq, Predicate, Relation, Schema
+
+EMP_ATTRIBUTES = (
+    "id",
+    "name",
+    "title",
+    "CC",
+    "AC",
+    "phn",
+    "street",
+    "city",
+    "zip",
+    "salary",
+)
+
+EMP_SCHEMA = Schema("EMP", EMP_ATTRIBUTES, key=("id",))
+
+_D0_ROWS = [
+    (1, "Sam", "DMTS", 44, 131, 8765432, "Princess Str.", "EDI", "EH2 4HF", "95k"),
+    (2, "Mike", "MTS", 44, 131, 1234567, "Mayfield", "NYC", "EH4 8LE", "80k"),
+    (3, "Rick", "DMTS", 44, 131, 3456789, "Mayfield", "NYC", "EH4 8LE", "95k"),
+    (4, "Philip", "DMTS", 44, 131, 2909209, "Crichton", "EDI", "EH4 8LE", "95k"),
+    (5, "Adam", "VP", 44, 131, 7478626, "Mayfield", "EDI", "EH4 8LE", "200k"),
+    (6, "Joe", "MTS", 1, 908, 1416282, "Mtn Ave", "NYC", "07974", "110k"),
+    (7, "Bob", "DMTS", 1, 908, 2345678, "Mtn Ave", "MH", "07974", "150k"),
+    (8, "Jef", "DMTS", 31, 20, 8765432, "Muntplein", "AMS", "1012 WR", "90k"),
+    (9, "Steven", "MTS", 31, 20, 1425364, "Spuistraat", "AMS", "1012 WR", "75k"),
+    (10, "Bram", "MTS", 31, 10, 2536475, "Kruisplein", "ROT", "3012 CC", "75k"),
+]
+
+
+def emp_instance() -> Relation:
+    """The instance ``D0`` of Figure 1(a), tuples t1–t10."""
+    return Relation(EMP_SCHEMA, _D0_ROWS)
+
+
+def emp_cfds() -> list[CFD]:
+    """cfd1–cfd5 of Example 1, as five separate CFDs."""
+    return [
+        parse_cfd("([CC=44, zip] -> [street])", name="cfd1"),
+        parse_cfd("([CC=31, zip] -> [street])", name="cfd2"),
+        parse_cfd("([CC, title] -> [salary])", name="cfd3"),
+        parse_cfd("([CC=44, AC=131] -> [city='EDI'])", name="cfd4"),
+        parse_cfd("([CC=1, AC=908] -> [city='MH'])", name="cfd5"),
+    ]
+
+
+def emp_tableau_cfds() -> list[CFD]:
+    """φ1–φ3 of Example 2: the same rules folded into pattern tableaux."""
+    phi1 = parse_cfd(
+        "([CC, zip] -> [street]) with (44, _ || _), (31, _ || _)", name="phi1"
+    )
+    phi2 = parse_cfd("([CC, title] -> [salary]) with (_, _ || _)", name="phi2")
+    phi3 = parse_cfd(
+        "([CC, AC] -> [city]) with (44, 131 || 'EDI'), (1, 908 || 'MH')",
+        name="phi3",
+    )
+    return [phi1, phi2, phi3]
+
+
+def emp_horizontal_predicates() -> dict[str, Predicate]:
+    """The fragmentation predicates of Figure 1(b): grouping by ``title``."""
+    return {
+        "DH1": Eq("title", "MTS"),
+        "DH2": Eq("title", "DMTS"),
+        "DH3": Eq("title", "VP"),
+    }
+
+
+def emp_vertical_attribute_sets() -> dict[str, tuple[str, ...]]:
+    """The vertical partition of Example 1 (key ``id`` in every fragment).
+
+    DV1: name, title and address; DV2: phone number; DV3: salary.
+    """
+    return {
+        "DV1": ("id", "name", "title", "street", "city", "zip"),
+        "DV2": ("id", "CC", "AC", "phn"),
+        "DV3": ("id", "salary"),
+    }
+
+
+#: ids of the violating tuples listed in Example 1: t2–t6, t8 and t9.
+EXAMPLE1_VIOLATING_IDS = frozenset({2, 3, 4, 5, 6, 8, 9})

@@ -1,0 +1,227 @@
+"""The XREF workload: genome cross-references (Section VI, xref8 / xrefH).
+
+The paper built a 16-attribute XREF relation from the Ensembl genome
+database — the cross-reference records attached to genes and proteins —
+for the organisms cow, dog and zebrafish (800K tuples, ``xref8``) and for
+human (2.7M tuples, ``xrefH``, distributed into 7 fragments by reference
+type).  Ensembl dumps are unavailable offline, so this generator simulates
+the schema and the statistical structure the experiments depend on (see
+DESIGN.md):
+
+* 16 attributes modelled on Ensembl's ``xref``/``object_xref`` tables
+  (organism, object type/status, external database name, info type, ...);
+* ``(organism, db_name)`` functionally determines ``priority`` and
+  correlates with ``object_type`` — the two evaluation CFDs below;
+* a Zipf-like skew over external databases and info types, which is what
+  makes closed-itemset mining productive in Exp-4.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core import CFD, PatternTuple, WILDCARD
+from ..relational import Relation, Schema
+
+XREF_ATTRIBUTES = (
+    "id",
+    "organism",
+    "object_type",
+    "object_status",
+    "db_name",
+    "db_release",
+    "info_type",
+    "info_text",
+    "accession",
+    "display_label",
+    "version",
+    "description",
+    "synonym_count",
+    "gene_id",
+    "transcript_id",
+    "priority",
+)
+
+XREF_SCHEMA = Schema("XREF", XREF_ATTRIBUTES, key=("id",))
+
+ORGANISMS_XREF8 = ("cow", "dog", "zebrafish")
+ORGANISMS_XREFH = ("human",)
+
+#: external databases, in descending frequency (Zipf-ish skew)
+_DB_NAMES = (
+    "UniProt",
+    "RefSeq",
+    "EntrezGene",
+    "GO",
+    "Interpro",
+    "EMBL",
+    "PDB",
+    "MIM",
+    "HGNC",
+    "CCDS",
+    "UniGene",
+    "IPI",
+)
+_INFO_TYPES = (
+    "SEQUENCE_MATCH",
+    "DIRECT",
+    "DEPENDENT",
+    "PROJECTION",
+    "MISC",
+    "COORDINATE_OVERLAP",
+    "CHECKSUM",
+)
+_OBJECT_TYPES = ("Gene", "Transcript", "Translation")
+_OBJECT_STATUS = ("KNOWN", "NOVEL", "PUTATIVE")
+
+#: each external database has a "home" reference type: GO terms come in as
+#: DEPENDENT references, RefSeq via sequence matching, and so on.  This is
+#: the fragment/value correlation that makes pattern mining pay off when
+#: xrefH is fragmented by info_type (Exp-4): a mined pattern's tuples sit
+#: mostly at one site, so its coordinator receives little.
+_HOME_INFO_TYPE = {
+    db: _INFO_TYPES[rank % len(_INFO_TYPES)]
+    for rank, db in enumerate(_DB_NAMES)
+}
+_HOME_AFFINITY = 0.85  # probability a record's db comes from its home type
+
+
+def priority_of(organism: str, db_name: str) -> int:
+    """Ground truth: (organism, db_name) determines the priority."""
+    return (len(organism) * 7 + _DB_NAMES.index(db_name) * 13) % 50
+
+
+def object_type_of(db_name: str) -> str:
+    """Ground-truth dominant object type of an external database."""
+    return _OBJECT_TYPES[_DB_NAMES.index(db_name) % len(_OBJECT_TYPES)]
+
+
+def generate_xref(
+    n_tuples: int,
+    organisms: tuple[str, ...] = ORGANISMS_XREF8,
+    seed: int = 11,
+    error_rate: float = 0.015,
+) -> Relation:
+    """Generate an XREF instance with injected CFD violations."""
+    rng = random.Random(seed)
+    db_weights = [1.0 / (rank + 1) for rank in range(len(_DB_NAMES))]
+    info_weights = [1.0 / (rank + 1) for rank in range(len(_INFO_TYPES))]
+    home_dbs = {
+        info: [db for db in _DB_NAMES if _HOME_INFO_TYPE[db] == info]
+        for info in _INFO_TYPES
+    }
+    rows = []
+    for i in range(n_tuples):
+        organism = rng.choice(organisms)
+        (info_type,) = rng.choices(_INFO_TYPES, weights=info_weights)
+        at_home = home_dbs[info_type]
+        if at_home and rng.random() < _HOME_AFFINITY:
+            db_name = rng.choice(at_home)
+        else:
+            (db_name,) = rng.choices(_DB_NAMES, weights=db_weights)
+        object_type = object_type_of(db_name)
+        priority = priority_of(organism, db_name)
+        if rng.random() < error_rate:
+            priority = (priority + 1 + rng.randrange(3)) % 50
+        if rng.random() < error_rate:
+            object_type = rng.choice(_OBJECT_TYPES)
+        rows.append(
+            (
+                i,
+                organism,
+                object_type,
+                rng.choice(_OBJECT_STATUS),
+                db_name,
+                f"rel{rng.randrange(40, 60)}",
+                info_type,
+                f"note{i % 17}",
+                f"{db_name[:2].upper()}{i:08d}",
+                f"label{i % 997}",
+                rng.randrange(1, 5),
+                f"cross-reference {i}",
+                rng.randrange(0, 6),
+                f"ENSG{i % 20000:011d}",
+                f"ENST{i % 30000:011d}",
+                priority,
+            )
+        )
+    return Relation(XREF_SCHEMA, rows, copy=False)
+
+
+def xref_priority_cfd(
+    organisms: tuple[str, ...] = ORGANISMS_XREF8, n_patterns: int = 11
+) -> CFD:
+    """The representative XREF CFD: 5 attributes, 11 pattern tuples.
+
+    ``([organism, db_name, object_type, info_type] → [priority])`` with one
+    pattern per frequent ``(organism, db_name)`` combination.
+    """
+    combos = [
+        (organism, db)
+        for db in _DB_NAMES
+        for organism in organisms
+    ]
+    if not 1 <= n_patterns <= len(combos):
+        raise ValueError(f"n_patterns must be in [1, {len(combos)}]")
+    tableau = [
+        PatternTuple((organism, db, WILDCARD, WILDCARD), (WILDCARD,))
+        for organism, db in combos[:n_patterns]
+    ]
+    return CFD(
+        ["organism", "db_name", "object_type", "info_type"],
+        ["priority"],
+        tableau,
+        name=f"xref_priority[{n_patterns}]",
+    )
+
+
+def xref_object_type_cfd(
+    organisms: tuple[str, ...] = ORGANISMS_XREF8, n_patterns: int = 26
+) -> CFD:
+    """The second XREF CFD: 3 attributes, 26 patterns, LHS ⊆ the first's."""
+    combos = [
+        (organism, db)
+        for db in _DB_NAMES
+        for organism in organisms
+    ]
+    if not 1 <= n_patterns <= len(combos):
+        raise ValueError(f"n_patterns must be in [1, {len(combos)}]")
+    tableau = [
+        PatternTuple((organism, db), (WILDCARD,))
+        for organism, db in combos[:n_patterns]
+    ]
+    return CFD(
+        ["organism", "db_name"],
+        ["object_type"],
+        tableau,
+        name=f"xref_object_type[{n_patterns}]",
+    )
+
+
+def xref_overlapping_cfds(
+    organisms: tuple[str, ...] = ORGANISMS_XREF8,
+) -> list[CFD]:
+    """The pair of overlapping CFDs used by Exp-5 on xref8."""
+    return [
+        xref_priority_cfd(organisms, n_patterns=11),
+        xref_object_type_cfd(organisms, n_patterns=26),
+    ]
+
+
+def xref_mining_fd() -> CFD:
+    """The FD of Exp-4 (xrefH): an all-wildcard LHS for mining to refine.
+
+    Deliberately does not mention ``info_type`` (the fragmentation
+    attribute): shipment reduction then hinges on the mined patterns'
+    *correlation* with the fragments, exactly the effect Fig. 3(e) shows.
+    """
+    return CFD(
+        ["db_name", "object_type"],
+        ["priority"],
+        name="xrefh_fd",
+    )
+
+
+def n_info_types() -> int:
+    """Number of reference types (xrefH is fragmented by ``info_type``)."""
+    return len(_INFO_TYPES)

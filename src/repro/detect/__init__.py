@@ -1,0 +1,61 @@
+"""Distributed CFD violation detection algorithms (Sections IV–V)."""
+
+from .clust import CFDCluster, cluster_cfds, clust_detect
+from .ctr import ctr_detect
+from .hybrid import hybrid_detect
+from .replicated import replicated_pat_detect
+from .local import (
+    applicable_patterns,
+    applicable_sites,
+    is_constant_cfd,
+    locally_checkable,
+    pattern_condition,
+)
+from .naive import naive_detect
+from .pat import (
+    Strategy,
+    make_select_min_response,
+    pat_detect_rt,
+    pat_detect_s,
+    pat_detect_with_strategy,
+    select_balanced,
+    select_max_stat,
+    select_min_stat,
+    select_random,
+)
+from .seq import seq_detect
+from .vertical import locally_checkable_vertical, vertical_detect
+
+ALGORITHMS = {
+    "CTRDETECT": ctr_detect,
+    "PATDETECTS": pat_detect_s,
+    "PATDETECTRT": pat_detect_rt,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "CFDCluster",
+    "cluster_cfds",
+    "clust_detect",
+    "ctr_detect",
+    "hybrid_detect",
+    "replicated_pat_detect",
+    "applicable_patterns",
+    "applicable_sites",
+    "is_constant_cfd",
+    "locally_checkable",
+    "pattern_condition",
+    "naive_detect",
+    "Strategy",
+    "make_select_min_response",
+    "pat_detect_rt",
+    "pat_detect_s",
+    "pat_detect_with_strategy",
+    "select_balanced",
+    "select_max_stat",
+    "select_min_stat",
+    "select_random",
+    "seq_detect",
+    "vertical_detect",
+    "locally_checkable_vertical",
+]

@@ -1,0 +1,227 @@
+"""Shared plumbing of the horizontal detection algorithms (Section IV).
+
+All three single-CFD algorithms follow the same skeleton:
+
+1. normalize the CFD; check its constant normal forms locally at every
+   site (Proposition 5 — no shipment);
+2. for each variable normal form, every (applicable) site scans its
+   fragment once, partitions the matching tuples with the σ function of
+   Section IV-B and gathers the ``lstat`` statistics;
+3. the statistics are exchanged (control traffic), coordinators are chosen
+   by an algorithm-specific rule, the ``(X, A)`` projections are shipped,
+   and each coordinator runs the local GROUP BY detection.
+
+This module implements the skeleton; the algorithm modules plug in their
+coordinator-selection strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import (
+    ConstantCFD,
+    CFD,
+    PatternIndex,
+    VariableCFD,
+    ViolationReport,
+    detect_constant,
+    detect_variable,
+    normalize,
+)
+from ..distributed import (
+    Cluster,
+    CostBreakdown,
+    CostModel,
+    ShipmentLog,
+    Site,
+    StageTimes,
+)
+from ..relational import Relation, Schema, compatible_with_bindings
+from .local import applicable_patterns
+
+
+@dataclass
+class SitePartition:
+    """One site's share of the σ partition of a variable CFD.
+
+    ``buckets[l]`` holds the ``(X, A)`` projections of the tuples ``t`` of
+    the site's fragment with ``σ(t) = l`` (``H_i^l`` in the paper);
+    ``lstat[l] = |H_i^l|`` is the statistic the site broadcasts.
+    """
+
+    site: Site
+    buckets: list[list[tuple]]
+    participated: bool
+
+    @property
+    def lstat(self) -> list[int]:
+        return [len(bucket) for bucket in self.buckets]
+
+
+def ship_projection_schema(schema: Schema, variable: VariableCFD) -> Schema:
+    """Schema of the shipped ``π_{X ∪ A}`` projection."""
+    return schema.project(variable.attributes)
+
+
+def partition_site(
+    site: Site,
+    variable: VariableCFD,
+    index: PatternIndex,
+) -> SitePartition:
+    """Compute ``σ_i`` at one site: buckets ``H_i^l`` and their sizes.
+
+    Applies the Section IV-A pruning rule first: when the site's
+    fragmentation predicate is incompatible with every pattern of the CFD,
+    the site does not participate at all (no scan, no statistics).
+    """
+    applicable = applicable_patterns(site, variable)
+    buckets: list[list[tuple]] = [[] for _ in variable.patterns]
+    if not applicable:
+        return SitePartition(site, buckets, participated=False)
+
+    fragment = site.fragment
+    positions = fragment.schema.positions(variable.attributes)
+    lhs_width = len(variable.lhs)
+    match_cache: dict[tuple, int | None] = {}
+    for row in fragment.rows:
+        projected = tuple(row[p] for p in positions)
+        x = projected[:lhs_width]
+        ordinal = match_cache.get(x, -1)
+        if ordinal == -1:
+            ordinal = index.first_match(x)
+            match_cache[x] = ordinal
+        if ordinal is None:
+            continue
+        buckets[ordinal].append(projected)
+    return SitePartition(site, buckets, participated=True)
+
+
+def partition_cluster(
+    cluster: Cluster, variable: VariableCFD
+) -> tuple[list[SitePartition], PatternIndex]:
+    """Run :func:`partition_site` at every site of the cluster."""
+    index = PatternIndex(variable.patterns)
+    partitions = [
+        partition_site(site, variable, index) for site in cluster.sites
+    ]
+    return partitions, index
+
+
+def scan_stage_time(
+    cluster: Cluster, partitions: Sequence[SitePartition]
+) -> float:
+    """Time of the parallel statistics scan: slowest participating site."""
+    model = cluster.cost_model
+    times = [
+        model.scan_time(len(part.site.fragment))
+        for part in partitions
+        if part.participated
+    ]
+    return max(times, default=0.0)
+
+
+def exchange_statistics(cluster: Cluster, log: ShipmentLog) -> None:
+    """Account the all-to-all ``lstat`` broadcast as control traffic."""
+    n = cluster.n_sites
+    log.record_control(n * (n - 1))
+
+
+def ship_buckets(
+    cluster: Cluster,
+    partitions: Sequence[SitePartition],
+    coordinators: Sequence[int],
+    log: ShipmentLog,
+    tag: str,
+    width: int,
+) -> list[list[tuple]]:
+    """Ship every bucket to its pattern's coordinator; return merged data.
+
+    Returns ``merged[l]`` = the rows of ``⋃_i H_i^l`` as available at the
+    coordinator of pattern ``l`` (local rows are not shipped, only counted
+    into the merged relation).
+    """
+    merged: list[list[tuple]] = [[] for _ in coordinators]
+    for part in partitions:
+        source = part.site.index
+        for ordinal, bucket in enumerate(part.buckets):
+            if not bucket:
+                continue
+            dest = coordinators[ordinal]
+            if dest != source:
+                log.ship(
+                    dest,
+                    source,
+                    len(bucket),
+                    len(bucket) * width,
+                    tag=f"{tag}#p{ordinal}",
+                )
+            merged[ordinal].extend(bucket)
+    return merged
+
+
+def local_constant_checks(
+    cluster: Cluster, constants: Sequence[ConstantCFD]
+) -> ViolationReport:
+    """Proposition 5: validate constant CFDs at each site, no shipment."""
+    report = ViolationReport()
+    for constant in constants:
+        for site in cluster.sites:
+            if site.predicate is not None and not compatible_with_bindings(
+                site.predicate, constant.condition()
+            ):
+                continue  # F_i ∧ F_φ unsatisfiable: φ not applicable here
+            report.merge(
+                detect_constant(site.fragment, constant, collect_tuples=True)
+            )
+    return report
+
+
+def coordinator_check(
+    cluster: Cluster,
+    variable: VariableCFD,
+    coordinators: Sequence[int],
+    merged: Sequence[Sequence[tuple]],
+) -> tuple[ViolationReport, float]:
+    """Run the per-pattern detection at each coordinator.
+
+    Returns the merged report and the check-stage time: coordinators work
+    in parallel, so the stage lasts as long as the busiest site.
+    """
+    model: CostModel = cluster.cost_model
+    schema = ship_projection_schema(cluster.schema, variable)
+    report = ViolationReport()
+    ops_per_site: dict[int, float] = {}
+    for ordinal, rows in enumerate(merged):
+        if not rows:
+            continue
+        single = VariableCFD(
+            source=variable.source,
+            lhs=variable.lhs,
+            rhs=variable.rhs,
+            patterns=(variable.patterns[ordinal],),
+        )
+        relation = Relation(schema, rows, copy=False)
+        report.merge(detect_variable(relation, single, collect_tuples=False))
+        site = coordinators[ordinal]
+        ops_per_site[site] = ops_per_site.get(site, 0.0) + model.check_ops(
+            len(rows)
+        )
+    check_time = max(
+        (model.check_time(ops) for ops in ops_per_site.values()), default=0.0
+    )
+    return report, check_time
+
+
+def normalize_for_detection(cfd: CFD):
+    """Normalize and sanity-check a CFD for the distributed algorithms."""
+    return normalize(cfd)
+
+
+def empty_outcome_parts() -> tuple[ShipmentLog, CostBreakdown]:
+    return ShipmentLog(), CostBreakdown()
+
+
+def stage(scan: float, transfer: float, check: float) -> StageTimes:
+    return StageTimes(scan=scan, transfer=transfer, check=check)

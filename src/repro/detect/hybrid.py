@@ -1,0 +1,248 @@
+"""Detection under hybrid fragmentation (Section VIII future work).
+
+Two phases compose the existing machinery:
+
+1. **Vertical gather (within each region).**  For each CFD, every region
+   designates the vertical fragment covering most of the CFD's attributes
+   as the *region gather site*; the other fragments ship the keyed columns
+   of the missing attributes there, where the region's
+   ``π_{X ∪ A}(D_region[Tp[X]])`` projection is assembled by key join.
+   Regions whose predicate contradicts every pattern (``F_i ∧ F_φ``) are
+   skipped outright.
+
+2. **Horizontal detection (across regions).**  The gather sites now hold a
+   horizontal partition of the matching tuples, so the σ-based per-pattern
+   coordination of PATDETECTS runs across them unchanged — we synthesize a
+   horizontal :class:`~repro.distributed.Cluster` over the gathered
+   projections and remap the resulting shipments back to global site ids.
+
+Each tuple attribute crosses the network at most twice (once into its
+region's gather site, once to a pattern coordinator), and only when needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core import (
+    CFD,
+    ViolationReport,
+    detect_constant,
+    normalize,
+)
+from ..distributed import (
+    Cluster,
+    CostBreakdown,
+    DetectionOutcome,
+    ShipmentLog,
+    Site,
+)
+from ..distributed.hybrid import HybridCluster
+from ..relational import Relation, compatible_with_bindings
+from . import base
+from .pat import Strategy, make_select_min_response, select_max_stat
+
+
+def _region_applicable(region, variable) -> bool:
+    """The F_i ∧ F_φ test lifted to a region's predicate."""
+    if region.predicate is None:
+        return True
+    from ..core import is_wildcard
+    from ..core.epatterns import is_predicate
+
+    for row in variable.patterns:
+        bindings = {
+            attr: value
+            for attr, value in zip(variable.lhs, row)
+            if not is_wildcard(value) and not is_predicate(value)
+        }
+        if compatible_with_bindings(region.predicate, bindings):
+            return True
+    return False
+
+
+def _gather_region(
+    cluster: HybridCluster,
+    region_index: int,
+    attributes: tuple[str, ...],
+    log: ShipmentLog,
+    tag: str,
+) -> tuple[int, Relation, float]:
+    """Phase 1 at one region: assemble π_{key ∪ attributes} at one site.
+
+    Returns (global gather-site id, gathered relation, transfer time of
+    this region's intra-region shipments).
+    """
+    region = cluster.regions[region_index]
+    vertical = region.vertical
+    key = vertical.original_schema.key
+
+    coverage = [
+        sum(1 for a in attributes if a in site.fragment.schema)
+        for site in vertical.sites
+    ]
+    gather_fragment = max(range(len(coverage)), key=coverage.__getitem__)
+    gather_site = cluster.site_id(region_index, gather_fragment)
+    gather = vertical.sites[gather_fragment].fragment
+    have = [a for a in attributes if a in gather.schema]
+    missing = [a for a in attributes if a not in gather.schema]
+
+    joined = gather.project(tuple(key) + tuple(have))
+    stage_log = ShipmentLog()
+    for attribute in missing:
+        holders = [
+            f
+            for f, site in enumerate(vertical.sites)
+            if attribute in site.fragment.schema
+        ]
+        holder = holders[0]
+        column = vertical.sites[holder].fragment.project(
+            tuple(key) + (attribute,)
+        )
+        stage_log.ship(
+            gather_site,
+            cluster.site_id(region_index, holder),
+            len(column),
+            len(column) * len(column.schema),
+            tag=f"{tag}@{region.name}",
+        )
+        joined = joined.join(column, on=key)
+    transfer = cluster.cost_model.transfer_time(stage_log.outgoing_by_source())
+    log.merge(stage_log)
+    ordered = joined.project(tuple(key) + tuple(attributes))
+    return gather_site, ordered, transfer
+
+
+def hybrid_detect(
+    cluster: HybridCluster,
+    cfds: CFD | Iterable[CFD],
+    strategy: str | Strategy = "s",
+) -> DetectionOutcome:
+    """Detect ``Vioπ(Σ, D)`` in a hybrid-fragmented relation."""
+    if isinstance(cfds, CFD):
+        cfds = [cfds]
+    cfds = list(cfds)
+    if isinstance(strategy, str):
+        if strategy not in {"s", "rt"}:
+            raise ValueError(f"unknown strategy {strategy!r}; use 's' or 'rt'")
+
+    report = ViolationReport()
+    log = ShipmentLog()
+    stages = []
+    plans: dict[str, dict] = {}
+    model = cluster.cost_model
+
+    for cfd in cfds:
+        normalized = normalize(cfd)
+
+        # Constant CFDs: check within each region (Prop. 5 lifted; the
+        # region may still need an intra-region gather when the CFD's
+        # attributes span vertical fragments).
+        for constant in normalized.constants:
+            needed = tuple(
+                dict.fromkeys(constant.report_lhs + (constant.rhs_attr,))
+            )
+            for r, region in enumerate(cluster.regions):
+                if region.predicate is not None and not compatible_with_bindings(
+                    region.predicate, constant.condition()
+                ):
+                    continue
+                local = region.vertical.sites_with_attributes(needed)
+                if local:
+                    gathered = local[0].fragment
+                else:
+                    _site, gathered, transfer = _gather_region(
+                        cluster, r, needed, log, constant.source
+                    )
+                    stages.append(base.stage(0.0, transfer, 0.0))
+                report.merge(
+                    detect_constant(gathered, constant, collect_tuples=False)
+                )
+
+        for variable in normalized.variables:
+            # Phase 1: vertical gathers, region by region (parallel).
+            gathered_sites: list[int] = []
+            gathered_fragments: list[Relation] = []
+            transfers = []
+            for r, region in enumerate(cluster.regions):
+                if not _region_applicable(region, variable):
+                    continue
+                site, fragment, transfer = _gather_region(
+                    cluster, r, variable.attributes, log, variable.source
+                )
+                gathered_sites.append(site)
+                gathered_fragments.append(
+                    fragment.project(variable.attributes)
+                )
+                transfers.append(transfer)
+            if not gathered_fragments:
+                continue
+            gather_transfer = max(transfers, default=0.0)
+            join_check = max(
+                (
+                    model.check_time(model.check_ops(len(fragment)))
+                    for fragment in gathered_fragments
+                ),
+                default=0.0,
+            )
+            stages.append(base.stage(0.0, gather_transfer, join_check))
+
+            # Phase 2: horizontal σ detection across the gather sites.
+            synthetic = Cluster(
+                [
+                    Site(i, fragment)
+                    for i, fragment in enumerate(gathered_fragments)
+                ],
+                cost_model=model,
+            )
+            pick: Strategy
+            if strategy == "s":
+                pick = select_max_stat
+            elif strategy == "rt":
+                pick = make_select_min_response(synthetic)
+            else:
+                pick = strategy
+
+            partitions, _ = base.partition_cluster(synthetic, variable)
+            scan = base.scan_stage_time(synthetic, partitions)
+            base.exchange_statistics(synthetic, log)
+            lstat = [part.lstat for part in partitions]
+            coordinators = pick(synthetic, lstat)
+            plans[variable.source] = {
+                "gather_sites": gathered_sites,
+                "coordinators": [gathered_sites[c] for c in coordinators],
+            }
+
+            schema = base.ship_projection_schema(synthetic.schema, variable)
+            stage_log = ShipmentLog()
+            merged = base.ship_buckets(
+                synthetic,
+                partitions,
+                coordinators,
+                stage_log,
+                variable.source,
+                width=len(schema),
+            )
+            transfer = model.transfer_time(stage_log.outgoing_by_source())
+            # remap synthetic site indices to global ids before merging
+            for event in stage_log.events:
+                log.ship(
+                    gathered_sites[event.dest],
+                    gathered_sites[event.src],
+                    event.n_tuples,
+                    event.n_cells,
+                    tag=event.tag,
+                )
+            stage_report, check = base.coordinator_check(
+                synthetic, variable, coordinators, merged
+            )
+            report.merge(stage_report)
+            stages.append(base.stage(scan, transfer, check))
+
+    return DetectionOutcome(
+        algorithm="HYBRIDDETECT",
+        report=report,
+        shipments=log,
+        cost=CostBreakdown(stages=stages),
+        details={"plans": plans},
+    )

@@ -1,0 +1,71 @@
+"""Local validation in horizontal fragments (Section IV-A).
+
+Two cases avoid data shipment altogether:
+
+* **Constant CFDs** (Proposition 5): a single tuple suffices to witness a
+  violation, so each site checks its own fragment.
+* **Inapplicable fragments**: when the fragmentation predicate ``F_i`` is
+  inconsistent with the pattern condition ``F_φ`` (the constants of the
+  pattern's LHS), no tuple of ``D_i`` can match the pattern, so the site
+  is skipped for that pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core import CFD, VariableCFD, is_wildcard, normalize
+from ..core.epatterns import is_predicate
+from ..distributed import Site
+from ..relational import compatible_with_bindings
+
+
+def is_constant_cfd(cfd: CFD) -> bool:
+    """Whether every pattern tuple binds every RHS attribute to a constant.
+
+    Such CFDs are exactly those checkable locally in *any* horizontal
+    partition (Proposition 5).
+    """
+    normalized = normalize(cfd)
+    return not normalized.variables
+
+
+def locally_checkable(cfd: CFD) -> bool:
+    """Alias of :func:`is_constant_cfd` for horizontal partitions."""
+    return is_constant_cfd(cfd)
+
+
+def pattern_condition(
+    variable: VariableCFD, ordinal: int
+) -> dict[str, object]:
+    """``F_φ`` for one pattern row: its LHS constants as attribute bindings."""
+    row = variable.patterns[ordinal]
+    return {
+        attr: value
+        for attr, value in zip(variable.lhs, row)
+        if not is_wildcard(value) and not is_predicate(value)
+    }
+
+
+def applicable_patterns(site: Site, variable: VariableCFD) -> list[int]:
+    """Pattern ordinals whose ``F_i ∧ F_φ`` is satisfiable at ``site``.
+
+    Sites without a known fragmentation predicate participate in every
+    pattern (the test must stay sound: prune only on certain emptiness).
+    """
+    if site.predicate is None:
+        return list(range(len(variable.patterns)))
+    return [
+        ordinal
+        for ordinal in range(len(variable.patterns))
+        if compatible_with_bindings(
+            site.predicate, pattern_condition(variable, ordinal)
+        )
+    ]
+
+
+def applicable_sites(
+    sites: Iterable[Site], variable: VariableCFD
+) -> list[Site]:
+    """Sites where at least one pattern of the CFD may match."""
+    return [site for site in sites if applicable_patterns(site, variable)]

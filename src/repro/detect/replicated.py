@@ -1,0 +1,172 @@
+"""Replication-aware detection (Section VIII future work).
+
+The per-pattern skeleton of PATDETECTS, upgraded to exploit replicas:
+
+1. each fragment is scanned (σ-partitioned) at one replica, chosen to
+   balance the per-site scan load — replication buys scan parallelism;
+2. pattern coordinators are chosen by *availability*: the statistic of
+   site ``s`` for pattern ``l`` counts the matching tuples of every
+   fragment replicated at ``s``, so fragments co-located with the
+   coordinator contribute without any shipment;
+3. only fragments with no replica at the coordinator ship their bucket,
+   each from the replica whose outgoing load is lowest.
+
+With a single replica per fragment this degrades exactly to the
+availability-blind PATDETECTS; with full replication nothing ships at all.
+"""
+
+from __future__ import annotations
+
+from ..core import CFD, PatternIndex, ViolationReport, detect_constant, normalize
+from ..distributed import CostBreakdown, DetectionOutcome, ShipmentLog
+from ..distributed.replication import ReplicatedCluster
+from ..relational import Relation
+from . import base
+
+
+def _partition_fragment(fragment, variable, index: PatternIndex):
+    positions = fragment.schema.positions(variable.attributes)
+    lhs_width = len(variable.lhs)
+    buckets: list[list[tuple]] = [[] for _ in variable.patterns]
+    cache: dict[tuple, int | None] = {}
+    for row in fragment.rows:
+        projected = tuple(row[p] for p in positions)
+        x = projected[:lhs_width]
+        ordinal = cache.get(x, -1)
+        if ordinal == -1:
+            ordinal = index.first_match(x)
+            cache[x] = ordinal
+        if ordinal is None:
+            continue
+        buckets[ordinal].append(projected)
+    return buckets
+
+
+def replicated_pat_detect(
+    cluster: ReplicatedCluster, cfd: CFD
+) -> DetectionOutcome:
+    """Detect ``Vioπ(φ, D)`` over replicated horizontal fragments."""
+    normalized = normalize(cfd)
+    model = cluster.cost_model
+    report = ViolationReport()
+    log = ShipmentLog()
+    stages = []
+    details: dict[str, object] = {}
+
+    # Constant CFDs: each fragment checked at one replica, no shipment.
+    scan_sites = cluster.balanced_scan_assignment()
+    for constant in normalized.constants:
+        for fragment in cluster.fragments:
+            report.merge(
+                detect_constant(fragment, constant, collect_tuples=False)
+            )
+
+    for variable in normalized.variables:
+        index = PatternIndex(variable.patterns)
+        n_patterns = len(variable.patterns)
+
+        # 1. balanced scans: per-site load = Σ sizes of fragments it scans
+        fragment_buckets = [
+            _partition_fragment(fragment, variable, index)
+            for fragment in cluster.fragments
+        ]
+        scan_load = [0] * cluster.n_sites
+        for f, site in enumerate(scan_sites):
+            scan_load[site] += len(cluster.fragments[f])
+        scan = max(
+            (model.scan_time(load) for load in scan_load if load), default=0.0
+        )
+        log.record_control(cluster.n_sites * (cluster.n_sites - 1))
+
+        # 2. availability-aware coordinators
+        available = [[0] * n_patterns for _ in range(cluster.n_sites)]
+        for f, buckets in enumerate(fragment_buckets):
+            for site in cluster.replicas_of(f):
+                for l, bucket in enumerate(buckets):
+                    available[site][l] += len(bucket)
+        # pick by availability, spreading ties across sites so that full
+        # replication yields per-pattern parallelism instead of one hot
+        # coordinator
+        pattern_totals = [
+            sum(len(fragment_buckets[f][l]) for f in range(len(cluster.fragments)))
+            for l in range(n_patterns)
+        ]
+        assigned_load = [0] * cluster.n_sites
+        coordinators = []
+        for l in sorted(range(n_patterns), key=lambda l: -pattern_totals[l]):
+            best = max(
+                range(cluster.n_sites),
+                key=lambda s: (available[s][l], -assigned_load[s], -s),
+            )
+            coordinators.append((l, best))
+            assigned_load[best] += pattern_totals[l]
+        coordinators = [
+            site for _l, site in sorted(coordinators)
+        ]
+        details[variable.source] = coordinators
+
+        # 3. ship only what the coordinator lacks, from the laziest replica
+        schema = base.ship_projection_schema(cluster.schema, variable)
+        width = len(schema)
+        outgoing = [0] * cluster.n_sites
+        stage_log = ShipmentLog()
+        merged: list[list[tuple]] = [[] for _ in range(n_patterns)]
+        for f, buckets in enumerate(fragment_buckets):
+            replicas = cluster.replicas_of(f)
+            for l, bucket in enumerate(buckets):
+                if not bucket:
+                    continue
+                dest = coordinators[l]
+                merged[l].extend(bucket)
+                if dest in replicas:
+                    continue  # locally available at the coordinator
+                source = min(replicas, key=lambda s: (outgoing[s], s))
+                outgoing[source] += len(bucket)
+                stage_log.ship(
+                    dest,
+                    source,
+                    len(bucket),
+                    len(bucket) * width,
+                    tag=f"{variable.source}#p{l}",
+                )
+        transfer = model.transfer_time(stage_log.outgoing_by_source())
+        log.merge(stage_log)
+
+        # 4. per-coordinator checks, as in the unreplicated algorithms
+        from ..core import VariableCFD, detect_variable
+
+        ops_per_site: dict[int, float] = {}
+        for l, rows in enumerate(merged):
+            if not rows:
+                continue
+            single = VariableCFD(
+                source=variable.source,
+                lhs=variable.lhs,
+                rhs=variable.rhs,
+                patterns=(variable.patterns[l],),
+            )
+            relation = Relation(schema, rows, copy=False)
+            report.merge(detect_variable(relation, single, collect_tuples=False))
+            site = coordinators[l]
+            ops_per_site[site] = ops_per_site.get(site, 0.0) + model.check_ops(
+                len(rows)
+            )
+        check = max(
+            (model.check_time(ops) for ops in ops_per_site.values()),
+            default=0.0,
+        )
+        stages.append(base.stage(scan, transfer, check))
+
+    if not normalized.variables:
+        scan = max(
+            (model.scan_time(len(f)) for f in cluster.fragments), default=0.0
+        )
+        stages.append(base.stage(scan, 0.0, 0.0))
+
+    return DetectionOutcome(
+        algorithm="REPLICATEDPATDETECT",
+        report=report,
+        shipments=log,
+        cost=CostBreakdown(stages=stages),
+        details={"coordinators": details, "scan_sites": scan_sites},
+    )

@@ -1,0 +1,37 @@
+"""Distributed-database simulator: sites, shipments, response-time model.
+
+Stands in for the paper's eight-machine MySQL testbed; see DESIGN.md for
+why the substitution preserves the reported behaviour.
+"""
+
+from .cluster import Cluster, Site, VerticalCluster
+from .hybrid import HybridCluster, HybridRegion
+from .replication import ReplicatedCluster
+from .cost import (
+    CostBreakdown,
+    CostModel,
+    StageTimes,
+    combine_breakdowns,
+    pipeline_response,
+    response_makespan,
+)
+from .network import ShipmentLog, ShipmentRecord
+from .outcome import DetectionOutcome
+
+__all__ = [
+    "Cluster",
+    "Site",
+    "VerticalCluster",
+    "HybridCluster",
+    "HybridRegion",
+    "ReplicatedCluster",
+    "CostBreakdown",
+    "CostModel",
+    "StageTimes",
+    "combine_breakdowns",
+    "pipeline_response",
+    "response_makespan",
+    "ShipmentLog",
+    "ShipmentRecord",
+    "DetectionOutcome",
+]

@@ -1,0 +1,186 @@
+"""Sites and clusters: the simulated distributed database.
+
+A :class:`Site` holds one fragment and plays the role of one machine of the
+paper's testbed (local DBMS included — it runs the relational engine of
+:mod:`repro.relational`).  A :class:`Cluster` is a horizontal deployment
+``(D_1, ..., D_n)`` at sites ``S_1, ..., S_n``; a :class:`VerticalCluster`
+is the vertical counterpart.  Clusters are immutable descriptions; each
+detection run creates its own :class:`~repro.distributed.network.ShipmentLog`
+and cost accounting, so one cluster can serve many runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..relational import Predicate, Relation, Schema
+from .cost import CostModel
+
+
+class Site:
+    """One machine: an index, a name and the fragment it stores."""
+
+    __slots__ = ("index", "name", "fragment", "predicate")
+
+    def __init__(
+        self,
+        index: int,
+        fragment: Relation,
+        name: str | None = None,
+        predicate: Predicate | None = None,
+    ) -> None:
+        self.index = index
+        self.name = name or f"S{index + 1}"
+        self.fragment = fragment
+        #: the fragmentation predicate ``F_i`` when known (horizontal only);
+        #: enables the Section IV-A ``F_i ∧ F_φ`` pruning rule.
+        self.predicate = predicate
+
+    def __len__(self) -> int:
+        return len(self.fragment)
+
+    def __repr__(self) -> str:
+        return f"Site({self.name}, {len(self.fragment)} tuples)"
+
+
+class Cluster:
+    """A horizontally partitioned relation distributed over ``n`` sites."""
+
+    def __init__(
+        self,
+        sites: Sequence[Site],
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if not sites:
+            raise ValueError("a cluster needs at least one site")
+        schemas = {site.fragment.schema.attributes for site in sites}
+        if len(schemas) != 1:
+            raise ValueError(
+                "horizontal fragments must share one schema; got "
+                f"{sorted(schemas)}"
+            )
+        self.sites = tuple(sites)
+        self.cost_model = cost_model or CostModel()
+
+    @classmethod
+    def from_fragments(
+        cls,
+        fragments: Iterable[Relation],
+        predicates: Iterable[Predicate] | None = None,
+        names: Iterable[str] | None = None,
+        cost_model: CostModel | None = None,
+    ) -> "Cluster":
+        """Build a cluster with one site per fragment, in order."""
+        fragments = list(fragments)
+        predicate_list = list(predicates) if predicates is not None else [None] * len(fragments)
+        name_list = list(names) if names is not None else [None] * len(fragments)
+        if len(predicate_list) != len(fragments) or len(name_list) != len(fragments):
+            raise ValueError("predicates/names must align with fragments")
+        sites = [
+            Site(i, fragment, name=name, predicate=predicate)
+            for i, (fragment, predicate, name) in enumerate(
+                zip(fragments, predicate_list, name_list)
+            )
+        ]
+        return cls(sites, cost_model=cost_model)
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self.sites[0].fragment.schema
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def fragment(self, index: int) -> Relation:
+        return self.sites[index].fragment
+
+    def total_tuples(self) -> int:
+        return sum(len(site.fragment) for site in self.sites)
+
+    def reconstruct(self) -> Relation:
+        """``D = ⋃ D_i`` — the original relation (testing/baselines only)."""
+        rows = [row for site in self.sites for row in site.fragment.rows]
+        return Relation(self.schema, rows, copy=False)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(len(site.fragment)) for site in self.sites)
+        return f"Cluster({self.n_sites} sites; sizes [{sizes}])"
+
+
+class VerticalCluster:
+    """A vertically partitioned relation: fragment ``i`` holds ``π_{X_i}(D)``.
+
+    Every fragment schema must include the key of the original schema
+    (Section II-B); the original relation is the key join of the fragments.
+    """
+
+    def __init__(
+        self,
+        original_schema: Schema,
+        sites: Sequence[Site],
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if not sites:
+            raise ValueError("a cluster needs at least one site")
+        for site in sites:
+            schema = site.fragment.schema
+            missing = [k for k in original_schema.key if k not in schema]
+            if missing:
+                raise ValueError(
+                    f"vertical fragment {site.name} lacks key attributes {missing}"
+                )
+        covered = {
+            attr for site in sites for attr in site.fragment.schema.attributes
+        }
+        missing = [a for a in original_schema.attributes if a not in covered]
+        if missing:
+            raise ValueError(f"vertical partition misses attributes {missing}")
+        self.original_schema = original_schema
+        self.sites = tuple(sites)
+        self.cost_model = cost_model or CostModel()
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.sites)
+
+    def attribute_sets(self) -> list[tuple[str, ...]]:
+        """The ``X_i`` of each fragment."""
+        return [site.fragment.schema.attributes for site in self.sites]
+
+    def fragment(self, index: int) -> Relation:
+        return self.sites[index].fragment
+
+    def sites_with_attributes(self, attributes: Iterable[str]) -> list[Site]:
+        """Sites whose fragment contains *all* the given attributes."""
+        needed = tuple(attributes)
+        return [
+            site
+            for site in self.sites
+            if all(a in site.fragment.schema for a in needed)
+        ]
+
+    def reconstruct(self) -> Relation:
+        """``D = ⋈ D_i`` on the key, with original attribute order."""
+        joined = self.sites[0].fragment
+        for site in self.sites[1:]:
+            fresh = [
+                a
+                for a in site.fragment.schema.attributes
+                if a not in joined.schema
+            ]
+            projection = site.fragment.project(
+                tuple(self.original_schema.key) + tuple(fresh)
+            )
+            joined = joined.join(projection, on=self.original_schema.key)
+        ordered = joined.project(self.original_schema.attributes)
+        return Relation(self.original_schema, ordered.rows, copy=False)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{site.name}:{list(site.fragment.schema.attributes)}"
+            for site in self.sites
+        )
+        return f"VerticalCluster({parts})"

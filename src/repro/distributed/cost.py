@@ -1,0 +1,177 @@
+"""The response-time cost model of Section III-B.
+
+The paper estimates the response time of a detection run as::
+
+    cost(D, Σ, M) = (1/ct) · max_j { Σ_i |M(i, j)| / p }  +  max_i { check(D'_i, Σ) }
+
+i.e. the slowest site's parallel send time plus the slowest site's local
+checking time, with ``ct`` the data-transfer rate and ``p`` the packet size.
+Following the experimental section (which observes that the *statistics*
+query also contributes), we additionally account a parallel statistics-scan
+stage, so a run is a three-stage pipeline::
+
+    response = max_i scan_i  +  (1/ct)·max_j out_j/p  +  max_i check_i
+
+``check`` follows the paper's approximation ``|D| · log |D|`` (one GROUP BY
+per CFD at each coordinator).  For sequences of CFDs (SEQDETECT) the stages
+of consecutive CFDs overlap; :func:`pipeline_response` computes the exact
+makespan of the resulting permutation flow shop.
+
+All rates are calibration knobs (:class:`CostModel`); defaults are chosen so
+that paper-scale workloads land in the paper's tens-of-seconds range.  Only
+the *shape* of the curves is meaningful, as discussed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibration constants of the simulated testbed.
+
+    Attributes
+    ----------
+    transfer_rate:
+        ``ct`` — packets per second on each site's uplink.
+    packet_size:
+        ``p`` — tuples per packet.
+    scan_rate:
+        Tuples per second a site scans when gathering ``lstat`` statistics.
+    check_rate:
+        GROUP-BY operations per second of the local detection query
+        (an "operation" is one unit of ``|D| log2 |D|``).
+    """
+
+    transfer_rate: float = 750.0
+    packet_size: int = 32
+    scan_rate: float = 150_000.0
+    check_rate: float = 400_000.0
+
+    def transfer_time(self, outgoing: Mapping[int, int]) -> float:
+        """``(1/ct) · max_j out_j / p`` — sites send in parallel."""
+        if not outgoing:
+            return 0.0
+        return max(outgoing.values()) / self.packet_size / self.transfer_rate
+
+    def scan_time(self, n_tuples: int) -> float:
+        """Time for one site to scan ``n_tuples`` for statistics."""
+        return n_tuples / self.scan_rate
+
+    def check_ops(self, n_tuples: int, n_queries: int = 1) -> float:
+        """The paper's ``|D| · log |D|`` estimate for one local check."""
+        if n_tuples <= 0:
+            return 0.0
+        return n_queries * n_tuples * math.log2(n_tuples + 1)
+
+    def check_time(self, ops: float) -> float:
+        """Convert GROUP-BY operations to seconds."""
+        return ops / self.check_rate
+
+
+@dataclass
+class StageTimes:
+    """Per-stage times of one detection phase (one CFD or CFD cluster)."""
+
+    scan: float = 0.0
+    transfer: float = 0.0
+    check: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.scan + self.transfer + self.check
+
+
+@dataclass
+class CostBreakdown:
+    """Simulated response time of a full detection run."""
+
+    stages: list[StageTimes] = field(default_factory=list)
+
+    @property
+    def scan_time(self) -> float:
+        return sum(stage.scan for stage in self.stages)
+
+    @property
+    def transfer_time(self) -> float:
+        return sum(stage.transfer for stage in self.stages)
+
+    @property
+    def check_time(self) -> float:
+        return sum(stage.check for stage in self.stages)
+
+    @property
+    def response_time(self) -> float:
+        """Pipelined makespan over the stages (equals the sum for one stage).
+
+        Scan and check contend for the sites' CPUs while transfers use the
+        network, so the makespan is computed with that resource constraint
+        (:func:`response_makespan`) rather than a pure flow shop.
+        """
+        return response_makespan(
+            [(stage.scan, stage.transfer, stage.check) for stage in self.stages]
+        )
+
+    @property
+    def sequential_time(self) -> float:
+        """Non-pipelined total (upper bound; SEQDETECT without pipelining)."""
+        return sum(stage.total for stage in self.stages)
+
+
+def pipeline_response(stage_times: Sequence[tuple[float, ...]]) -> float:
+    """Makespan of jobs flowing through stages in order (flow-shop DP).
+
+    ``stage_times[c][s]`` is the time job ``c`` spends in stage ``s``.  Jobs
+    enter the pipeline in order and each stage processes one job at a time —
+    exactly the paper's pipelined SEQDETECT, where a site starts partitioning
+    the next CFD as soon as it finished the previous one.
+    """
+    if not stage_times:
+        return 0.0
+    n_stages = len(stage_times[0])
+    finish = [0.0] * n_stages
+    for job in stage_times:
+        if len(job) != n_stages:
+            raise ValueError("all jobs must have the same number of stages")
+        for stage, duration in enumerate(job):
+            ready = finish[stage - 1] if stage else 0.0
+            finish[stage] = max(finish[stage], ready) + duration
+    return finish[-1]
+
+
+def response_makespan(
+    stage_times: Sequence[tuple[float, float, float]],
+) -> float:
+    """Makespan of (scan, transfer, check) phases with shared resources.
+
+    Models the paper's pipelined SEQDETECT faithfully: the statistics scan
+    and the violation check of *every* phase execute on the sites' CPUs
+    (one resource, FIFO), while shipments occupy the network.  A site can
+    therefore overlap the next CFD's scan with the current CFD's transfer,
+    but not with its check — which is why CLUSTDETECT's single scan per
+    CFD cluster beats SEQDETECT's per-CFD scans, increasingly so on larger
+    fragments (Section VI, Exp-6).
+    """
+    cpu_free = 0.0
+    net_free = 0.0
+    finished = 0.0
+    for scan, transfer, check in stage_times:
+        scan_done = cpu_free + scan
+        cpu_free = scan_done
+        net_done = max(scan_done, net_free) + transfer
+        net_free = net_done
+        check_done = max(net_done, cpu_free) + check
+        cpu_free = check_done
+        finished = check_done
+    return finished
+
+
+def combine_breakdowns(breakdowns: Iterable[CostBreakdown]) -> CostBreakdown:
+    """Concatenate the stages of several runs into one pipelined breakdown."""
+    combined = CostBreakdown()
+    for breakdown in breakdowns:
+        combined.stages.extend(breakdown.stages)
+    return combined

@@ -1,0 +1,125 @@
+"""Hybrid fragmentation: horizontal regions, each vertically partitioned.
+
+Section VIII lists detection under hybrid fragmentation ([3]'s horizontal-
+of-vertical nesting) as future work; this module supplies the deployment
+object.  A relation is first split horizontally into *regions* by
+predicates; each region is then vertically partitioned (possibly with a
+different attribute decomposition per region).  Every (region, vertical
+fragment) pair lives at its own site with a globally unique index, so the
+shipment accounting of :mod:`repro.distributed.network` applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..relational import Predicate, Relation, Schema
+from .cluster import Site, VerticalCluster
+from .cost import CostModel
+
+
+class HybridRegion:
+    """One horizontal region: its predicate and its vertical deployment."""
+
+    __slots__ = ("name", "predicate", "vertical")
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Predicate | None,
+        vertical: VerticalCluster,
+    ) -> None:
+        self.name = name
+        self.predicate = predicate
+        self.vertical = vertical
+
+    def n_tuples(self) -> int:
+        return len(self.vertical.fragment(0))
+
+    def __repr__(self) -> str:
+        return f"HybridRegion({self.name}, {self.vertical.n_sites} fragments)"
+
+
+class HybridCluster:
+    """A hybrid-fragmented relation: regions × vertical fragments."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        regions: Sequence[HybridRegion],
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if not regions:
+            raise ValueError("a hybrid cluster needs at least one region")
+        self.schema = schema
+        self.regions = tuple(regions)
+        self.cost_model = cost_model or CostModel()
+        # globally unique site ids: (region index, fragment index) -> int
+        self._site_ids: dict[tuple[int, int], int] = {}
+        counter = 0
+        for r, region in enumerate(self.regions):
+            for f in range(region.vertical.n_sites):
+                self._site_ids[(r, f)] = counter
+                counter += 1
+        self.n_sites = counter
+
+    @classmethod
+    def from_partitions(
+        cls,
+        relation: Relation,
+        predicates: Mapping[str, Predicate],
+        attribute_sets: Mapping[str, Sequence[str]],
+        cost_model: CostModel | None = None,
+    ) -> "HybridCluster":
+        """Horizontal split by ``predicates``, then the same vertical
+        decomposition ``attribute_sets`` within every region."""
+        from ..partition.horizontal import PartitionError
+        from ..partition.vertical import VerticalPartition
+
+        schema = relation.schema
+        vertical = VerticalPartition(schema, attribute_sets)
+        regions = []
+        seen = 0
+        for name, predicate in predicates.items():
+            rows = [
+                row for row in relation.rows if predicate.evaluate(row, schema)
+            ]
+            seen += len(rows)
+            region_relation = Relation(schema, rows, copy=False)
+            regions.append(
+                HybridRegion(
+                    name,
+                    predicate,
+                    vertical.deploy(region_relation, cost_model=cost_model),
+                )
+            )
+        if seen != len(relation):
+            raise PartitionError(
+                "the horizontal predicates must cover the relation exactly"
+            )
+        return cls(schema, regions, cost_model=cost_model)
+
+    # -- lookups -----------------------------------------------------------
+
+    def site_id(self, region_index: int, fragment_index: int) -> int:
+        """The global site index of one (region, fragment) cell."""
+        return self._site_ids[(region_index, fragment_index)]
+
+    def region_sites(self, region_index: int) -> list[Site]:
+        return list(self.regions[region_index].vertical.sites)
+
+    def total_tuples(self) -> int:
+        return sum(region.n_tuples() for region in self.regions)
+
+    def reconstruct(self) -> Relation:
+        """``D = ⋃_regions ⋈_fragments`` — testing/baselines only."""
+        rows = []
+        for region in self.regions:
+            rows.extend(region.vertical.reconstruct().rows)
+        return Relation(self.schema, rows, copy=False)
+
+    def __repr__(self) -> str:
+        return (
+            f"HybridCluster({len(self.regions)} regions, "
+            f"{self.n_sites} sites, {self.total_tuples()} tuples)"
+        )

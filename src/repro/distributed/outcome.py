@@ -1,0 +1,52 @@
+"""Detection outcomes: violations + traffic + simulated response time."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core import ViolationReport
+from .cost import CostBreakdown
+from .network import ShipmentLog
+
+
+@dataclass
+class DetectionOutcome:
+    """Everything a distributed detection run produces.
+
+    Attributes
+    ----------
+    algorithm:
+        Name of the algorithm that ran (``"CTRDETECT"`` etc.).
+    report:
+        The violations found (``Vioπ`` granularity; see
+        :class:`~repro.core.ViolationReport`).
+    shipments:
+        The shipment log ``M`` (tuple traffic + control messages).
+    cost:
+        Simulated response time under the Section III-B model.
+    details:
+        Algorithm-specific extras (chosen coordinators, per-pattern stats,
+        mined tableau sizes, ...), for inspection and tests.
+    """
+
+    algorithm: str
+    report: ViolationReport
+    shipments: ShipmentLog
+    cost: CostBreakdown
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def tuples_shipped(self) -> int:
+        return self.shipments.tuples_shipped
+
+    @property
+    def response_time(self) -> float:
+        return self.cost.response_time
+
+    def __repr__(self) -> str:
+        return (
+            f"DetectionOutcome({self.algorithm}: {len(self.report)} Vioπ, "
+            f"{self.tuples_shipped} tuples shipped, "
+            f"{self.response_time:.3f}s simulated)"
+        )

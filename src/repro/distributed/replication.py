@@ -1,0 +1,150 @@
+"""Replicated horizontal fragments (Section VIII future work).
+
+"In the distributed setting it is common to find replicated data [3]. It
+is more interesting yet more challenging to develop detection algorithms
+that capitalize on data replication to increase parallelism and reduce
+response time."  A :class:`ReplicatedCluster` places each horizontal
+fragment at one *or more* sites; the replication-aware detector
+(:func:`repro.detect.replicated_pat_detect`) exploits the placement twice:
+
+* statistics scans are balanced across replicas (parallelism), and
+* a pattern's coordinator is chosen by the tuples *available* at a site —
+  fragments replicated at the coordinator contribute without shipment.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..relational import Relation, Schema
+from .cost import CostModel
+
+
+class ReplicatedCluster:
+    """Horizontal fragments with a fragment → sites placement map."""
+
+    def __init__(
+        self,
+        fragments: Sequence[Relation],
+        placement: Sequence[Iterable[int]],
+        n_sites: int,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if not fragments:
+            raise ValueError("need at least one fragment")
+        if len(placement) != len(fragments):
+            raise ValueError("placement must assign sites to every fragment")
+        schemas = {fragment.schema.attributes for fragment in fragments}
+        if len(schemas) != 1:
+            raise ValueError("fragments must share one schema")
+        if n_sites < 1:
+            raise ValueError("need at least one site")
+        self.fragments = tuple(fragments)
+        self.placement = tuple(frozenset(sites) for sites in placement)
+        for f, sites in enumerate(self.placement):
+            if not sites:
+                raise ValueError(f"fragment {f} has no replica")
+            bad = [s for s in sites if not 0 <= s < n_sites]
+            if bad:
+                raise ValueError(f"fragment {f} placed at unknown sites {bad}")
+        self.n_sites = n_sites
+        self.cost_model = cost_model or CostModel()
+
+    @classmethod
+    def replicate(
+        cls,
+        cluster,
+        degree: int,
+        cost_model: CostModel | None = None,
+    ) -> "ReplicatedCluster":
+        """Replicate each fragment of a plain cluster to ``degree`` sites.
+
+        Replicas go to the next sites round-robin (fragment ``i`` lives at
+        sites ``i, i+1, ..., i+degree-1`` mod ``n``), the classic chained
+        declustering layout.
+        """
+        n = cluster.n_sites
+        if not 1 <= degree <= n:
+            raise ValueError(f"degree must be in [1, {n}]")
+        fragments = [site.fragment for site in cluster.sites]
+        placement = [
+            {(i + k) % n for k in range(degree)} for i in range(n)
+        ]
+        return cls(
+            fragments,
+            placement,
+            n,
+            cost_model=cost_model or cluster.cost_model,
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self.fragments[0].schema
+
+    def replicas_of(self, fragment: int) -> frozenset[int]:
+        return self.placement[fragment]
+
+    def fragments_at(self, site: int) -> list[int]:
+        return [
+            f for f, sites in enumerate(self.placement) if site in sites
+        ]
+
+    def total_tuples(self) -> int:
+        """Logical size (each fragment counted once)."""
+        return sum(len(fragment) for fragment in self.fragments)
+
+    def stored_tuples(self) -> int:
+        """Physical size including replicas."""
+        return sum(
+            len(fragment) * len(sites)
+            for fragment, sites in zip(self.fragments, self.placement)
+        )
+
+    def reconstruct(self) -> Relation:
+        rows = [row for fragment in self.fragments for row in fragment.rows]
+        return Relation(self.schema, rows, copy=False)
+
+    def balanced_scan_assignment(self) -> list[int]:
+        """One replica per fragment, balancing per-site scan load.
+
+        Greedy: largest fragments first, each to its least-loaded replica.
+        """
+        order = sorted(
+            range(len(self.fragments)),
+            key=lambda f: -len(self.fragments[f]),
+        )
+        load = [0] * self.n_sites
+        chosen = [0] * len(self.fragments)
+        for f in order:
+            site = min(self.placement[f], key=lambda s: (load[s], s))
+            chosen[f] = site
+            load[site] += len(self.fragments[f])
+        # local improvement: move fragments off the busiest sites while it
+        # lowers the maximum load (fixes ties the greedy resolved badly)
+        improved = True
+        while improved:
+            improved = False
+            for f in order:
+                size = len(self.fragments[f])
+                current = chosen[f]
+                for site in self.placement[f]:
+                    if site == current:
+                        continue
+                    if max(load[site] + size, load[current] - size) < max(
+                        load[current], load[site]
+                    ):
+                        load[current] -= size
+                        load[site] += size
+                        chosen[f] = site
+                        improved = True
+                        break
+        return chosen
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedCluster({len(self.fragments)} fragments, "
+            f"{self.n_sites} sites, "
+            f"{self.stored_tuples()}/{self.total_tuples()} stored/logical)"
+        )

@@ -1,0 +1,12 @@
+"""Frequent-pattern mining for the Section IV-B wildcard optimization."""
+
+from .itemsets import closed_frequent_itemsets, frequent_itemsets, itemsets_to_rows
+from .patterns import MiningResult, instantiate_with_frequent_patterns
+
+__all__ = [
+    "closed_frequent_itemsets",
+    "frequent_itemsets",
+    "itemsets_to_rows",
+    "MiningResult",
+    "instantiate_with_frequent_patterns",
+]

@@ -1,0 +1,128 @@
+"""Closed frequent itemset mining (levelwise Apriori).
+
+The Section IV-B optimization instantiates the wildcards of an FD with
+"frequent pattern tuples found in the database", mined as *closed frequent
+itemsets* over the FD's LHS attributes.  Items are ``(attribute, value)``
+pairs; a transaction is one tuple's projection onto the LHS.  An itemset is
+frequent when its support reaches the threshold and closed when no proper
+superset has the same support.
+
+Apriori is adequate here: the LHS of a CFD has 3–5 attributes, so the
+lattice has at most that many levels and stays small even on large data.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+Item = tuple[str, object]
+Itemset = frozenset
+
+
+def frequent_itemsets(
+    transactions: Sequence[Sequence[object]],
+    attributes: Sequence[str],
+    min_support: int,
+) -> dict[Itemset, int]:
+    """All itemsets with support ``>= min_support`` and their supports.
+
+    ``transactions[i][j]`` is the value of ``attributes[j]`` in tuple ``i``.
+    The empty itemset is excluded.  ``min_support`` must be positive.
+    """
+    if min_support < 1:
+        raise ValueError("min_support must be a positive count")
+    attributes = tuple(attributes)
+
+    # Level 1: count single items.
+    counts: dict[Item, int] = {}
+    for transaction in transactions:
+        for attr, value in zip(attributes, transaction):
+            item = (attr, value)
+            counts[item] = counts.get(item, 0) + 1
+    current = {
+        frozenset([item]): support
+        for item, support in counts.items()
+        if support >= min_support
+    }
+    frequent: dict[Itemset, int] = dict(current)
+
+    level = 1
+    while current and level < len(attributes):
+        level += 1
+        candidates = _candidates(current, level)
+        if not candidates:
+            break
+        tallies = dict.fromkeys(candidates, 0)
+        for transaction in transactions:
+            items = frozenset(zip(attributes, transaction))
+            for candidate in candidates:
+                if candidate <= items:
+                    tallies[candidate] += 1
+        current = {
+            itemset: support
+            for itemset, support in tallies.items()
+            if support >= min_support
+        }
+        frequent.update(current)
+    return frequent
+
+
+def _candidates(previous: dict[Itemset, int], level: int) -> set[Itemset]:
+    """Apriori join + prune: level-``k`` candidates from level ``k-1`` sets."""
+    sets = list(previous)
+    candidates: set[Itemset] = set()
+    for a, b in combinations(sets, 2):
+        union = a | b
+        if len(union) != level:
+            continue
+        if len({attr for attr, _value in union}) != level:
+            continue  # one value per attribute
+        if all(
+            frozenset(subset) in previous
+            for subset in combinations(union, level - 1)
+        ):
+            candidates.add(union)
+    return candidates
+
+
+def closed_frequent_itemsets(
+    transactions: Sequence[Sequence[object]],
+    attributes: Sequence[str],
+    min_support: int,
+) -> dict[Itemset, int]:
+    """The closed subsets of :func:`frequent_itemsets`.
+
+    An itemset is closed iff no frequent superset (by one item) has equal
+    support; since Apriori enumerates *all* frequent itemsets, the check is
+    a dictionary lookup.
+    """
+    frequent = frequent_itemsets(transactions, attributes, min_support)
+    single_items = {item for itemset in frequent for item in itemset}
+    closed: dict[Itemset, int] = {}
+    for itemset, support in frequent.items():
+        covered_attrs = {attr for attr, _value in itemset}
+        is_closed = True
+        for item in single_items:
+            if item in itemset or item[0] in covered_attrs:
+                continue
+            superset = frequent.get(itemset | {item})
+            if superset == support:
+                is_closed = False
+                break
+        if is_closed:
+            closed[itemset] = support
+    return closed
+
+
+def itemsets_to_rows(
+    itemsets: Iterable[Itemset], attributes: Sequence[str], wildcard: object
+) -> list[tuple]:
+    """Render itemsets as pattern rows over ``attributes``."""
+    rows = []
+    for itemset in itemsets:
+        values = dict(itemset)
+        rows.append(
+            tuple(values.get(attr, wildcard) for attr in attributes)
+        )
+    return rows

@@ -1,0 +1,40 @@
+"""Fragmentation of relations, horizontal and vertical (Section II-B, V)."""
+
+from .horizontal import (
+    PartitionError,
+    partition_by_attribute,
+    partition_by_hash,
+    partition_by_predicates,
+    partition_uniform,
+)
+from .vertical import VerticalPartition, vertical_partition
+
+__all__ = [
+    "PartitionError",
+    "partition_by_attribute",
+    "partition_by_hash",
+    "partition_by_predicates",
+    "partition_uniform",
+    "VerticalPartition",
+    "vertical_partition",
+]
+
+from .preservation import (
+    is_dependency_preserving,
+    preservation_counterexample,
+    unpreserved_cfds,
+)
+from .refinement import (
+    augmentation_size,
+    greedy_refinement,
+    minimum_refinement,
+)
+
+__all__ += [
+    "is_dependency_preserving",
+    "preservation_counterexample",
+    "unpreserved_cfds",
+    "augmentation_size",
+    "greedy_refinement",
+    "minimum_refinement",
+]

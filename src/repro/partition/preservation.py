@@ -1,0 +1,253 @@
+"""Dependency preservation of vertical partitions (Section V, Prop. 7).
+
+A vertical partition ``(R_1, ..., R_n)`` is *dependency preserving* w.r.t. a
+set Σ of CFDs iff ``Γ |= Σ``, where ``Γ = ⋃ Γ_i`` and ``Γ_i`` collects the
+CFDs implied by Σ whose attributes all lie in fragment ``R_i``.  By
+Proposition 7 this holds exactly when all of Σ can be checked locally for
+*every* instance.
+
+Materializing Γ is impossible (it is infinite); instead we generalize
+Ullman's classical dependency-preservation test for FDs.  For each tested
+CFD we maintain the two-tuple chase witness of
+:mod:`repro.core.implication` and repeatedly import, fragment by fragment,
+every consequence Σ forces on the witness *when only the fragment's
+attributes are visible*: project the witness onto the fragment (fresh
+variables elsewhere), chase the projection with the full Σ, and copy the
+equalities/constant bindings derived on fragment attributes back into the
+main witness.  Each import step is justified by a CFD of Γ_i, and
+conversely every applicable member of Γ_i is captured because the chase is
+complete for implication (infinite-domain semantics).  The CFD is preserved
+iff the fixpoint forces its conclusion.
+
+When the test fails, :func:`preservation_counterexample` materializes the
+final witness into a concrete two-tuple instance: every fragment of it
+satisfies Σ locally, yet the instance violates the tested CFD — a direct
+demonstration of Proposition 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core import CFD, ChaseState, Inconsistent, chase, is_wildcard, normalize
+from ..core.normalize import ConstantCFD, VariableCFD
+from ..relational import Relation
+from .vertical import VerticalPartition
+
+
+def _witness_attributes(sigma: Sequence[CFD], phi: CFD) -> tuple[str, ...]:
+    seen: dict[str, None] = {}
+    for cfd in list(sigma) + [phi]:
+        for attr in cfd.attributes:
+            seen.setdefault(attr)
+    return tuple(seen)
+
+
+def _project_state(
+    state: ChaseState, fragment_attrs: Sequence[str]
+) -> ChaseState:
+    """Copy of ``state`` restricted to ``fragment_attrs``.
+
+    Cells outside the fragment become fresh unconstrained variables;
+    within the fragment, shared classes and constant bindings survive.
+    """
+    sub = ChaseState(state.attributes)
+    anchors: dict[tuple, tuple[int, str]] = {}
+    for t in range(2):
+        for attr in fragment_attrs:
+            if attr not in state.cells[t]:
+                continue
+            root = state.find(state.cells[t][attr])
+            if root[0] == "const":
+                sub.bind(t, attr, root[2])
+            elif root in anchors:
+                at, aattr = anchors[root]
+                sub.union(sub.cells[t][attr], sub.cells[at][aattr])
+            else:
+                anchors[root] = (t, attr)
+    return sub
+
+
+def _import_consequences(
+    state: ChaseState, sub: ChaseState, fragment_attrs: Sequence[str]
+) -> bool:
+    """Copy what the fragment-local chase derived back into ``state``."""
+    changed = False
+    cells = [
+        (t, attr)
+        for t in range(2)
+        for attr in fragment_attrs
+        if attr in state.cells[t]
+    ]
+    for i, (t, attr) in enumerate(cells):
+        sub_root = sub.find(sub.cells[t][attr])
+        if sub_root[0] == "const":
+            changed |= state.bind(t, attr, sub_root[2])
+        for t2, attr2 in cells[i + 1 :]:
+            if sub.find(sub.cells[t2][attr2]) == sub_root:
+                changed |= state.union(
+                    state.cells[t][attr], state.cells[t2][attr2]
+                )
+    return changed
+
+
+def _local_fixpoint(
+    state: ChaseState,
+    sigma_normalized,
+    fragments: Sequence[Sequence[str]],
+) -> None:
+    """Drive the witness to fixpoint under fragment-local consequences."""
+    changed = True
+    while changed:
+        changed = False
+        for fragment_attrs in fragments:
+            sub = _project_state(state, fragment_attrs)
+            chase(sub, sigma_normalized)  # may raise Inconsistent
+            changed |= _import_consequences(state, sub, fragment_attrs)
+
+
+def _variable_preserved(
+    sigma_normalized,
+    attributes: Sequence[str],
+    fragments: Sequence[Sequence[str]],
+    psi: VariableCFD,
+) -> bool:
+    for row in psi.patterns:
+        state = ChaseState(attributes)
+        try:
+            for attr, entry in zip(psi.lhs, row):
+                state.equate(attr)
+                if not is_wildcard(entry):
+                    state.bind(0, attr, entry)
+            _local_fixpoint(state, sigma_normalized, fragments)
+        except Inconsistent:
+            continue
+        if not all(state.equal(0, 1, attr) for attr in psi.rhs):
+            return False
+    return True
+
+
+def _constant_preserved(
+    sigma_normalized,
+    attributes: Sequence[str],
+    fragments: Sequence[Sequence[str]],
+    psi: ConstantCFD,
+) -> bool:
+    state = ChaseState(attributes)
+    try:
+        for attr, value in zip(psi.lhs, psi.values):
+            state.bind(0, attr, value)
+        _local_fixpoint(state, sigma_normalized, fragments)
+    except Inconsistent:
+        return True
+    return state.is_bound_to(0, psi.rhs_attr, psi.rhs_value)
+
+
+def unpreserved_cfds(
+    partition: VerticalPartition, sigma: Iterable[CFD]
+) -> list[CFD]:
+    """The CFDs of Σ that cannot be checked locally under the partition."""
+    sigma = list(sigma)
+    sigma_normalized = [normalize(cfd) for cfd in sigma]
+    fragments = [partition.attributes_of(name) for name in partition.names]
+    failing = []
+    for cfd in sigma:
+        attributes = _witness_attributes(sigma, cfd)
+        psi = normalize(cfd)
+        ok = all(
+            _constant_preserved(sigma_normalized, attributes, fragments, c)
+            for c in psi.constants
+        ) and all(
+            _variable_preserved(sigma_normalized, attributes, fragments, v)
+            for v in psi.variables
+        )
+        if not ok:
+            failing.append(cfd)
+    return failing
+
+
+def is_dependency_preserving(
+    partition: VerticalPartition, sigma: Iterable[CFD]
+) -> bool:
+    """Whether the partition is dependency preserving w.r.t. Σ (Prop. 7)."""
+    return not unpreserved_cfds(partition, sigma)
+
+
+def preservation_counterexample(
+    partition: VerticalPartition, sigma: Iterable[CFD]
+) -> tuple[CFD, Relation] | None:
+    """A two-tuple instance whose violation no fragment can see, if any.
+
+    Returns ``(φ, D)`` where ``D ⊭ φ`` but every vertical fragment of ``D``
+    satisfies every CFD of Σ expressible over that fragment — the
+    Proposition 7 witness.  Returns ``None`` for preserving partitions.
+    """
+    sigma = list(sigma)
+    failing = unpreserved_cfds(partition, sigma)
+    if not failing:
+        return None
+    phi = failing[0]
+    sigma_normalized = [normalize(cfd) for cfd in sigma]
+    fragments = [partition.attributes_of(name) for name in partition.names]
+    attributes = _witness_attributes(sigma, phi)
+    psi = normalize(phi)
+
+    for variable in psi.variables:
+        for row in variable.patterns:
+            state = ChaseState(attributes)
+            try:
+                for attr, entry in zip(variable.lhs, row):
+                    state.equate(attr)
+                    if not is_wildcard(entry):
+                        state.bind(0, attr, entry)
+                _local_fixpoint(state, sigma_normalized, fragments)
+            except Inconsistent:
+                continue
+            if all(state.equal(0, 1, attr) for attr in variable.rhs):
+                continue
+            return phi, _materialize(partition, state, attributes)
+
+    for constant in psi.constants:
+        state = ChaseState(attributes)
+        try:
+            for attr, value in zip(constant.lhs, constant.values):
+                state.bind(0, attr, value)
+            _local_fixpoint(state, sigma_normalized, fragments)
+        except Inconsistent:
+            continue
+        if not state.is_bound_to(0, constant.rhs_attr, constant.rhs_value):
+            return phi, _materialize(partition, state, attributes)
+    return None
+
+
+def _materialize(
+    partition: VerticalPartition,
+    state: ChaseState,
+    attributes: Sequence[str],
+) -> Relation:
+    """Generic valuation of the witness as a two-tuple instance of ``R``."""
+    schema = partition.schema
+    valuation: dict[tuple, object] = {}
+    counter = [0]
+
+    def value_of(root: tuple) -> object:
+        if root[0] == "const":
+            return root[2]
+        if root not in valuation:
+            counter[0] += 1
+            valuation[root] = f"fresh#{counter[0]}"
+        return valuation[root]
+
+    rows = []
+    for t in range(2):
+        row = []
+        for attr in schema.attributes:
+            if attr in state.cells[t]:
+                row.append(value_of(state.find(state.cells[t][attr])))
+            elif attr in schema.key:
+                row.append(t + 1)  # distinct keys
+            else:
+                counter[0] += 1
+                row.append(f"fresh#{counter[0]}")
+        rows.append(tuple(row))
+    return Relation(schema, rows)

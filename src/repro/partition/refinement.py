@@ -1,0 +1,143 @@
+"""Minimum refinement of vertical partitions (Section V, Theorem 8).
+
+Given Σ and a non-preserving vertical partition, find an augmentation
+``Z = (Z_1, ..., Z_n)`` — attributes added to fragments — of minimum total
+size whose refinement is dependency preserving.  The paper proves the
+decision problem NP-hard (from HITTING SET) and defers algorithms to a
+later report; we provide both:
+
+* :func:`minimum_refinement` — an exact search enumerating augmentations by
+  increasing size (feasible for the schema/CFD sizes of Section V; the
+  greedy solution bounds the search depth);
+* :func:`greedy_refinement` — a set-cover-style heuristic: repeatedly make
+  one unpreserved CFD fully local at the fragment where that costs the
+  fewest attributes, preferring additions shared by many unpreserved CFDs.
+
+Only attributes occurring in Σ are candidates: an attribute no CFD mentions
+can never influence dependency preservation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from ..core import CFD
+from .preservation import is_dependency_preserving, unpreserved_cfds
+from .vertical import VerticalPartition
+
+
+def _candidate_moves(
+    partition: VerticalPartition, sigma: Sequence[CFD]
+) -> list[tuple[str, str]]:
+    """All useful (fragment, attribute) additions."""
+    sigma_attrs = {attr for cfd in sigma for attr in cfd.attributes}
+    moves = []
+    for name in partition.names:
+        present = set(partition.attributes_of(name))
+        moves.extend(
+            (name, attr) for attr in sorted(sigma_attrs - present)
+        )
+    return moves
+
+
+def _apply_moves(
+    partition: VerticalPartition, moves: Iterable[tuple[str, str]]
+) -> VerticalPartition:
+    augmentation: dict[str, list[str]] = {}
+    for name, attr in moves:
+        augmentation.setdefault(name, []).append(attr)
+    return partition.refine(augmentation)
+
+
+def augmentation_size(augmentation: Mapping[str, Sequence[str]]) -> int:
+    """``|Z|``: the total number of added attributes."""
+    return sum(len(attrs) for attrs in augmentation.values())
+
+
+def greedy_refinement(
+    partition: VerticalPartition, sigma: Iterable[CFD]
+) -> dict[str, list[str]]:
+    """A preserving augmentation via greedy covering (not always minimum).
+
+    Strategy: while some CFD is unpreserved, consider making each
+    unpreserved CFD local at each fragment; take the move-set with the best
+    (CFDs-made-local / attributes-added) ratio, breaking ties toward fewer
+    attributes.  Terminates because covering every CFD somewhere is always
+    preserving.
+    """
+    sigma = list(sigma)
+    current = partition
+    augmentation: dict[str, list[str]] = {}
+
+    while True:
+        failing = unpreserved_cfds(current, sigma)
+        if not failing:
+            return augmentation
+        best_moves: list[tuple[str, str]] | None = None
+        best_score = None
+        for name in current.names:
+            present = set(current.attributes_of(name))
+            for cfd in failing:
+                needed = [a for a in cfd.attributes if a not in present]
+                if not needed:
+                    continue
+                # How many failing CFDs does this move-set make local here?
+                grown = present | set(needed)
+                covered = sum(
+                    1
+                    for other in failing
+                    if all(a in grown for a in other.attributes)
+                )
+                score = (covered / len(needed), -len(needed))
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best_moves = [(name, a) for a in needed]
+        if best_moves is None:  # every failing CFD already local somewhere?
+            raise AssertionError(
+                "no applicable move although CFDs remain unpreserved"
+            )
+        for name, attr in best_moves:
+            augmentation.setdefault(name, []).append(attr)
+        current = _apply_moves(partition, [
+            (name, attr)
+            for name, attrs in augmentation.items()
+            for attr in attrs
+        ])
+
+
+def minimum_refinement(
+    partition: VerticalPartition,
+    sigma: Iterable[CFD],
+    max_size: int | None = None,
+) -> dict[str, list[str]]:
+    """A minimum-size preserving augmentation (exact, exponential search).
+
+    Enumerates candidate move subsets by increasing total size; the greedy
+    solution caps the depth, so the search always terminates with a
+    certificate of minimality.  ``max_size`` optionally lowers the cap
+    (raises ``ValueError`` if no preserving augmentation exists within it).
+    """
+    sigma = list(sigma)
+    if is_dependency_preserving(partition, sigma):
+        return {}
+
+    greedy = greedy_refinement(partition, sigma)
+    cap = augmentation_size(greedy)
+    if max_size is not None:
+        cap = min(cap, max_size)
+
+    moves = _candidate_moves(partition, sigma)
+    for size in range(1, cap):
+        for combo in itertools.combinations(moves, size):
+            refined = _apply_moves(partition, combo)
+            if is_dependency_preserving(refined, sigma):
+                augmentation: dict[str, list[str]] = {}
+                for name, attr in combo:
+                    augmentation.setdefault(name, []).append(attr)
+                return augmentation
+    if max_size is not None and cap < augmentation_size(greedy):
+        raise ValueError(
+            f"no preserving augmentation of size <= {max_size} exists"
+        )
+    return greedy

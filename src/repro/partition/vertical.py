@@ -1,0 +1,126 @@
+"""Vertical fragmentation: ``D_i = π_{X_i}(D)`` (Section II-B).
+
+Each fragment projects the relation onto an attribute set that must include
+the key (or the system-assigned tuple id); the original relation is the key
+join of the fragments.  A :class:`VerticalPartition` is the schema-level
+object Section V reasons about (dependency preservation, refinement); it can
+be *deployed* onto an instance to obtain a
+:class:`~repro.distributed.VerticalCluster`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..distributed import CostModel, Site, VerticalCluster
+from ..relational import Relation, Schema
+from .horizontal import PartitionError
+
+
+class VerticalPartition:
+    """A named vertical partition ``(R_1, ..., R_n)`` of a schema ``R``.
+
+    ``attribute_sets`` maps fragment name -> attributes; the key attributes
+    of ``schema`` are added to every fragment automatically (the paper
+    assumes every ``X_i`` contains ``key(R)``).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        attribute_sets: Mapping[str, Sequence[str]] | Sequence[Sequence[str]],
+    ) -> None:
+        if not isinstance(attribute_sets, Mapping):
+            attribute_sets = {
+                f"R{i + 1}": attrs for i, attrs in enumerate(attribute_sets)
+            }
+        if not attribute_sets:
+            raise PartitionError("a vertical partition needs fragments")
+        self.schema = schema
+        self.fragments: dict[str, tuple[str, ...]] = {}
+        for name, attrs in attribute_sets.items():
+            ordered = dict.fromkeys(schema.key)
+            for attr in attrs:
+                schema.position(attr)  # validates
+                ordered[attr] = None
+            # preserve original column order inside the fragment
+            self.fragments[name] = tuple(
+                a for a in schema.attributes if a in ordered
+            )
+        covered = {a for attrs in self.fragments.values() for a in attrs}
+        missing = [a for a in schema.attributes if a not in covered]
+        if missing:
+            raise PartitionError(
+                f"vertical partition misses attributes {missing}"
+            )
+
+    # -- schema-level views ----------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.fragments)
+
+    def attributes_of(self, name: str) -> tuple[str, ...]:
+        return self.fragments[name]
+
+    def fragment_schemas(self) -> dict[str, Schema]:
+        """Schemas ``R_i`` (each keyed by ``key(R)``)."""
+        return {
+            name: self.schema.project(attrs, name=name)
+            for name, attrs in self.fragments.items()
+        }
+
+    def covers(self, attributes: Iterable[str]) -> str | None:
+        """Name of a fragment containing all ``attributes``, if any.
+
+        A CFD ``φ`` is locally checkable at a fragment iff the fragment
+        covers ``attr(φ)`` (Section II-C / V).
+        """
+        needed = tuple(attributes)
+        for name, attrs in self.fragments.items():
+            if all(a in attrs for a in needed):
+                return name
+        return None
+
+    def refine(
+        self, augmentation: Mapping[str, Sequence[str]]
+    ) -> "VerticalPartition":
+        """Refinement by an augmentation ``Z`` (Section V): add attributes."""
+        refined = {
+            name: tuple(attrs) + tuple(augmentation.get(name, ()))
+            for name, attrs in self.fragments.items()
+        }
+        return VerticalPartition(self.schema, refined)
+
+    # -- deployment ------------------------------------------------------
+
+    def deploy(
+        self, relation: Relation, cost_model: CostModel | None = None
+    ) -> VerticalCluster:
+        """Materialize the fragments of ``relation`` at one site each."""
+        if relation.schema.attributes != self.schema.attributes:
+            raise PartitionError(
+                "instance schema does not match the partitioned schema"
+            )
+        sites = []
+        for index, (name, attrs) in enumerate(self.fragments.items()):
+            fragment = relation.project(attrs, name=name)
+            sites.append(Site(index, fragment, name=name))
+        return VerticalCluster(self.schema, sites, cost_model=cost_model)
+
+    def __repr__(self) -> str:
+        parts = "; ".join(
+            f"{name}({', '.join(attrs)})" for name, attrs in self.fragments.items()
+        )
+        return f"VerticalPartition[{parts}]"
+
+
+def vertical_partition(
+    relation: Relation,
+    attribute_sets: Mapping[str, Sequence[str]] | Sequence[Sequence[str]],
+    cost_model: CostModel | None = None,
+) -> VerticalCluster:
+    """Shortcut: build a :class:`VerticalPartition` and deploy it."""
+    return VerticalPartition(relation.schema, attribute_sets).deploy(
+        relation, cost_model=cost_model
+    )

@@ -1,0 +1,100 @@
+"""CSV import/export for relations.
+
+Small convenience layer so examples can persist generated datasets and users
+can load their own data into the detectors.  Values are written as strings;
+``load_csv`` can optionally coerce chosen columns back to ``int``/``float``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from .relation import Relation
+from .schema import Schema
+
+
+def save_csv(relation: Relation, path: str | Path) -> None:
+    """Write ``relation`` to ``path`` with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.attributes)
+        writer.writerows(relation.rows)
+
+
+def infer_column_types(relation: Relation) -> Relation:
+    """Coerce string columns that look numeric to ``int``/``float``.
+
+    A column converts when every value parses as an integer (or, failing
+    that, as a float).  Keeps CSV round-trips compatible with CFDs whose
+    pattern constants are numeric (the parser reads bare digits as ints).
+    """
+
+    def as_int(text: object) -> int | None:
+        if isinstance(text, str) and text.strip().lstrip("+-").isdigit():
+            return int(text)
+        return None
+
+    def as_float(text: object) -> float | None:
+        if not isinstance(text, str):
+            return None
+        try:
+            return float(text)
+        except ValueError:
+            return None
+
+    columns = list(zip(*relation.rows)) if relation.rows else []
+    converters: dict[int, Callable[[object], object]] = {}
+    for position, column in enumerate(columns):
+        if all(as_int(value) is not None for value in column):
+            converters[position] = lambda v: int(v)
+        elif all(as_float(value) is not None for value in column):
+            converters[position] = lambda v: float(v)
+    if not converters:
+        return relation
+    rows = [
+        tuple(
+            converters[p](value) if p in converters else value
+            for p, value in enumerate(row)
+        )
+        for row in relation.rows
+    ]
+    return Relation(relation.schema, rows, copy=False)
+
+
+def load_csv(
+    path: str | Path,
+    name: str | None = None,
+    key: Sequence[str] | None = None,
+    converters: Mapping[str, Callable[[str], object]] | None = None,
+) -> Relation:
+    """Read a relation from a headered CSV file.
+
+    Parameters
+    ----------
+    name:
+        Relation name; defaults to the file stem.
+    key:
+        Key attributes; defaults to the first column.
+    converters:
+        Optional per-column parsers, e.g. ``{"salary": int}``.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        schema = Schema(name or path.stem, header, key=key)
+        if converters:
+            positions = [
+                (schema.position(attr), fn) for attr, fn in converters.items()
+            ]
+            rows = []
+            for raw in reader:
+                row = list(raw)
+                for pos, fn in positions:
+                    row[pos] = fn(row[pos])
+                rows.append(tuple(row))
+        else:
+            rows = [tuple(raw) for raw in reader]
+    return Relation(schema, rows, copy=False)

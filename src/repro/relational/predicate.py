@@ -1,0 +1,413 @@
+"""Boolean predicates over relation rows.
+
+Horizontal fragments are defined by selection predicates ``F_i``
+(``D_i = σ_{F_i}(D)``, Section II-B).  Besides evaluation, the detection
+algorithms need one static-analysis primitive (Section IV-A): deciding
+whether ``F_i ∧ F_φ`` is *satisfiable*, where ``F_φ`` is the conjunction of
+``B = b`` atoms contributed by the constant entries of a pattern tuple.  When
+it is not, no tuple of fragment ``D_i`` can match the pattern, so the
+fragment can be skipped without shipping anything.
+
+The satisfiability test is sound and conservative: it returns ``False`` only
+when the conjunction is definitely unsatisfiable.  Predicates are first
+pushed to negation normal form and expanded to DNF; each conjunct is then
+checked attribute by attribute (equalities, disequalities, memberships and
+order constraints).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from .schema import Schema
+
+
+class Predicate:
+    """Base class for row predicates; composable with ``&``, ``|``, ``~``."""
+
+    def evaluate(self, row: Sequence[object], schema: Schema) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, row: Sequence[object], schema: Schema) -> bool:
+        return self.evaluate(row, schema)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    # Negation-normal-form helpers; subclasses override.
+    def negate(self) -> "Predicate":
+        return Not(self)
+
+    def dnf(self) -> list[list["Atom"]]:
+        """Disjunctive normal form as a list of conjunctions of atoms."""
+        raise NotImplementedError
+
+
+class Atom(Predicate):
+    """A single comparison on one attribute."""
+
+    __slots__ = ("attribute",)
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+
+    def dnf(self) -> list[list["Atom"]]:
+        return [[self]]
+
+
+def _try_order(op, left: object, right: object) -> bool:
+    """Order comparison that treats incomparable values as non-matching."""
+    try:
+        return op(left, right)
+    except TypeError:
+        return False
+
+
+class TruePred(Predicate):
+    """Always true (the fragment predicate of an unrestricted fragment)."""
+
+    def evaluate(self, row: Sequence[object], schema: Schema) -> bool:
+        return True
+
+    def negate(self) -> Predicate:
+        return FalsePred()
+
+    def dnf(self) -> list[list[Atom]]:
+        return [[]]
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class FalsePred(Predicate):
+    """Always false."""
+
+    def evaluate(self, row: Sequence[object], schema: Schema) -> bool:
+        return False
+
+    def negate(self) -> Predicate:
+        return TruePred()
+
+    def dnf(self) -> list[list[Atom]]:
+        return []
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+class Eq(Atom):
+    """``attribute = value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value: object) -> None:
+        super().__init__(attribute)
+        self.value = value
+
+    def evaluate(self, row, schema):
+        return row[schema.position(self.attribute)] == self.value
+
+    def negate(self) -> Predicate:
+        return Ne(self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}={self.value!r}"
+
+
+class Ne(Atom):
+    """``attribute ≠ value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value: object) -> None:
+        super().__init__(attribute)
+        self.value = value
+
+    def evaluate(self, row, schema):
+        return row[schema.position(self.attribute)] != self.value
+
+    def negate(self) -> Predicate:
+        return Eq(self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}≠{self.value!r}"
+
+
+class InSet(Atom):
+    """``attribute ∈ values``."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, attribute: str, values: Iterable[object]) -> None:
+        super().__init__(attribute)
+        self.values = frozenset(values)
+
+    def evaluate(self, row, schema):
+        return row[schema.position(self.attribute)] in self.values
+
+    def negate(self) -> Predicate:
+        return NotInSet(self.attribute, self.values)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}∈{sorted(map(repr, self.values))}"
+
+
+class NotInSet(Atom):
+    """``attribute ∉ values``."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, attribute: str, values: Iterable[object]) -> None:
+        super().__init__(attribute)
+        self.values = frozenset(values)
+
+    def evaluate(self, row, schema):
+        return row[schema.position(self.attribute)] not in self.values
+
+    def negate(self) -> Predicate:
+        return InSet(self.attribute, self.values)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}∉{sorted(map(repr, self.values))}"
+
+
+class Lt(Atom):
+    """``attribute < value`` (strict upper bound)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value) -> None:
+        super().__init__(attribute)
+        self.value = value
+
+    def evaluate(self, row, schema):
+        return _try_order(lambda a, b: a < b, row[schema.position(self.attribute)], self.value)
+
+    def negate(self) -> Predicate:
+        return Ge(self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}<{self.value!r}"
+
+
+class Le(Atom):
+    """``attribute ≤ value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value) -> None:
+        super().__init__(attribute)
+        self.value = value
+
+    def evaluate(self, row, schema):
+        return _try_order(lambda a, b: a <= b, row[schema.position(self.attribute)], self.value)
+
+    def negate(self) -> Predicate:
+        return Gt(self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}≤{self.value!r}"
+
+
+class Gt(Atom):
+    """``attribute > value`` (strict lower bound)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value) -> None:
+        super().__init__(attribute)
+        self.value = value
+
+    def evaluate(self, row, schema):
+        return _try_order(lambda a, b: a > b, row[schema.position(self.attribute)], self.value)
+
+    def negate(self) -> Predicate:
+        return Le(self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}>{self.value!r}"
+
+
+class Ge(Atom):
+    """``attribute ≥ value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, attribute: str, value) -> None:
+        super().__init__(attribute)
+        self.value = value
+
+    def evaluate(self, row, schema):
+        return _try_order(lambda a, b: a >= b, row[schema.position(self.attribute)], self.value)
+
+    def negate(self) -> Predicate:
+        return Lt(self.attribute, self.value)
+
+    def __repr__(self) -> str:
+        return f"{self.attribute}≥{self.value!r}"
+
+
+class And(Predicate):
+    """Conjunction."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Predicate]) -> None:
+        self.parts = tuple(parts)
+
+    def evaluate(self, row, schema):
+        return all(p.evaluate(row, schema) for p in self.parts)
+
+    def negate(self) -> Predicate:
+        return Or(p.negate() for p in self.parts)
+
+    def dnf(self) -> list[list[Atom]]:
+        product = itertools.product(*(p.dnf() for p in self.parts))
+        return [[atom for conj in combo for atom in conj] for combo in product]
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(map(repr, self.parts)) + ")"
+
+
+class Or(Predicate):
+    """Disjunction."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Predicate]) -> None:
+        self.parts = tuple(parts)
+
+    def evaluate(self, row, schema):
+        return any(p.evaluate(row, schema) for p in self.parts)
+
+    def negate(self) -> Predicate:
+        return And(p.negate() for p in self.parts)
+
+    def dnf(self) -> list[list[Atom]]:
+        return [conj for p in self.parts for conj in p.dnf()]
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    """Negation (pushed inward for analysis)."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part: Predicate) -> None:
+        self.part = part
+
+    def evaluate(self, row, schema):
+        return not self.part.evaluate(row, schema)
+
+    def negate(self) -> Predicate:
+        return self.part
+
+    def dnf(self) -> list[list[Atom]]:
+        return self.part.negate().dnf()
+
+    def __repr__(self) -> str:
+        return f"¬{self.part!r}"
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability analysis
+# ---------------------------------------------------------------------------
+
+
+def _conjunct_satisfiable(atoms: Sequence[Atom]) -> bool:
+    """Whether one conjunction of atoms has a satisfying assignment.
+
+    Conservative: unknown interactions count as satisfiable.
+    """
+    by_attr: dict[str, list[Atom]] = {}
+    for atom in atoms:
+        by_attr.setdefault(atom.attribute, []).append(atom)
+    return all(_attr_constraints_satisfiable(group) for group in by_attr.values())
+
+
+def _attr_constraints_satisfiable(atoms: Sequence[Atom]) -> bool:
+    eq_values = {a.value for a in atoms if isinstance(a, Eq)}
+    if len(eq_values) > 1:
+        return False
+    ne_values = {a.value for a in atoms if isinstance(a, Ne)}
+    in_sets = [a.values for a in atoms if isinstance(a, InSet)]
+    not_in = set().union(*(a.values for a in atoms if isinstance(a, NotInSet))) if any(
+        isinstance(a, NotInSet) for a in atoms
+    ) else set()
+    uppers = [(a.value, True) for a in atoms if isinstance(a, Lt)]
+    uppers += [(a.value, False) for a in atoms if isinstance(a, Le)]
+    lowers = [(a.value, True) for a in atoms if isinstance(a, Gt)]
+    lowers += [(a.value, False) for a in atoms if isinstance(a, Ge)]
+
+    if eq_values:
+        value = next(iter(eq_values))
+        if value in ne_values or value in not_in:
+            return False
+        if any(value not in s for s in in_sets):
+            return False
+        for bound, strict in uppers:
+            if not _try_order(lambda a, b: a < b if strict else a <= b, value, bound):
+                return False
+        for bound, strict in lowers:
+            if not _try_order(lambda a, b: a > b if strict else a >= b, value, bound):
+                return False
+        return True
+
+    if in_sets:
+        candidates = frozenset.intersection(*map(frozenset, in_sets))
+        candidates = {v for v in candidates if v not in ne_values and v not in not_in}
+        if not candidates:
+            return False
+        if uppers or lowers:
+            return any(
+                all(
+                    _try_order(lambda a, b: a < b if s else a <= b, v, bound)
+                    for bound, s in uppers
+                )
+                and all(
+                    _try_order(lambda a, b: a > b if s else a >= b, v, bound)
+                    for bound, s in lowers
+                )
+                for v in candidates
+            )
+        return True
+
+    # Only ranges / disequalities: unsatisfiable only on a provable empty range.
+    for (ub, us), (lb, ls) in itertools.product(uppers, lowers):
+        try:
+            if ub < lb or (ub == lb and (us or ls)):
+                return False
+        except TypeError:
+            continue
+    return True
+
+
+def satisfiable(predicate: Predicate) -> bool:
+    """Whether ``predicate`` has a satisfying row (conservative, sound)."""
+    return any(_conjunct_satisfiable(conj) for conj in predicate.dnf())
+
+
+def compatible_with_bindings(
+    predicate: Predicate, bindings: Mapping[str, object]
+) -> bool:
+    """Whether ``predicate ∧ ⋀ (A = bindings[A])`` is satisfiable.
+
+    This is the Section IV-A pruning test: ``predicate`` is a fragment's
+    ``F_i`` and ``bindings`` are the constant entries ``F_φ`` of a pattern
+    tuple's LHS.  ``False`` means no tuple of the fragment can match the
+    pattern, so the fragment is skipped for that pattern.
+    """
+    pattern_atoms: list[Atom] = [Eq(a, v) for a, v in bindings.items()]
+    return any(
+        _conjunct_satisfiable(list(conj) + pattern_atoms)
+        for conj in predicate.dnf()
+    )

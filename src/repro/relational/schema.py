@@ -1,0 +1,117 @@
+"""Relation schemas.
+
+A :class:`Schema` names a relation, fixes an ordered list of attributes and
+designates a key.  Tuples of a relation with this schema are plain Python
+tuples whose positions follow ``schema.attributes``; the schema provides the
+attribute-name to position mapping used everywhere else in the library.
+
+The paper (Section II) works with a single relation schema ``R`` over
+``attr(R)`` with a designated key ``key(R)``; vertical fragments get derived
+schemas via :meth:`Schema.project`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown attributes."""
+
+
+class Schema:
+    """An ordered relation schema with a designated key.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"EMP"``.
+    attributes:
+        Ordered attribute names; must be unique and non-empty.
+    key:
+        Attributes forming the key.  Defaults to the first attribute.
+    """
+
+    __slots__ = ("name", "attributes", "key", "_positions")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        key: Sequence[str] | None = None,
+    ) -> None:
+        attributes = tuple(attributes)
+        if not attributes:
+            raise SchemaError("a schema needs at least one attribute")
+        if len(set(attributes)) != len(attributes):
+            raise SchemaError(f"duplicate attributes in schema {name!r}")
+        if key is None:
+            key = (attributes[0],)
+        key = tuple(key)
+        missing = [a for a in key if a not in attributes]
+        if missing:
+            raise SchemaError(f"key attributes {missing} not in schema {name!r}")
+        self.name = name
+        self.attributes = attributes
+        self.key = key
+        self._positions = {a: i for i, a in enumerate(attributes)}
+
+    # -- lookups ---------------------------------------------------------
+
+    def position(self, attribute: str) -> int:
+        """Return the column index of ``attribute``."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self.name!r} "
+                f"(has {list(self.attributes)})"
+            ) from None
+
+    def positions(self, attributes: Iterable[str]) -> tuple[int, ...]:
+        """Return column indexes for several attributes, in the given order."""
+        return tuple(self.position(a) for a in attributes)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    # -- derivations -----------------------------------------------------
+
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Schema":
+        """Schema of a projection onto ``attributes`` (order preserved as given).
+
+        The key of the derived schema is the original key if fully retained,
+        otherwise the full attribute list (the projection may not have a key).
+        """
+        attributes = tuple(attributes)
+        for a in attributes:
+            self.position(a)  # validates
+        if all(k in attributes for k in self.key):
+            key: tuple[str, ...] = self.key
+        else:
+            key = attributes
+        return Schema(name or f"{self.name}[{','.join(attributes)}]", attributes, key)
+
+    def key_positions(self) -> tuple[int, ...]:
+        """Column indexes of the key attributes."""
+        return self.positions(self.key)
+
+    # -- dunder ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.attributes == other.attributes
+            and self.key == other.key
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes, self.key))
+
+    def __repr__(self) -> str:
+        return f"Schema({self.name!r}, {list(self.attributes)!r}, key={list(self.key)!r})"

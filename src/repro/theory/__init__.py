@@ -1,0 +1,69 @@
+"""Complexity artifacts: solvers, proof reductions, brute-force optima."""
+
+from .hittingset import (
+    HittingSetError,
+    greedy_hitting_set,
+    hitting_set_size,
+    is_hitting_set,
+    minimum_hitting_set,
+)
+from .optimal import (
+    Move,
+    all_moves,
+    locally_checkable_after,
+    minimum_shipment_count,
+    minimum_shipments,
+)
+from .reductions import (
+    HittingSetInstance,
+    MHDInstance,
+    MHRInstance,
+    MRPInstance,
+    MVDInstance,
+    MVRInstance,
+    SetCoverInstance,
+    theorem1_cover_shipments,
+    theorem1_reduction,
+    theorem2_reduction,
+    theorem3_reduction,
+    theorem4_reduction,
+    theorem8_reduction,
+)
+from .setcover import (
+    SetCoverError,
+    greedy_set_cover,
+    has_cover_of_size,
+    minimum_set_cover,
+    set_cover_size,
+)
+
+__all__ = [
+    "HittingSetError",
+    "greedy_hitting_set",
+    "hitting_set_size",
+    "is_hitting_set",
+    "minimum_hitting_set",
+    "Move",
+    "all_moves",
+    "locally_checkable_after",
+    "minimum_shipment_count",
+    "minimum_shipments",
+    "HittingSetInstance",
+    "MHDInstance",
+    "MHRInstance",
+    "MRPInstance",
+    "MVDInstance",
+    "MVRInstance",
+    "SetCoverInstance",
+    "theorem1_cover_shipments",
+    "theorem1_reduction",
+    "theorem2_reduction",
+    "theorem3_reduction",
+    "theorem4_reduction",
+    "theorem8_reduction",
+    "SetCoverError",
+    "greedy_set_cover",
+    "has_cover_of_size",
+    "minimum_set_cover",
+    "set_cover_size",
+]

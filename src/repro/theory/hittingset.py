@@ -1,0 +1,68 @@
+"""Minimum hitting set — the source problem of Theorem 8's reduction.
+
+HITTING SET is the dual of SET COVER: hitting every subset of a collection
+``C ⊆ 2^X`` with the fewest elements of ``X`` is covering the universe
+``C`` with the element-indexed sets ``{C_i : x ∈ C_i}``.  We solve through
+that duality with the exact solver of :mod:`repro.theory.setcover`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+from .setcover import SetCoverError, greedy_set_cover, minimum_set_cover
+
+
+class HittingSetError(ValueError):
+    """Raised when no hitting set exists (some subset is empty)."""
+
+
+def _dualize(
+    elements: Iterable[Hashable], collection: Sequence[Iterable[Hashable]]
+) -> tuple[list[frozenset], dict]:
+    subsets = [frozenset(s) for s in collection]
+    if any(not s for s in subsets):
+        raise HittingSetError("an empty subset cannot be hit")
+    elements = set(elements) | set().union(*subsets) if subsets else set(elements)
+    duals = {
+        x: {i for i, s in enumerate(subsets) if x in s} for x in elements
+    }
+    return subsets, duals
+
+
+def minimum_hitting_set(
+    elements: Iterable[Hashable], collection: Sequence[Iterable[Hashable]]
+) -> list[Hashable]:
+    """An exact minimum hitting set."""
+    subsets, duals = _dualize(elements, collection)
+    if not subsets:
+        return []
+    try:
+        return minimum_set_cover(range(len(subsets)), duals)
+    except SetCoverError as exc:  # pragma: no cover - guarded by _dualize
+        raise HittingSetError(str(exc)) from exc
+
+
+def greedy_hitting_set(
+    elements: Iterable[Hashable], collection: Sequence[Iterable[Hashable]]
+) -> list[Hashable]:
+    """Greedy hitting set (hit the most unhit subsets first)."""
+    subsets, duals = _dualize(elements, collection)
+    if not subsets:
+        return []
+    return greedy_set_cover(range(len(subsets)), duals)
+
+
+def hitting_set_size(
+    elements: Iterable[Hashable], collection: Sequence[Iterable[Hashable]]
+) -> int:
+    """Size of a minimum hitting set."""
+    return len(minimum_hitting_set(elements, collection))
+
+
+def is_hitting_set(
+    candidate: Iterable[Hashable], collection: Sequence[Iterable[Hashable]]
+) -> bool:
+    """Whether ``candidate`` intersects every subset of the collection."""
+    chosen = set(candidate)
+    return all(chosen & set(s) for s in collection)

@@ -1,0 +1,93 @@
+"""Ground-truth optima for tiny instances (brute force).
+
+Theorem 1 shows minimizing data shipment is NP-complete, so the Section IV
+algorithms are heuristics.  For instances small enough to enumerate, this
+module computes the true minimum set ``M`` of tuple shipments after which Σ
+is locally checkable — used by tests to (a) confirm the heuristics are
+never *better* than optimal (they cannot be) and are often close, and (b)
+validate the forward direction of the reduction constructions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Sequence
+
+from ..core import CFD, detect_violations
+from ..distributed import Cluster
+from ..relational import Relation
+
+#: a shipment ``m(dest, src, row)``: ship ``row`` to site ``dest`` from ``src``
+Move = tuple[int, int, tuple]
+
+
+def locally_checkable_after(
+    cluster: Cluster, sigma: Sequence[CFD], moves: Iterable[Move]
+) -> bool:
+    """Whether ``Vioπ(Σ, D) = ⋃_i Vioπ(Σ, D'_i)`` with ``D'_i = D_i ∪ M(i)``."""
+    schema = cluster.schema
+    extra: dict[int, list[tuple]] = {}
+    for dest, _src, row in moves:
+        extra.setdefault(dest, []).append(row)
+
+    expected = detect_violations(
+        cluster.reconstruct(), list(sigma), collect_tuples=False
+    ).violations
+    found = set()
+    for site in cluster.sites:
+        rows = site.fragment.rows + extra.get(site.index, [])
+        local = Relation(schema, rows, copy=False)
+        found |= detect_violations(local, list(sigma), collect_tuples=False).violations
+    return found == expected
+
+
+def all_moves(cluster: Cluster) -> list[Move]:
+    """Every possible single-tuple shipment in the cluster."""
+    moves = []
+    for site in cluster.sites:
+        for row in site.fragment.rows:
+            moves.extend(
+                (dest, site.index, row)
+                for dest in range(cluster.n_sites)
+                if dest != site.index
+            )
+    return moves
+
+
+def minimum_shipments(
+    cluster: Cluster,
+    sigma: Sequence[CFD],
+    max_size: int | None = None,
+    weight: Callable[[Move], int] | None = None,
+) -> list[Move] | None:
+    """An exact minimum-weight shipment set, or ``None`` within ``max_size``.
+
+    Enumerates move subsets by increasing cardinality (or total ``weight``
+    when given, still by cardinality layers), so the first feasible subset
+    found at a layer is cardinality-minimal; among that layer the cheapest
+    by weight is returned.  Exponential — tiny instances only.
+    """
+    sigma = list(sigma)
+    if locally_checkable_after(cluster, sigma, []):
+        return []
+    moves = all_moves(cluster)
+    limit = max_size if max_size is not None else len(moves)
+    for size in range(1, limit + 1):
+        feasible = [
+            combo
+            for combo in itertools.combinations(moves, size)
+            if locally_checkable_after(cluster, sigma, combo)
+        ]
+        if feasible:
+            if weight is None:
+                return list(feasible[0])
+            return list(min(feasible, key=lambda c: sum(map(weight, c))))
+    return None
+
+
+def minimum_shipment_count(
+    cluster: Cluster, sigma: Sequence[CFD], max_size: int | None = None
+) -> int | None:
+    """Size of a minimum shipment set (``None`` if not found within bounds)."""
+    result = minimum_shipments(cluster, sigma, max_size=max_size)
+    return None if result is None else len(result)

@@ -1,0 +1,369 @@
+"""The NP-hardness reduction constructions of the paper's appendix.
+
+These build, from a MINIMUM SET COVER or HITTING SET instance, the exact
+detection/refinement instances used in the proofs of Theorems 1–4 and 8.
+They serve three purposes: executable documentation of the proofs,
+generators of adversarial test inputs, and — where feasible — machine
+checks of the reductions' forward directions:
+
+* Theorem 1 (horizontal, min shipment): given a cover we materialize the
+  proof's shipment set ``M`` and verify that Σ becomes locally checkable
+  with byte size exactly ``K'`` (:func:`theorem1_cover_shipments`).
+* Theorem 8 (minimum refinement): the construction is small enough that
+  the *exact* refinement solver can be compared against the exact hitting
+  set size — the full equivalence of the reduction
+  (:func:`theorem8_reduction`).
+* Theorems 2–4 are materialized structurally (fragments, Σ, bounds) with
+  their proof-prescribed shapes.
+
+Values are padded to a fixed width ``l`` and the special value ``c`` has
+width ``l' = 6·m·l + 1``, mirroring the size gadget that forces the
+intended shipment direction in the proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core import CFD, parse_cfd
+from ..distributed import Cluster
+from ..partition.vertical import VerticalPartition
+from ..relational import Relation, Schema
+from .optimal import Move
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """An MSC instance ``(X, C, K)`` with 3-element subsets."""
+
+    elements: tuple[str, ...]
+    subsets: tuple[tuple[str, str, str], ...]
+    k: int
+
+    def __post_init__(self) -> None:
+        for subset in self.subsets:
+            if len(set(subset)) != 3:
+                raise ValueError(f"subset {subset} must have 3 distinct elements")
+            unknown = set(subset) - set(self.elements)
+            if unknown:
+                raise ValueError(f"subset {subset} uses unknown elements {unknown}")
+
+
+@dataclass(frozen=True)
+class HittingSetInstance:
+    """A HITTING SET instance ``(X, C, K)``."""
+
+    elements: tuple[str, ...]
+    subsets: tuple[tuple[str, ...], ...]
+    k: int
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1: MSC -> minimum horizontal detection (MHD)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MHDInstance:
+    """The Theorem 1 artifact: Σ, a horizontally partitioned ``D`` and K'."""
+
+    cluster: Cluster
+    sigma: list[CFD]
+    k_prime: int
+    value_width: int
+    c_width: int
+    v_site: int
+    u_site: int
+    element_of_site: dict[int, tuple[str, str, str]]
+
+    def move_bytes(self, move: Move) -> int:
+        """Shipment size of one tuple, in padded symbols."""
+        _dest, _src, row = move
+        return sum(len(str(v)) for v in row)
+
+
+def _pad(value: str, width: int) -> str:
+    if len(value) > width:
+        raise ValueError(f"value {value!r} wider than the padding width {width}")
+    return value.ljust(width, "#")
+
+
+def theorem1_reduction(msc: SetCoverInstance) -> MHDInstance:
+    """Build the MHD instance of the Theorem 1 proof."""
+    m = len(msc.elements)
+    n = len(msc.subsets)
+    raw_values = list(msc.elements) + [f"p_{x}" for x in msc.elements]
+    raw_values += ["b", "q", "d"] + [str(i) for i in range(n + 2)]
+    width = max(len(v) for v in raw_values)
+
+    def pad(v: str) -> str:
+        return _pad(v, width)
+
+    elements = [pad(x) for x in msc.elements]
+    primed = [pad(f"p_{x}") for x in msc.elements]
+    b, b_prime, d = pad("b"), pad("q"), pad("d")
+    c_width = 6 * m * width + 1
+    c = "c" * c_width
+    xu_values = elements + primed
+
+    schema = Schema(
+        "T1", ["A1", "A2", "A3", "Bu", "B", "N"],
+        key=["A1", "A2", "A3", "Bu", "B", "N"],
+    )
+
+    fragments: list[Relation] = []
+    names: list[str] = []
+    element_of_site: dict[int, tuple[str, str, str]] = {}
+    for i, subset in enumerate(msc.subsets):
+        a1, a2, a3 = sorted(subset)
+        row = (pad(a1), pad(a2), pad(a3), d, b, pad(str(i + 1)))
+        fragments.append(Relation(schema, [row]))
+        names.append(f"D{i + 1}")
+        element_of_site[i] = (pad(a1), pad(a2), pad(a3))
+
+    def block(b_value: str, n_value: str) -> Relation:
+        rows = []
+        for xa in elements:
+            for xu in xu_values:
+                rows.append((xa, c, c, xu, b_value, n_value))
+                rows.append((c, xa, c, xu, b_value, n_value))
+                rows.append((c, c, xa, xu, b_value, n_value))
+        return Relation(schema, rows)
+
+    fragments.append(block(b_prime, pad("0")))
+    names.append("V")
+    fragments.append(block(b, pad(str(n + 1))))
+    names.append("U")
+
+    cluster = Cluster.from_fragments(fragments, names=names)
+    sigma = [
+        parse_cfd("([A1] -> [B])", name="A1->B"),
+        parse_cfd("([A2] -> [B])", name="A2->B"),
+        parse_cfd("([A3] -> [B])", name="A3->B"),
+        parse_cfd("([Bu] -> [B])", name="Bu->B"),
+    ]
+    k_prime = 2 * m * (2 * c_width + 4 * width) + msc.k * 6 * width
+    return MHDInstance(
+        cluster=cluster,
+        sigma=sigma,
+        k_prime=k_prime,
+        value_width=width,
+        c_width=c_width,
+        v_site=n,
+        u_site=n + 1,
+        element_of_site=element_of_site,
+    )
+
+
+def theorem1_cover_shipments(
+    instance: MHDInstance, cover: Sequence[int]
+) -> list[Move]:
+    """The proof's forward construction: a cover induces shipments ``M``.
+
+    Ships (a) the tuple of each ``D_i`` in the cover to the site of ``V``
+    and (b) ``2m`` tuples of ``U`` — for every element, one per position it
+    does not occupy in its covering subset, carrying the ``2m`` distinct
+    ``Bu`` values — after which Σ is locally checkable at ``V``.
+    """
+    cluster = instance.cluster
+    v = instance.v_site
+    u_fragment = cluster.fragment(instance.u_site)
+    moves: list[Move] = []
+
+    # (a) cover fragments
+    position_of: dict[str, int] = {}
+    for i in cover:
+        row = cluster.fragment(i).rows[0]
+        moves.append((v, i, row))
+        for position in range(3):
+            position_of.setdefault(row[position], position)
+
+    uncovered = [
+        x
+        for site, triple in instance.element_of_site.items()
+        for x in triple
+        if x not in position_of
+    ]
+    if uncovered:
+        raise ValueError(f"not a cover: elements {sorted(set(uncovered))} missed")
+
+    # (b) U tuples: element x at both positions it does not occupy in its
+    # covering subset; assign the 2m distinct Bu values bijectively.
+    u_index = {
+        (row[0], row[1], row[2], row[3]): row for row in u_fragment.rows
+    }
+    xu_values = sorted({row[3] for row in u_fragment.rows})
+    xu_iter = iter(xu_values)
+    c = "c" * instance.c_width
+    for x, position in sorted(position_of.items()):
+        for other in range(3):
+            if other == position:
+                continue
+            pattern = [c, c, c]
+            pattern[other] = x
+            xu = next(xu_iter)
+            row = u_index[(pattern[0], pattern[1], pattern[2], xu)]
+            moves.append((v, instance.u_site, row))
+    return moves
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2: MSC -> minimum vertical detection (structural artifact)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MVDInstance:
+    """The Theorem 2 artifact: Σ and a two-fragment vertical partition."""
+
+    partition: VerticalPartition
+    instance: Relation
+    sigma: list[CFD]
+    k_prime: int
+
+
+def theorem2_reduction(msc: SetCoverInstance) -> MVDInstance:
+    """Build the MVD instance of the Theorem 2 proof (structure only).
+
+    Same data as Theorem 1 plus a key and a wide ``W`` column forcing the
+    shipment direction, vertically split into
+    ``R1(A1, A2, A3, Bu, key)`` and ``R2(B, key, W)``.
+    """
+    mhd = theorem1_reduction(msc)
+    m = len(msc.elements)
+    base = mhd.cluster.reconstruct()
+    w = "w" * (sum(len(str(v)) for row in base.rows for v in row) + 1)
+    schema = Schema(
+        "T2", ["key", "A1", "A2", "A3", "Bu", "B", "W"], key=["key"]
+    )
+    rows = [
+        (i,) + row[:5] + (w,) for i, row in enumerate(base.rows)
+    ]
+    instance = Relation(schema, rows)
+    partition = VerticalPartition(
+        schema, {"R1": ["key", "A1", "A2", "A3", "Bu"], "R2": ["key", "B", "W"]}
+    )
+    k_prime = 5 * m * (2 * mhd.c_width + 4 * mhd.value_width) + msc.k * 6 * mhd.value_width
+    return MVDInstance(partition, instance, mhd.sigma, k_prime)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3: MSC -> minimum horizontal response time (structural artifact)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MHRInstance:
+    """The Theorem 3 artifact: one FD over (A, B), n+1 fragments."""
+
+    cluster: Cluster
+    sigma: list[CFD]
+    k_prime: int
+
+
+def theorem3_reduction(msc: SetCoverInstance) -> MHRInstance:
+    """Build the MHR instance of the Theorem 3 proof."""
+    m = len(msc.elements)
+    schema = Schema("T3", ["A", "B"], key=["A", "B"])
+    fragments = []
+    names = []
+    for i, subset in enumerate(msc.subsets):
+        rows = [(x, h) for x in sorted(subset) for h in range(1, m + 1)]
+        fragments.append(Relation(schema, rows))
+        names.append(f"D{i + 1}")
+    fragments.append(
+        Relation(schema, [(x, m + 1) for x in msc.elements])
+    )
+    names.append(f"D{len(msc.subsets) + 1}")
+    cluster = Cluster.from_fragments(fragments, names=names)
+    sigma = [parse_cfd("([A] -> [B])", name="A->B")]
+    return MHRInstance(cluster, sigma, msc.k + m + 1)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4: MSC -> minimum vertical response time (structural artifact)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MVRInstance:
+    """The Theorem 4 artifact: m²+m+1 attributes, n+1 vertical fragments."""
+
+    partition: VerticalPartition
+    instance: Relation
+    sigma: list[CFD]
+    k_prime: int
+
+
+def theorem4_reduction(msc: SetCoverInstance) -> MVRInstance:
+    """Build the MVR instance of the Theorem 4 proof."""
+    m = len(msc.elements)
+    element_pos = {x: j + 1 for j, x in enumerate(msc.elements)}
+    a_attrs = [f"A{j}" for j in range(1, m + 1)]
+    b_attrs = [f"B{j}" for j in range(1, m * m + 1)]
+    schema = Schema("T4", ["ID"] + a_attrs + b_attrs, key=["ID"])
+    rows = [
+        (1,) + (1,) * m + (1,) * (m * m),
+        (2,) + (1,) * m + (2,) * (m * m),
+    ]
+    instance = Relation(schema, rows)
+    attribute_sets = {}
+    for i, subset in enumerate(msc.subsets):
+        attribute_sets[f"V{i + 1}"] = ["ID"] + [
+            f"A{element_pos[x]}" for x in sorted(subset, key=element_pos.get)
+        ]
+    attribute_sets[f"V{len(msc.subsets) + 1}"] = ["ID"] + b_attrs
+    partition = VerticalPartition(schema, attribute_sets)
+    sigma = [
+        CFD(a_attrs, b_attrs, name="A*->B*"),
+    ]
+    return MVRInstance(partition, instance, sigma, msc.k + 1)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 8: HITTING SET -> minimum refinement (MRP)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MRPInstance:
+    """The Theorem 8 artifact: Σ and an (n+1)-fragment vertical partition."""
+
+    partition: VerticalPartition
+    sigma: list[CFD]
+    k: int
+
+
+def theorem8_reduction(hs: HittingSetInstance) -> MRPInstance:
+    """Build the MRP instance of the Theorem 8 proof.
+
+    Schema: a key, one attribute ``A_x`` per element, attributes
+    ``E_1..E_n``; fragments ``R_i = {key} ∪ {A_x : x ∈ C_i}`` plus
+    ``R_0 = {key, E_1..E_n}``; Σ holds ``A_x → A_y`` for every ordered pair
+    and ``E_i → A_x`` for every ``x ∈ C_i``.  A minimum augmentation has
+    the size of a minimum hitting set.
+    """
+    a_attr = {x: f"A_{x}" for x in hs.elements}
+    e_attrs = [f"E{i + 1}" for i in range(len(hs.subsets))]
+    schema = Schema(
+        "T8", ["key"] + [a_attr[x] for x in hs.elements] + e_attrs, key=["key"]
+    )
+    attribute_sets: dict[str, list[str]] = {"R0": ["key"] + e_attrs}
+    for i, subset in enumerate(hs.subsets):
+        attribute_sets[f"R{i + 1}"] = ["key"] + [a_attr[x] for x in subset]
+    partition = VerticalPartition(schema, attribute_sets)
+
+    sigma: list[CFD] = []
+    for x in hs.elements:
+        for y in hs.elements:
+            if x != y:
+                sigma.append(
+                    CFD([a_attr[x]], [a_attr[y]], name=f"{a_attr[x]}->{a_attr[y]}")
+                )
+    for i, subset in enumerate(hs.subsets):
+        for x in subset:
+            sigma.append(
+                CFD([e_attrs[i]], [a_attr[x]], name=f"{e_attrs[i]}->{a_attr[x]}")
+            )
+    return MRPInstance(partition, sigma, hs.k)

@@ -1,0 +1,186 @@
+"""Unit tests for the CFD formalism (repro.core.cfd) and its parser."""
+
+import pytest
+
+from repro.core import (
+    CFD,
+    CFDError,
+    PatternTuple,
+    WILDCARD,
+    format_cfd,
+    is_wildcard,
+    matches,
+    parse_cfd,
+    satisfies,
+    tuple_matches,
+)
+from repro.relational import Relation, Schema
+
+
+# -- the match operator ≍ ----------------------------------------------------
+
+
+def test_wildcard_matches_anything():
+    assert matches("Mayfield", WILDCARD)
+    assert matches(44, WILDCARD)
+
+
+def test_constant_matches_only_itself():
+    assert matches("EDI", "EDI")
+    assert not matches("NYC", "EDI")
+
+
+def test_tuple_match_paper_example():
+    # (Mayfield, EDI) ≍ (_, EDI) but (Mayfield, EDI) ≭ (_, NYC)
+    assert tuple_matches(("Mayfield", "EDI"), (WILDCARD, "EDI"))
+    assert not tuple_matches(("Mayfield", "EDI"), (WILDCARD, "NYC"))
+
+
+def test_wildcard_is_singleton():
+    import copy
+
+    assert copy.deepcopy(WILDCARD) is WILDCARD
+    assert is_wildcard(WILDCARD)
+    assert not is_wildcard("_")
+
+
+# -- construction -------------------------------------------------------------
+
+
+def test_fd_default_tableau_is_all_wildcards():
+    fd = CFD(["a", "b"], ["c"])
+    assert fd.is_fd()
+    assert fd.tableau[0].lhs == (WILDCARD, WILDCARD)
+
+
+def test_pattern_width_validated():
+    with pytest.raises(CFDError):
+        CFD(["a", "b"], ["c"], [PatternTuple((1,), (WILDCARD,))])
+
+
+def test_empty_sides_rejected():
+    with pytest.raises(CFDError):
+        CFD([], ["c"])
+    with pytest.raises(CFDError):
+        CFD(["a"], [])
+
+
+def test_duplicate_attribute_in_side_rejected():
+    with pytest.raises(CFDError):
+        CFD(["a", "a"], ["c"])
+
+
+def test_attribute_on_both_sides_allowed():
+    cfd = CFD(["a"], ["a"])  # t[A_L] and t[A_R]
+    assert cfd.attributes == ("a",)
+
+
+def test_empty_tableau_rejected():
+    with pytest.raises(CFDError):
+        CFD(["a"], ["b"], [])
+
+
+def test_attributes_order_lhs_first():
+    cfd = CFD(["b", "a"], ["c", "a"])
+    assert cfd.attributes == ("b", "a", "c")
+
+
+# -- satisfaction -------------------------------------------------------------
+
+S = Schema("R", ["id", "cc", "zip", "street"], key=["id"])
+
+
+def test_satisfies_holds_on_consistent_data():
+    relation = Relation(S, [(1, 44, "Z1", "High St"), (2, 44, "Z2", "Low St")])
+    cfd = parse_cfd("([cc=44, zip] -> [street])")
+    assert satisfies(relation, cfd)
+
+
+def test_satisfies_fails_on_fd_conflict():
+    relation = Relation(S, [(1, 44, "Z1", "High St"), (2, 44, "Z1", "Low St")])
+    cfd = parse_cfd("([cc=44, zip] -> [street])")
+    assert not satisfies(relation, cfd)
+
+
+def test_satisfies_ignores_non_matching_pattern():
+    relation = Relation(S, [(1, 1, "Z1", "High St"), (2, 1, "Z1", "Low St")])
+    cfd = parse_cfd("([cc=44, zip] -> [street])")
+    assert satisfies(relation, cfd)  # pattern requires cc=44
+
+
+def test_satisfies_rhs_constant_single_tuple():
+    relation = Relation(S, [(1, 44, "Z1", "High St")])
+    cfd = parse_cfd("([cc=44] -> [street='Low St'])")
+    assert not satisfies(relation, cfd)
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def test_parse_plain_fd():
+    cfd = parse_cfd("([CC, title] -> [salary])")
+    assert cfd.lhs == ("CC", "title")
+    assert cfd.rhs == ("salary",)
+    assert cfd.is_fd()
+
+
+def test_parse_inline_constants():
+    cfd = parse_cfd("([CC=44, zip] -> [street])")
+    tp = cfd.tableau[0]
+    assert tp.lhs == (44, WILDCARD)
+    assert tp.rhs == (WILDCARD,)
+
+
+def test_parse_rhs_constant():
+    cfd = parse_cfd("([CC=44, AC=131] -> [city='EDI'])")
+    assert cfd.tableau[0].rhs == ("EDI",)
+
+
+def test_parse_with_tableau():
+    cfd = parse_cfd("([CC, zip] -> [street]) with (44, _ || _), (31, _ || _)")
+    assert len(cfd.tableau) == 2
+    assert cfd.tableau[0].lhs == (44, WILDCARD)
+    assert cfd.tableau[1].lhs == (31, WILDCARD)
+
+
+def test_parse_tableau_rhs_defaults_to_wildcards():
+    cfd = parse_cfd("([a, b] -> [c]) with (1, 2), (3, _)")
+    assert all(tp.rhs == (WILDCARD,) for tp in cfd.tableau)
+
+
+def test_parse_quoted_values_stay_strings():
+    cfd = parse_cfd("([a] -> [b]) with ('44' || 'x y')")
+    assert cfd.tableau[0].lhs == ("44",)
+    assert cfd.tableau[0].rhs == ("x y",)
+
+
+def test_parse_negative_numbers():
+    cfd = parse_cfd("([a=-5] -> [b])")
+    assert cfd.tableau[0].lhs == (-5,)
+
+
+def test_parse_rejects_mixing_inline_and_tableau():
+    with pytest.raises(CFDError):
+        parse_cfd("([a=1] -> [b]) with (2 || _)")
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(CFDError):
+        parse_cfd("this is not a cfd")
+
+
+def test_parse_rejects_wrong_arity_pattern():
+    with pytest.raises(CFDError):
+        parse_cfd("([a, b] -> [c]) with (1 || _)")
+
+
+def test_format_roundtrip():
+    original = parse_cfd(
+        "([CC, AC] -> [city]) with (44, 131 || 'EDI'), (1, 908 || 'MH')"
+    )
+    assert parse_cfd(format_cfd(original)) == original
+
+
+def test_named_cfd():
+    cfd = parse_cfd("([a] -> [b])", name="myrule")
+    assert cfd.name == "myrule"

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface and CSV io."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.datagen import emp_instance
+from repro.relational import Relation, Schema, infer_column_types, load_csv, save_csv
+
+
+@pytest.fixture()
+def emp_csv(tmp_path):
+    path = tmp_path / "emp.csv"
+    save_csv(emp_instance(), path)
+    return str(path)
+
+
+# -- CSV io -------------------------------------------------------------------
+
+
+def test_csv_roundtrip(tmp_path):
+    original = emp_instance()
+    path = tmp_path / "emp.csv"
+    save_csv(original, path)
+    loaded = infer_column_types(
+        load_csv(path, name="EMP", key=["id"])
+    )
+    assert loaded.schema.attributes == original.schema.attributes
+    assert loaded.rows == original.rows  # numeric columns restored
+
+
+def test_load_csv_with_converters(tmp_path):
+    path = tmp_path / "r.csv"
+    path.write_text("id,v\n1,2.5\n2,3.5\n")
+    loaded = load_csv(path, converters={"id": int, "v": float})
+    assert loaded.rows == [(1, 2.5), (2, 3.5)]
+
+
+def test_infer_column_types_mixed_column_stays_text():
+    schema = Schema("R", ["a", "b"], key=["a"])
+    relation = Relation(schema, [("1", "x"), ("2", "3")])
+    inferred = infer_column_types(relation)
+    assert inferred.rows == [(1, "x"), (2, "3")]  # only column a converts
+
+
+def test_infer_column_types_float():
+    schema = Schema("R", ["a"], key=["a"])
+    relation = Relation(schema, [("1.5",), ("2",)])
+    assert infer_column_types(relation).rows == [(1.5,), (2.0,)]
+
+
+# -- check --------------------------------------------------------------------
+
+
+def test_cli_check_reports_violations(emp_csv, capsys):
+    code = main(["check", "--data", emp_csv, "--cfd", "([CC=44, zip] -> [street])"])
+    output = capsys.readouterr().out
+    assert code == 1
+    assert "1 violating pattern" in output
+    assert "(2,)" in output  # t2 among the violating keys
+
+
+def test_cli_check_clean_exits_zero(emp_csv, capsys):
+    code = main(["check", "--data", emp_csv, "--cfd", "([CC, title] -> [salary])"])
+    assert code == 0
+    assert "no violations" in capsys.readouterr().out
+
+
+# -- detect -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["ctr", "pat-s", "pat-rt", "seq", "clust", "naive"]
+)
+def test_cli_detect_all_algorithms(emp_csv, capsys, algorithm):
+    code = main(
+        [
+            "detect",
+            "--data", emp_csv,
+            "--cfd", "([CC=44, zip] -> [street])",
+            "--cfd", "([CC=31, zip] -> [street])",
+            "--sites", "3",
+            "--algorithm", algorithm,
+        ]
+    )
+    output = capsys.readouterr().out
+    assert code == 1
+    assert "tuples shipped" in output
+
+
+def test_cli_detect_partition_by_attribute(emp_csv, capsys):
+    code = main(
+        [
+            "detect",
+            "--data", emp_csv,
+            "--cfd", "([CC=44, zip] -> [street])",
+            "--partition-by", "title",
+            "--algorithm", "pat-s",
+        ]
+    )
+    output = capsys.readouterr().out
+    assert code == 1
+    assert "Cluster(3 sites" in output
+
+
+# -- sql ------------------------------------------------------------------------
+
+
+def test_cli_sql(capsys):
+    code = main(["sql", "--cfd", "([a=1] -> [b='x'])", "--table", "T"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert 'FROM "T"' in output and "NOT (" in output
+
+
+# -- figures ----------------------------------------------------------------------
+
+
+def test_cli_figures_subset(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.002")
+    code = main(["figures", "--only", "fig3d", "--out", str(tmp_path)])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "fig3d" in output
+    assert (tmp_path / "fig3d.txt").exists()
+
+
+def test_cli_figures_unknown(capsys):
+    code = main(["figures", "--only", "fig9z"])
+    assert code == 2
+    assert "unknown figures" in capsys.readouterr().err

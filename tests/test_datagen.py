@@ -1,0 +1,183 @@
+"""Tests for the CUST and XREF workload generators."""
+
+import pytest
+
+from repro.core import detect_violations, normalize, satisfies
+from repro.datagen import (
+    ORGANISMS_XREFH,
+    all_cc_ac_pairs,
+    corrupt_attribute,
+    cust_city_cfd,
+    cust_overlapping_cfds,
+    cust_street_cfd,
+    generate_cust,
+    generate_xref,
+    n_info_types,
+    swap_with,
+    typo,
+    xref_mining_fd,
+    xref_object_type_cfd,
+    xref_overlapping_cfds,
+    xref_priority_cfd,
+)
+from repro.partition import partition_by_attribute
+from repro.relational import Relation, Schema
+
+
+# -- CUST ----------------------------------------------------------------
+
+
+def test_cust_shape_and_determinism():
+    a = generate_cust(500, seed=3)
+    b = generate_cust(500, seed=3)
+    c = generate_cust(500, seed=4)
+    assert len(a) == 500
+    assert len(a.schema) == 11
+    assert a.rows == b.rows
+    assert a.rows != c.rows
+
+
+def test_cust_keys_unique():
+    relation = generate_cust(300)
+    ids = [row[0] for row in relation.rows]
+    assert len(set(ids)) == len(ids)
+
+
+def test_cust_clean_data_satisfies_cfds():
+    relation = generate_cust(2000, error_rate=0.0)
+    assert satisfies(relation, cust_street_cfd(255))
+    assert satisfies(relation, cust_city_cfd(26))
+
+
+def test_cust_errors_create_violations():
+    relation = generate_cust(2000, error_rate=0.05)
+    report = detect_violations(relation, cust_street_cfd(255))
+    assert report  # injected street errors are caught
+
+
+def test_cust_cfd_shapes_match_paper():
+    street = cust_street_cfd(255)
+    assert len(street.attributes) == 4  # "four attributes and 255 patterns"
+    assert len(street.tableau) == 255
+    city = cust_city_cfd(26)
+    assert len(city.attributes) == 3
+    assert len(city.tableau) == 26
+
+
+def test_cust_overlap_condition_for_clustdetect():
+    street, city = cust_overlapping_cfds()
+    assert set(city.lhs) <= set(street.lhs)
+
+
+def test_cust_pattern_count_bounds():
+    with pytest.raises(ValueError):
+        cust_street_cfd(0)
+    with pytest.raises(ValueError):
+        cust_street_cfd(len(all_cc_ac_pairs()) + 1)
+
+
+def test_cust_patterns_are_variable():
+    normalized = normalize(cust_street_cfd(100))
+    assert not normalized.constants
+    assert len(normalized.variables[0].patterns) == 100
+
+
+# -- XREF ----------------------------------------------------------------
+
+
+def test_xref_shape():
+    relation = generate_xref(400)
+    assert len(relation) == 400
+    assert len(relation.schema) == 16  # the paper's 16-attribute schema
+
+
+def test_xref_determinism():
+    assert generate_xref(200, seed=1).rows == generate_xref(200, seed=1).rows
+
+
+def test_xref_clean_data_satisfies_cfds():
+    relation = generate_xref(2000, error_rate=0.0)
+    assert satisfies(relation, xref_priority_cfd())
+    assert satisfies(relation, xref_object_type_cfd())
+
+
+def test_xref_errors_create_violations():
+    relation = generate_xref(3000, error_rate=0.05)
+    assert detect_violations(relation, xref_priority_cfd())
+
+
+def test_xref_cfd_shapes_match_paper():
+    # "four CFDs for XREF with 3-5 attributes, tableau sizes 11..67";
+    # the representative one: 5 attributes, 11 patterns.
+    priority = xref_priority_cfd()
+    assert len(priority.attributes) == 5
+    assert len(priority.tableau) == 11
+    # the second CFD of Exp-5: 3 attributes, 26 patterns, LHS ⊆ first's.
+    second = xref_object_type_cfd()
+    assert len(second.attributes) == 3
+    assert len(second.tableau) == 26
+    assert set(second.lhs) <= set(priority.lhs)
+
+
+def test_xref_overlapping_pair():
+    a, b = xref_overlapping_cfds()
+    assert set(b.lhs) <= set(a.lhs)
+
+
+def test_xrefh_fragmentation_by_reference_type():
+    """xrefH: human data distributed into 7 fragments by reference type."""
+    relation = generate_xref(2000, organisms=ORGANISMS_XREFH)
+    cluster = partition_by_attribute(relation, "info_type")
+    assert cluster.n_sites == n_info_types() == 7
+    assert cluster.total_tuples() == 2000
+
+
+def test_xref_mining_fd_is_fd():
+    assert xref_mining_fd().is_fd()
+
+
+def test_xref_db_name_skew():
+    """Zipf-ish skew: the most frequent db dominates (drives Exp-4)."""
+    relation = generate_xref(5000)
+    counts = {}
+    pos = relation.schema.position("db_name")
+    for row in relation.rows:
+        counts[row[pos]] = counts.get(row[pos], 0) + 1
+    ordered = sorted(counts.values(), reverse=True)
+    assert ordered[0] > 3 * ordered[-1]
+
+
+# -- error injection helpers ----------------------------------------------
+
+
+def test_corrupt_attribute_rate_zero_is_identity():
+    relation = generate_cust(100)
+    corrupted, touched = corrupt_attribute(relation, "city", 0.0, typo)
+    assert corrupted.rows == relation.rows
+    assert touched == []
+
+
+def test_corrupt_attribute_touches_reported_rows():
+    schema = Schema("R", ["id", "v"], key=["id"])
+    relation = Relation(schema, [(i, "x") for i in range(50)])
+    corrupted, touched = corrupt_attribute(relation, "v", 0.5, typo, seed=1)
+    assert touched
+    for index in touched:
+        assert corrupted.rows[index][1] != "x"
+    untouched = set(range(50)) - set(touched)
+    for index in untouched:
+        assert corrupted.rows[index][1] == "x"
+
+
+def test_corrupt_attribute_validates_rate():
+    relation = generate_cust(10)
+    with pytest.raises(ValueError):
+        corrupt_attribute(relation, "city", 1.5, typo)
+
+
+def test_swap_with_changes_value():
+    import random
+
+    corrupter = swap_with(["a", "b", "c"])
+    rng = random.Random(0)
+    assert corrupter("a", rng) in {"b", "c"}

@@ -1,0 +1,40 @@
+"""Integration test: the full Figure 3 pipeline at micro scale.
+
+Runs every experiment end to end (generation → partitioning → detection →
+series capture → persistence) at REPRO_SCALE=0.002, checking structure
+rather than shapes (shapes are asserted at full scale by the benchmarks).
+"""
+
+import pytest
+
+from repro.experiments import ALL_FIGURES, run_all
+
+
+@pytest.fixture(autouse=True)
+def micro_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.002")
+
+
+def test_run_all_produces_every_figure(tmp_path):
+    results = run_all(save_dir=str(tmp_path))
+    assert set(results) == set(ALL_FIGURES)
+    for name, result in results.items():
+        assert result.experiment_id == name
+        assert result.xs, name
+        assert result.series, name
+        for series in result.series:
+            assert len(series.ys) == len(result.xs), (name, series.label)
+            assert all(y >= 0 for y in series.ys), (name, series.label)
+        assert (tmp_path / f"{name}.txt").exists()
+
+
+def test_site_sweeps_share_x_axis():
+    for name in ("fig3a", "fig3b", "fig3f", "fig3g", "fig3h"):
+        result = ALL_FIGURES[name]()
+        assert result.xs == [2, 3, 4, 5, 6, 7, 8], name
+
+
+def test_data_sweeps_cover_ten_steps():
+    for name in ("fig3c", "fig3i"):
+        result = ALL_FIGURES[name]()
+        assert result.xs == list(range(1, 11)), name

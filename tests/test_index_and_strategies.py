@@ -1,0 +1,164 @@
+"""Tests for hash indexes, the load-balancing strategy and semijoin pruning."""
+
+import pytest
+
+from repro.core import detect_violations, parse_cfd
+from repro.datagen import (
+    cust_street_cfd,
+    emp_instance,
+    emp_tableau_cfds,
+    emp_vertical_attribute_sets,
+    generate_cust,
+)
+from repro.detect import (
+    pat_detect_s,
+    pat_detect_with_strategy,
+    select_balanced,
+    vertical_detect,
+)
+from repro.partition import partition_uniform, vertical_partition
+from repro.relational import HashIndex, Relation, Schema, SchemaError
+
+S = Schema("R", ["id", "a", "b"], key=["id"])
+REL = Relation(S, [(1, 1, "x"), (2, 1, "y"), (3, 2, "x"), (4, 2, "x")])
+
+
+# -- HashIndex ------------------------------------------------------------
+
+
+def test_index_lookup():
+    index = HashIndex(REL, ["a"])
+    assert len(index.lookup((1,))) == 2
+    assert index.lookup((9,)) == []
+    assert index.contains((2,))
+    assert not index.contains((9,))
+
+
+def test_index_composite_key():
+    index = HashIndex(REL, ["a", "b"])
+    assert len(index.lookup((2, "x"))) == 2
+    assert len(index) == 3  # (1,x), (1,y), (2,x)
+
+
+def test_index_group_sizes():
+    index = HashIndex(REL, ["a"])
+    assert index.group_sizes() == {(1,): 2, (2,): 2}
+
+
+def test_index_distinct_keys():
+    index = HashIndex(REL, ["b"])
+    assert set(index.distinct_keys()) == {("x",), ("y",)}
+
+
+def test_index_semijoin():
+    index = HashIndex(REL, ["a"])
+    result = index.semijoin([(1,), (1,), (9,)])
+    assert sorted(row[0] for row in result.rows) == [1, 2]
+
+
+def test_index_requires_attributes():
+    with pytest.raises(SchemaError):
+        HashIndex(REL, [])
+    with pytest.raises(SchemaError):
+        HashIndex(REL, ["nope"])
+
+
+# -- load-balancing coordinator strategy -------------------------------------
+
+
+def test_select_balanced_spreads_patterns():
+    data = generate_cust(6000)
+    cluster = partition_uniform(data, 4)
+    cfd = cust_street_cfd(80)
+    balanced = pat_detect_with_strategy(
+        cluster, cfd, select_balanced, name="PATDETECT-BAL"
+    )
+    greedy = pat_detect_s(cluster, cfd)
+    # correctness preserved
+    assert balanced.report.violations == greedy.report.violations
+    # the balanced assignment uses more coordinator sites than a collapsed one
+    coords = balanced.details["coordinators"][cfd.name]
+    assert len(set(coords)) > 1
+
+
+def test_select_balanced_on_skewed_stats():
+    """One dominant site must not monopolize every pattern."""
+    from repro.distributed import Cluster, Site
+
+    schema = Schema("R", ["id", "k", "v"], key=["id"])
+    hot_rows = [(i, i % 4, "x") for i in range(400)]
+    cold_rows = [(1000 + i, i % 4, "y") for i in range(12)]
+    cluster = Cluster(
+        [
+            Site(0, Relation(schema, hot_rows)),
+            Site(1, Relation(schema, cold_rows)),
+            Site(2, Relation(schema, [])),
+        ]
+    )
+    cfd = parse_cfd(
+        "([k] -> [v]) with (0 || _), (1 || _), (2 || _), (3 || _)", name="k"
+    )
+    outcome = pat_detect_with_strategy(
+        cluster, cfd, select_balanced, name="PATDETECT-BAL"
+    )
+    coords = outcome.details["coordinators"]["k"]
+    assert len(set(coords)) >= 2  # spread, not all on the hot site
+    relation = cluster.reconstruct()
+    assert outcome.report.violations == detect_violations(
+        relation, cfd, collect_tuples=False
+    ).violations
+
+
+# -- semijoin pruning in vertical detection ------------------------------------
+
+
+def test_vertical_prune_preserves_violations():
+    d0 = emp_instance()
+    cluster = vertical_partition(d0, emp_vertical_attribute_sets())
+    phis = emp_tableau_cfds()
+    expected = detect_violations(d0, phis, collect_tuples=False).violations
+    plain = vertical_detect(cluster, phis)
+    pruned = vertical_detect(cluster, phis, prune=True)
+    assert plain.report.violations == expected
+    assert pruned.report.violations == expected
+
+
+def test_vertical_prune_reduces_shipment():
+    d0 = emp_instance()
+    cluster = vertical_partition(d0, emp_vertical_attribute_sets())
+    phi1 = emp_tableau_cfds()[0]  # patterns bind CC to 44 / 31
+    plain = vertical_detect(cluster, phi1)
+    pruned = vertical_detect(cluster, phi1, prune=True)
+    # t6, t7 (CC = 1) need not ship their phone columns
+    assert pruned.tuples_shipped < plain.tuples_shipped
+    assert pruned.report.violations == plain.report.violations
+
+
+def test_vertical_prune_noop_for_fd():
+    d0 = emp_instance()
+    cluster = vertical_partition(d0, emp_vertical_attribute_sets())
+    phi2 = emp_tableau_cfds()[1]  # an FD: all-wildcard pattern
+    plain = vertical_detect(cluster, phi2)
+    pruned = vertical_detect(cluster, phi2, prune=True)
+    assert pruned.tuples_shipped == plain.tuples_shipped
+    assert pruned.report.violations == plain.report.violations
+
+
+def test_vertical_prune_random_instances():
+    import random
+
+    rng = random.Random(5)
+    schema = Schema("R", ["id", "a", "b", "c"], key=["id"])
+    for trial in range(20):
+        rows = [
+            (i, rng.randrange(3), rng.randrange(3), rng.choice("xy"))
+            for i in range(rng.randrange(1, 15))
+        ]
+        relation = Relation(schema, rows)
+        cluster = vertical_partition(
+            relation, {"V1": ["a"], "V2": ["b"], "V3": ["c"]}
+        )
+        cfd = parse_cfd("([a, b] -> [c]) with (0, _ || _), (1, 2 || _)")
+        expected = detect_violations(relation, cfd, collect_tuples=False)
+        pruned = vertical_detect(cluster, cfd, prune=True)
+        assert pruned.report.violations == expected.violations

@@ -1,0 +1,154 @@
+"""Unit tests for the shipment log and the Section III-B cost model."""
+
+import math
+
+import pytest
+
+from repro.distributed import (
+    CostBreakdown,
+    CostModel,
+    ShipmentLog,
+    StageTimes,
+    combine_breakdowns,
+    pipeline_response,
+)
+
+
+# -- ShipmentLog --------------------------------------------------------------
+
+
+def test_ship_accumulates_matrix():
+    log = ShipmentLog()
+    log.ship(0, 1, 5, 15, tag="a")
+    log.ship(0, 2, 3, 9, tag="a")
+    log.ship(1, 2, 2, 6, tag="b")
+    assert log.tuples_shipped == 10
+    assert log.cells_shipped == 30
+    assert log.matrix() == {(0, 1): 5, (0, 2): 3, (1, 2): 2}
+    assert log.received_by(0) == 8
+    assert log.outgoing_by_source() == {1: 5, 2: 5}
+
+
+def test_ship_zero_tuples_is_noop():
+    log = ShipmentLog()
+    log.ship(0, 1, 0, 0)
+    assert log.tuples_shipped == 0
+    assert not log.events
+
+
+def test_ship_to_self_rejected():
+    log = ShipmentLog()
+    with pytest.raises(ValueError):
+        log.ship(1, 1, 5, 5)
+
+
+def test_negative_shipment_rejected():
+    log = ShipmentLog()
+    with pytest.raises(ValueError):
+        log.ship(0, 1, -1, 0)
+
+
+def test_control_messages_tracked_separately():
+    log = ShipmentLog()
+    log.record_control(12)
+    log.ship(0, 1, 5, 5)
+    assert log.control_messages == 12
+    assert log.tuples_shipped == 5  # control traffic not counted as tuples
+
+
+def test_merge():
+    a, b = ShipmentLog(), ShipmentLog()
+    a.ship(0, 1, 5, 5, tag="x")
+    b.ship(0, 1, 2, 2, tag="x")
+    b.record_control(3)
+    a.merge(b)
+    assert a.tuples_shipped == 7
+    assert a.control_messages == 3
+    assert a.by_tag() == {"x": 7}
+
+
+# -- CostModel ----------------------------------------------------------------
+
+
+def test_transfer_time_is_max_over_sources():
+    model = CostModel(transfer_rate=10.0, packet_size=2)
+    # site 1 sends 40 tuples = 20 packets -> 2s; site 2 sends 10 -> 0.5s
+    assert model.transfer_time({1: 40, 2: 10}) == pytest.approx(2.0)
+
+
+def test_transfer_time_empty():
+    assert CostModel().transfer_time({}) == 0.0
+
+
+def test_check_ops_matches_paper_formula():
+    model = CostModel()
+    assert model.check_ops(0) == 0.0
+    assert model.check_ops(100) == pytest.approx(100 * math.log2(101))
+    assert model.check_ops(100, n_queries=3) == pytest.approx(
+        3 * 100 * math.log2(101)
+    )
+
+
+def test_scan_and_check_time_scale_with_rates():
+    model = CostModel(scan_rate=100.0, check_rate=10.0)
+    assert model.scan_time(50) == pytest.approx(0.5)
+    assert model.check_time(25.0) == pytest.approx(2.5)
+
+
+# -- pipeline (flow shop) -----------------------------------------------------
+
+
+def test_pipeline_single_job_is_sum():
+    assert pipeline_response([(1.0, 2.0, 3.0)]) == pytest.approx(6.0)
+
+
+def test_pipeline_overlaps_stages():
+    # Two identical jobs: second starts scanning while first transfers.
+    jobs = [(1.0, 1.0, 1.0), (1.0, 1.0, 1.0)]
+    assert pipeline_response(jobs) == pytest.approx(4.0)  # not 6.0
+
+
+def test_pipeline_bottleneck_stage_dominates():
+    jobs = [(0.1, 5.0, 0.1)] * 3
+    # ~ first scan + 3 transfers + last check
+    assert pipeline_response(jobs) == pytest.approx(0.1 + 15.0 + 0.1)
+
+
+def test_pipeline_never_faster_than_any_stage_sum():
+    jobs = [(1.0, 0.5, 2.0), (0.3, 4.0, 0.2)]
+    makespan = pipeline_response(jobs)
+    for stage in range(3):
+        assert makespan >= sum(job[stage] for job in jobs) - 1e-12
+
+
+def test_pipeline_mismatched_widths_rejected():
+    with pytest.raises(ValueError):
+        pipeline_response([(1.0, 2.0), (1.0, 2.0, 3.0)])
+
+
+def test_pipeline_empty():
+    assert pipeline_response([]) == 0.0
+
+
+# -- CostBreakdown ------------------------------------------------------------
+
+
+def test_breakdown_response_equals_sum_for_one_stage():
+    breakdown = CostBreakdown(stages=[StageTimes(1.0, 2.0, 3.0)])
+    assert breakdown.response_time == pytest.approx(6.0)
+    assert breakdown.sequential_time == pytest.approx(6.0)
+
+
+def test_breakdown_pipelined_leq_sequential():
+    breakdown = CostBreakdown(
+        stages=[StageTimes(1.0, 1.0, 1.0), StageTimes(2.0, 0.5, 1.0)]
+    )
+    assert breakdown.response_time <= breakdown.sequential_time
+
+
+def test_combine_breakdowns_concatenates():
+    a = CostBreakdown(stages=[StageTimes(1, 1, 1)])
+    b = CostBreakdown(stages=[StageTimes(2, 2, 2)])
+    combined = combine_breakdowns([a, b])
+    assert len(combined.stages) == 2
+    assert combined.scan_time == 3.0

@@ -1,0 +1,140 @@
+"""Unit tests for CFD normal forms and the σ pattern index."""
+
+from repro.core import (
+    CFD,
+    PatternIndex,
+    PatternTuple,
+    WILDCARD,
+    detect_violations,
+    normalize,
+    parse_cfd,
+    sort_patterns_by_generality,
+)
+from repro.relational import Relation, Schema
+
+
+def test_constant_cfd_extraction_drops_lhs_wildcards():
+    # Example 3: φ3 is equivalent to two constant CFDs ψ1 and ψ2.
+    phi3 = parse_cfd(
+        "([CC, AC] -> [city]) with (44, 131 || 'EDI'), (1, 908 || 'MH')"
+    )
+    normalized = normalize(phi3)
+    assert len(normalized.constants) == 2
+    assert not normalized.variables
+    psi1, psi2 = normalized.constants
+    assert psi1.values == (44, 131) and psi1.rhs_value == "EDI"
+    assert psi2.values == (1, 908) and psi2.rhs_value == "MH"
+
+
+def test_variable_cfd_keeps_tableau():
+    phi1 = parse_cfd("([CC, zip] -> [street]) with (44, _ || _), (31, _ || _)")
+    normalized = normalize(phi1)
+    assert not normalized.constants
+    (variable,) = normalized.variables
+    assert variable.patterns == ((44, WILDCARD), (31, WILDCARD))
+
+
+def test_wildcard_lhs_entries_dropped_in_constant_form():
+    cfd = parse_cfd("([a, b] -> [c]) with (_, 5 || 'k')")
+    (constant,) = normalize(cfd).constants
+    assert constant.lhs == ("b",)
+    assert constant.values == (5,)
+    assert constant.report_lhs == ("a", "b")
+
+
+def test_mixed_row_splits_into_constant_and_variable():
+    cfd = CFD(
+        ["a"],
+        ["b", "c"],
+        [PatternTuple((1,), ("x", WILDCARD))],
+    )
+    normalized = normalize(cfd)
+    assert len(normalized.constants) == 1
+    assert normalized.constants[0].rhs_attr == "b"
+    (variable,) = normalized.variables
+    assert variable.rhs == ("c",)
+
+
+def test_patterns_sorted_by_generality():
+    rows = [
+        (WILDCARD, WILDCARD),
+        (1, WILDCARD),
+        (1, 2),
+    ]
+    ordered = sort_patterns_by_generality(rows)
+    wildcards = [sum(1 for v in row if v is WILDCARD) for row in ordered]
+    assert wildcards == sorted(wildcards)
+    assert ordered[0] == (1, 2)
+
+
+def test_duplicate_lhs_rows_deduplicated():
+    cfd = parse_cfd("([a] -> [b]) with (1 || _), (1 || _), (2 || _)")
+    (variable,) = normalize(cfd).variables
+    assert variable.patterns == ((1,), (2,))
+
+
+def test_normalization_preserves_violations():
+    """Union of violations of the normal forms == violations of the original."""
+    schema = Schema("R", ["id", "a", "b", "c"], key=["id"])
+    relation = Relation(
+        schema,
+        [
+            (1, 1, "x", "p"),
+            (2, 1, "x", "q"),  # conflicts with t1 on c for a=1
+            (3, 2, "y", "p"),  # wrong constant b for a=2
+            (4, 3, "z", "p"),
+        ],
+    )
+    cfd = CFD(
+        ["a"],
+        ["b", "c"],
+        [
+            PatternTuple((1,), (WILDCARD, WILDCARD)),
+            PatternTuple((2,), ("w", WILDCARD)),
+        ],
+    )
+    report = detect_violations(relation, cfd)
+    violated_lhs = {v.lhs_values for v in report.violations}
+    assert violated_lhs == {(1,), (2,)}
+    assert {k[0] for k in report.tuple_keys} == {1, 2, 3}
+
+
+def test_variable_cfd_as_cfd_roundtrip():
+    phi1 = parse_cfd("([CC, zip] -> [street]) with (44, _ || _), (31, _ || _)")
+    (variable,) = normalize(phi1).variables
+    rebuilt = variable.as_cfd()
+    assert normalize(rebuilt).variables[0].patterns == variable.patterns
+
+
+# -- PatternIndex -------------------------------------------------------------
+
+
+def test_pattern_index_first_match_prefers_specific():
+    patterns = [(44, "Z"), (44, WILDCARD), (WILDCARD, WILDCARD)]
+    index = PatternIndex(patterns)
+    assert index.first_match((44, "Z")) == 0
+    assert index.first_match((44, "Q")) == 1
+    assert index.first_match((31, "Q")) == 2
+
+
+def test_pattern_index_no_match():
+    index = PatternIndex([(44,), (31,)])
+    assert index.first_match((7,)) is None
+    assert not index.matches_any((7,))
+
+
+def test_pattern_index_duplicate_mask_keeps_first():
+    index = PatternIndex([(44,), (44,)])
+    assert index.first_match((44,)) == 0
+
+
+def test_pattern_index_zero_width():
+    index = PatternIndex([()])
+    assert index.first_match(()) == 0
+
+
+def test_pattern_index_scales_past_tableau_size():
+    patterns = [(i, WILDCARD) for i in range(500)] + [(WILDCARD, WILDCARD)]
+    index = PatternIndex(patterns)
+    assert index.first_match((499, "x")) == 499
+    assert index.first_match((1000, "x")) == 500

@@ -1,0 +1,187 @@
+"""Every worked example of the paper, pinned against the Fig. 1 data.
+
+These tests are the ground truth of the reproduction: each asserts a claim
+the paper makes verbatim (Examples 1–7, Propositions 5, Lemma 6 coordinator
+and shipment counts of Examples 5–6).
+"""
+
+import pytest
+
+from repro.core import detect_violations, normalize, satisfies
+from repro.datagen import (
+    EXAMPLE1_VIOLATING_IDS,
+    emp_cfds,
+    emp_horizontal_predicates,
+    emp_instance,
+    emp_tableau_cfds,
+    emp_vertical_attribute_sets,
+)
+from repro.detect import (
+    clust_detect,
+    ctr_detect,
+    is_constant_cfd,
+    naive_detect,
+    pat_detect_rt,
+    pat_detect_s,
+    seq_detect,
+    vertical_detect,
+)
+from repro.partition import (
+    VerticalPartition,
+    partition_by_predicates,
+    vertical_partition,
+)
+
+
+@pytest.fixture(scope="module")
+def d0():
+    return emp_instance()
+
+
+@pytest.fixture(scope="module")
+def horizontal(d0):
+    predicates = emp_horizontal_predicates()
+    return partition_by_predicates(
+        d0, list(predicates.values()), names=list(predicates)
+    )
+
+
+@pytest.fixture(scope="module")
+def phis():
+    return emp_tableau_cfds()
+
+
+# -- Example 1 ----------------------------------------------------------------
+
+
+def test_example1_violations_are_t2_to_t6_t8_t9(d0):
+    report = detect_violations(d0, emp_cfds())
+    assert {key[0] for key in report.tuple_keys} == set(EXAMPLE1_VIOLATING_IDS)
+
+
+def test_example1_d0_satisfies_cfd3(d0):
+    cfd3 = emp_cfds()[2]
+    assert satisfies(d0, cfd3)
+    assert not detect_violations(d0, cfd3)
+
+
+def test_example1_each_rule_catches_expected_tuples(d0):
+    cfd1, cfd2, cfd3, cfd4, cfd5 = emp_cfds()
+    assert {k[0] for k in detect_violations(d0, cfd1).tuple_keys} == {2, 3, 4, 5}
+    assert {k[0] for k in detect_violations(d0, cfd2).tuple_keys} == {8, 9}
+    assert {k[0] for k in detect_violations(d0, cfd4).tuple_keys} == {2, 3}
+    assert {k[0] for k in detect_violations(d0, cfd5).tuple_keys} == {6}
+
+
+# -- Example 2: the tableau forms are equivalent ------------------------------
+
+
+def test_example2_tableau_cfds_equivalent_to_rules(d0, phis):
+    by_rules = detect_violations(d0, emp_cfds())
+    by_tableaux = detect_violations(d0, phis)
+    assert by_rules.tuple_keys == by_tableaux.tuple_keys
+
+
+def test_example2_phi2_expresses_the_fd(phis):
+    phi2 = phis[1]
+    assert phi2.is_fd()
+
+
+# -- Example 3 / Proposition 5: constant CFDs ---------------------------------
+
+
+def test_example3_phi3_is_constant_phi1_phi2_are_variable(phis):
+    phi1, phi2, phi3 = phis
+    assert is_constant_cfd(phi3)
+    assert not is_constant_cfd(phi1)
+    assert not is_constant_cfd(phi2)
+
+
+def test_example4_constant_cfds_checked_locally_no_shipment(horizontal, phis):
+    phi3 = phis[2]
+    outcome = ctr_detect(horizontal, phi3)
+    assert outcome.tuples_shipped == 0
+    # ψ1 catches t2, t3; ψ2 catches t6 — found locally.
+    assert {k[0] for k in outcome.report.tuple_keys} == {2, 3, 6}
+
+
+# -- Example 5: CTRDETECT picks S2 and ships four tuples ----------------------
+
+
+def test_example5_ctrdetect_coordinator_and_shipment(horizontal, phis):
+    phi1 = phis[0]
+    outcome = ctr_detect(horizontal, phi1)
+    # S2 (index 1) has four matching tuples (all of DH2 except t7).
+    assert outcome.details["coordinators"]["phi1"] == 1
+    assert outcome.tuples_shipped == 4
+
+
+# -- Example 6: per-pattern coordinators ship three tuples --------------------
+
+
+def test_example6_patdetect_coordinators_and_shipment(horizontal, phis):
+    phi1 = phis[0]
+    outcome = pat_detect_s(horizontal, phi1)
+    # S2 coordinates pattern (44, _), S1 coordinates (31, _).
+    assert outcome.details["coordinators"]["phi1"] == [1, 0]
+    assert outcome.tuples_shipped == 3
+
+
+def test_example6_patdetect_beats_ctrdetect_on_shipment(horizontal, phis):
+    phi1 = phis[0]
+    assert (
+        pat_detect_s(horizontal, phi1).tuples_shipped
+        < ctr_detect(horizontal, phi1).tuples_shipped
+    )
+
+
+# -- all algorithms agree with the centralized detector -----------------------
+
+
+@pytest.mark.parametrize(
+    "algorithm", [ctr_detect, pat_detect_s, pat_detect_rt]
+)
+def test_single_cfd_algorithms_match_centralized(
+    d0, horizontal, phis, algorithm
+):
+    for phi in phis:
+        expected = detect_violations(d0, phi).violations
+        assert algorithm(horizontal, phi).report.violations == expected
+
+
+def test_multi_cfd_algorithms_match_centralized(d0, horizontal, phis):
+    expected = detect_violations(d0, phis).violations
+    assert seq_detect(horizontal, phis).report.violations == expected
+    assert clust_detect(horizontal, phis).report.violations == expected
+    assert naive_detect(horizontal, phis).report.violations == expected
+
+
+def test_each_tuple_shipped_at_most_once_per_cfd(horizontal, phis):
+    # Fig. 1(b) fragments hold 4/5/1 tuples; for a single CFD no algorithm
+    # may ship more tuples than exist.
+    for phi in phis:
+        for algorithm in (ctr_detect, pat_detect_s, pat_detect_rt):
+            assert algorithm(horizontal, phi).tuples_shipped <= 10
+
+
+# -- vertical partition of Example 1 ------------------------------------------
+
+
+def test_vertical_fragments_reconstruct_d0(d0):
+    cluster = vertical_partition(d0, emp_vertical_attribute_sets())
+    assert cluster.reconstruct() == d0
+
+
+def test_example1_no_cfd_checkable_in_vertical_partition(d0, phis):
+    """Example 1(b): inspecting any of cfd1–cfd5 needs data shipment."""
+    partition = VerticalPartition(d0.schema, emp_vertical_attribute_sets())
+    for phi in phis:
+        assert partition.covers(phi.attributes) is None
+
+
+def test_vertical_detection_matches_centralized(d0, phis):
+    cluster = vertical_partition(d0, emp_vertical_attribute_sets())
+    expected = detect_violations(d0, phis).violations
+    outcome = vertical_detect(cluster, phis)
+    assert outcome.report.violations == expected
+    assert outcome.tuples_shipped > 0  # shipment is unavoidable here

@@ -1,0 +1,150 @@
+"""Unit tests for the predicate language and its satisfiability analysis."""
+
+from repro.relational import (
+    And,
+    Eq,
+    FalsePred,
+    Ge,
+    Gt,
+    InSet,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotInSet,
+    Or,
+    Relation,
+    Schema,
+    TruePred,
+    compatible_with_bindings,
+    satisfiable,
+)
+
+R = Schema("R", ["a", "b"])
+ROWS = Relation(R, [(1, "x"), (2, "y"), (3, "x")])
+
+
+def matching(pred):
+    return [row for row in ROWS if pred.evaluate(row, R)]
+
+
+# -- evaluation ------------------------------------------------------------
+
+
+def test_eq_ne():
+    assert matching(Eq("a", 2)) == [(2, "y")]
+    assert matching(Ne("b", "x")) == [(2, "y")]
+
+
+def test_order_comparisons():
+    assert matching(Lt("a", 2)) == [(1, "x")]
+    assert matching(Le("a", 2)) == [(1, "x"), (2, "y")]
+    assert matching(Gt("a", 2)) == [(3, "x")]
+    assert matching(Ge("a", 3)) == [(3, "x")]
+
+
+def test_order_comparison_incomparable_is_false():
+    assert matching(Lt("b", 5)) == []  # str vs int
+
+
+def test_sets():
+    assert matching(InSet("a", {1, 3})) == [(1, "x"), (3, "x")]
+    assert matching(NotInSet("a", {1, 3})) == [(2, "y")]
+
+
+def test_boolean_combinators():
+    pred = (Eq("b", "x") & Gt("a", 1)) | Eq("a", 2)
+    assert matching(pred) == [(2, "y"), (3, "x")]
+    assert matching(~Eq("b", "x")) == [(2, "y")]
+
+
+def test_true_false():
+    assert len(matching(TruePred())) == 3
+    assert matching(FalsePred()) == []
+
+
+# -- satisfiability ----------------------------------------------------------
+
+
+def test_conflicting_equalities_unsat():
+    assert not satisfiable(Eq("a", 1) & Eq("a", 2))
+
+
+def test_equality_vs_disequality():
+    assert not satisfiable(Eq("a", 1) & Ne("a", 1))
+    assert satisfiable(Eq("a", 1) & Ne("a", 2))
+
+
+def test_equality_vs_inset():
+    assert satisfiable(Eq("a", 1) & InSet("a", {1, 2}))
+    assert not satisfiable(Eq("a", 1) & InSet("a", {2, 3}))
+    assert not satisfiable(Eq("a", 1) & NotInSet("a", {1}))
+
+
+def test_equality_vs_ranges():
+    assert satisfiable(Eq("a", 5) & Lt("a", 6) & Gt("a", 4))
+    assert not satisfiable(Eq("a", 5) & Lt("a", 5))
+    assert not satisfiable(Eq("a", 5) & Gt("a", 5))
+    assert satisfiable(Eq("a", 5) & Le("a", 5) & Ge("a", 5))
+
+
+def test_empty_range_unsat():
+    assert not satisfiable(Gt("a", 5) & Lt("a", 4))
+    assert not satisfiable(Gt("a", 5) & Lt("a", 5))
+    assert satisfiable(Ge("a", 5) & Le("a", 5))
+
+
+def test_inset_exhausted_by_disequalities():
+    assert not satisfiable(InSet("a", {1, 2}) & Ne("a", 1) & Ne("a", 2))
+    assert satisfiable(InSet("a", {1, 2, 3}) & Ne("a", 1))
+
+
+def test_inset_vs_ranges():
+    assert satisfiable(InSet("a", {1, 10}) & Gt("a", 5))
+    assert not satisfiable(InSet("a", {1, 2}) & Gt("a", 5))
+
+
+def test_disjunction_satisfiable_if_any_branch_is():
+    pred = (Eq("a", 1) & Eq("a", 2)) | Eq("a", 3)
+    assert satisfiable(pred)
+
+
+def test_negation_normal_form_through_not():
+    assert not satisfiable(Not(Ne("a", 1)) & Eq("a", 2))
+    assert satisfiable(Not(Eq("a", 1)))
+
+
+def test_different_attributes_independent():
+    assert satisfiable(Eq("a", 1) & Eq("b", 2))
+
+
+def test_conservative_on_incomparable_bounds():
+    # Bounds over incomparable types cannot prove emptiness: stays SAT.
+    assert satisfiable(Gt("a", "zzz") & Lt("a", 5))
+
+
+# -- the F_i ∧ F_φ pruning test ---------------------------------------------
+
+
+def test_compatible_with_bindings_basic():
+    fragment_pred = Eq("a", 1)
+    assert compatible_with_bindings(fragment_pred, {"a": 1})
+    assert not compatible_with_bindings(fragment_pred, {"a": 2})
+    assert compatible_with_bindings(fragment_pred, {"b": "x"})
+
+
+def test_compatible_with_bindings_disjunction():
+    fragment_pred = Eq("a", 1) | Eq("a", 2)
+    assert compatible_with_bindings(fragment_pred, {"a": 2})
+    assert not compatible_with_bindings(fragment_pred, {"a": 3})
+
+
+def test_compatible_with_bindings_range_fragment():
+    fragment_pred = Ge("a", 100) & Lt("a", 200)
+    assert compatible_with_bindings(fragment_pred, {"a": 150})
+    assert not compatible_with_bindings(fragment_pred, {"a": 250})
+
+
+def test_compatible_with_empty_bindings_is_satisfiability():
+    assert compatible_with_bindings(Eq("a", 1), {})
+    assert not compatible_with_bindings(Eq("a", 1) & Eq("a", 2), {})

@@ -1,0 +1,231 @@
+"""Tests for dependency preservation (Prop. 7) and minimum refinement (Thm. 8)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import detect_violations, parse_cfd, satisfies
+from repro.datagen import (
+    emp_instance,
+    emp_tableau_cfds,
+    emp_vertical_attribute_sets,
+)
+from repro.partition import (
+    VerticalPartition,
+    augmentation_size,
+    greedy_refinement,
+    is_dependency_preserving,
+    minimum_refinement,
+    preservation_counterexample,
+    unpreserved_cfds,
+)
+from repro.relational import Schema
+
+S = Schema("R", ["id", "a", "b", "c", "d"], key=["id"])
+
+
+def vp(*fragment_attrs):
+    return VerticalPartition(S, list(fragment_attrs))
+
+
+# -- classical FD cases (Ullman's examples translate directly) -----------------
+
+
+def test_covering_fragment_preserves():
+    sigma = [parse_cfd("([a] -> [b])")]
+    assert is_dependency_preserving(vp(["a", "b"], ["c", "d"]), sigma)
+
+
+def test_split_fd_not_preserved():
+    sigma = [parse_cfd("([a] -> [b])")]
+    assert not is_dependency_preserving(vp(["a", "c"], ["b", "d"]), sigma)
+
+
+def test_transitive_closure_preserves_indirectly():
+    # Classic: R(a,b,c), a->b, b->c, partition {a,b}, {b,c}.
+    # a->c is not local anywhere but follows from the locally checkable FDs.
+    sigma = [
+        parse_cfd("([a] -> [b])"),
+        parse_cfd("([b] -> [c])"),
+        parse_cfd("([a] -> [c])"),
+    ]
+    partition = vp(["a", "b"], ["b", "c"], ["d"])
+    assert is_dependency_preserving(partition, sigma)
+
+
+def test_transitive_closure_breaks_without_middleman():
+    sigma = [
+        parse_cfd("([a] -> [b])"),
+        parse_cfd("([b] -> [c])"),
+        parse_cfd("([a] -> [c])"),
+    ]
+    partition = vp(["a", "b"], ["c", "d"])
+    failing = unpreserved_cfds(partition, sigma)
+    assert [cfd.name for cfd in failing] == ["[b]->[c]", "[a]->[c]"]
+
+
+def test_constant_cfd_needs_its_fragment():
+    sigma = [parse_cfd("([a=1] -> [b='x'])")]
+    assert is_dependency_preserving(vp(["a", "b"], ["c", "d"]), sigma)
+    assert not is_dependency_preserving(vp(["a", "c"], ["b", "d"]), sigma)
+
+
+def test_constant_chain_preserved_across_fragments():
+    sigma = [
+        parse_cfd("([a=1] -> [b='x'])"),
+        parse_cfd("([b='x'] -> [c='y'])"),
+        parse_cfd("([a=1] -> [c='y'])"),
+    ]
+    # a=1 -> b='x' local in F1; b='x' -> c='y' local in F2; the chain implies
+    # the third CFD, so the partition preserves it.
+    partition = vp(["a", "b"], ["b", "c"], ["d"])
+    assert is_dependency_preserving(partition, sigma)
+
+
+# -- Proposition 7 as a property -----------------------------------------------
+
+
+def test_counterexample_instance_demonstrates_prop7():
+    sigma = [parse_cfd("([a] -> [b])")]
+    partition = vp(["a", "c"], ["b", "d"])
+    found = preservation_counterexample(partition, sigma)
+    assert found is not None
+    phi, instance = found
+    assert not satisfies(instance, phi)  # global violation ...
+    cluster = partition.deploy(instance)
+    for site in cluster.sites:
+        local = [
+            s for s in sigma
+            if all(a in site.fragment.schema for a in s.attributes)
+        ]
+        for cfd in local:  # ... invisible at every site
+            assert satisfies(site.fragment, cfd)
+
+
+def test_counterexample_none_for_preserving_partition():
+    sigma = [parse_cfd("([a] -> [b])")]
+    assert preservation_counterexample(vp(["a", "b"], ["c", "d"]), sigma) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(
+            [
+                "([a] -> [b])",
+                "([b] -> [c])",
+                "([a] -> [c])",
+                "([a, b] -> [d])",
+                "([a=1] -> [b='x'])",
+                "([b='x'] -> [d='z'])",
+            ]
+        ),
+        min_size=1,
+        max_size=3,
+        unique=True,
+    ),
+    st.sampled_from(
+        [
+            (("a", "b"), ("c", "d")),
+            (("a", "b"), ("b", "c"), ("d",)),
+            (("a", "c"), ("b", "d")),
+            (("a", "b", "c", "d"),),
+            (("a",), ("b",), ("c",), ("d",)),
+        ]
+    ),
+)
+def test_prop7_local_checks_complete_iff_preserving(texts, fragments):
+    """If preserving: local violation union == global violations on the
+    counterexample-prone two-tuple instances; if not: the produced
+    counterexample separates them."""
+    sigma = [parse_cfd(text) for text in texts]
+    partition = VerticalPartition(S, list(fragments))
+    found = preservation_counterexample(partition, sigma)
+    if found is None:
+        return  # preserving; nothing to separate
+    phi, instance = found
+    assert detect_violations(instance, phi)
+    cluster = partition.deploy(instance)
+    for site in cluster.sites:
+        local = [
+            s for s in sigma
+            if all(a in site.fragment.schema for a in s.attributes)
+        ]
+        if local:
+            assert not detect_violations(site.fragment, local)
+
+
+# -- refinement ----------------------------------------------------------------
+
+
+def test_refinement_already_preserving_is_empty():
+    sigma = [parse_cfd("([a] -> [b])")]
+    assert minimum_refinement(vp(["a", "b"], ["c", "d"]), sigma) == {}
+
+
+def test_refinement_single_missing_attribute():
+    sigma = [parse_cfd("([a] -> [b])")]
+    partition = vp(["a", "c"], ["b", "d"])
+    augmentation = minimum_refinement(partition, sigma)
+    assert augmentation_size(augmentation) == 1
+    assert is_dependency_preserving(partition.refine(augmentation), sigma)
+
+
+def test_greedy_refinement_is_preserving():
+    sigma = [
+        parse_cfd("([a] -> [b])"),
+        parse_cfd("([c] -> [d])"),
+    ]
+    partition = vp(["a", "c"], ["b", "d"])
+    augmentation = greedy_refinement(partition, sigma)
+    assert is_dependency_preserving(partition.refine(augmentation), sigma)
+
+
+def test_minimum_never_larger_than_greedy():
+    sigma = [
+        parse_cfd("([a] -> [b])"),
+        parse_cfd("([a] -> [c])"),
+        parse_cfd("([a] -> [d])"),
+    ]
+    partition = vp(["a"], ["b"], ["c"], ["d"])
+    exact = minimum_refinement(partition, sigma)
+    greedy = greedy_refinement(partition, sigma)
+    assert augmentation_size(exact) <= augmentation_size(greedy)
+    assert is_dependency_preserving(partition.refine(exact), sigma)
+
+
+def test_max_size_raises_when_infeasible():
+    sigma = [
+        parse_cfd("([a] -> [b])"),
+        parse_cfd("([c] -> [d])"),
+    ]
+    partition = vp(["a", "c"], ["b", "d"])
+    with pytest.raises(ValueError):
+        minimum_refinement(partition, sigma, max_size=1)
+
+
+# -- Example 7 of the paper ----------------------------------------------------
+
+
+def test_example7_partition_not_preserving():
+    d0 = emp_instance()
+    partition = VerticalPartition(d0.schema, emp_vertical_attribute_sets())
+    assert not is_dependency_preserving(partition, emp_tableau_cfds())
+
+
+def test_example7_papers_augmentation_is_preserving():
+    """Paper: add CC, salary to DV1 and city to DV2 -> preserves Σ0."""
+    d0 = emp_instance()
+    partition = VerticalPartition(d0.schema, emp_vertical_attribute_sets())
+    refined = partition.refine({"DV1": ["CC", "salary"], "DV2": ["city"]})
+    assert is_dependency_preserving(refined, emp_tableau_cfds())
+
+
+def test_example7_minimum_size_is_three():
+    d0 = emp_instance()
+    partition = VerticalPartition(d0.schema, emp_vertical_attribute_sets())
+    augmentation = minimum_refinement(partition, emp_tableau_cfds())
+    assert augmentation_size(augmentation) == 3
+    assert is_dependency_preserving(
+        partition.refine(augmentation), emp_tableau_cfds()
+    )

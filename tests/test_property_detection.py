@@ -1,0 +1,195 @@
+"""Property-based tests: distributed detection ≡ centralized detection.
+
+Random small instances, random CFDs (random tableaux with constants and
+wildcards), random partitions — every algorithm of Section IV must return
+exactly ``Vioπ(Σ, D)``, ship each tuple at most once per CFD, and never
+ship anything for constant CFDs (Proposition 5).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    CFD,
+    PatternIndex,
+    PatternTuple,
+    WILDCARD,
+    detect_violations,
+    normalize,
+)
+from repro.detect import (
+    clust_detect,
+    ctr_detect,
+    is_constant_cfd,
+    naive_detect,
+    pat_detect_rt,
+    pat_detect_s,
+    seq_detect,
+)
+from repro.detect.base import partition_cluster
+from repro.partition import partition_by_attribute, partition_uniform
+from repro.relational import Relation, Schema
+
+ATTRS = ("a", "b", "c", "d")
+SCHEMA = Schema("R", ("id",) + ATTRS, key=("id",))
+VALUES = [0, 1, 2]
+
+rows = st.lists(
+    st.tuples(*[st.sampled_from(VALUES) for _ in ATTRS]),
+    min_size=0,
+    max_size=24,
+)
+
+
+@st.composite
+def relations(draw):
+    body = draw(rows)
+    return Relation(SCHEMA, [(i,) + r for i, r in enumerate(body)])
+
+
+@st.composite
+def pattern_entries(draw):
+    if draw(st.booleans()):
+        return WILDCARD
+    return draw(st.sampled_from(VALUES))
+
+
+@st.composite
+def cfds(draw):
+    lhs_size = draw(st.integers(1, 3))
+    attrs = draw(
+        st.permutations(ATTRS).map(lambda p: list(p[: lhs_size + 1]))
+    )
+    lhs, rhs = attrs[:-1], [attrs[-1]]
+    n_patterns = draw(st.integers(1, 3))
+    tableau = [
+        PatternTuple(
+            [draw(pattern_entries()) for _ in lhs],
+            [draw(pattern_entries()) for _ in rhs],
+        )
+        for _ in range(n_patterns)
+    ]
+    return CFD(lhs, rhs, tableau, name=f"cfd{draw(st.integers(0, 10 ** 6))}")
+
+
+@st.composite
+def clusters(draw):
+    relation = draw(relations())
+    if draw(st.booleans()):
+        n_sites = draw(st.integers(1, 4))
+        return relation, partition_uniform(relation, n_sites)
+    return relation, partition_by_attribute(relation, "a")
+
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_ctr_detect_matches_centralized(data, cfd):
+    relation, cluster = data
+    expected = detect_violations(relation, cfd).violations
+    assert ctr_detect(cluster, cfd).report.violations == expected
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_pat_detect_s_matches_centralized(data, cfd):
+    relation, cluster = data
+    expected = detect_violations(relation, cfd).violations
+    assert pat_detect_s(cluster, cfd).report.violations == expected
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_pat_detect_rt_matches_centralized(data, cfd):
+    relation, cluster = data
+    expected = detect_violations(relation, cfd).violations
+    assert pat_detect_rt(cluster, cfd).report.violations == expected
+
+
+@SETTINGS
+@given(clusters(), st.lists(cfds(), min_size=1, max_size=3))
+def test_seq_and_clust_match_centralized(data, sigma):
+    relation, cluster = data
+    expected = detect_violations(relation, sigma).violations
+    assert seq_detect(cluster, sigma, single="s").report.violations == expected
+    assert clust_detect(cluster, sigma, strategy="s").report.violations == expected
+    assert clust_detect(cluster, sigma, strategy="rt").report.violations == expected
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_naive_matches_centralized(data, cfd):
+    relation, cluster = data
+    expected = detect_violations(relation, cfd).violations
+    assert naive_detect(cluster, cfd).report.violations == expected
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_ship_at_most_once_per_cfd(data, cfd):
+    """Section IV: no tuple is sent more than once, whatever it matches."""
+    relation, cluster = data
+    for algorithm in (ctr_detect, pat_detect_s, pat_detect_rt):
+        outcome = algorithm(cluster, cfd)
+        assert outcome.tuples_shipped <= len(relation)
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_constant_cfds_never_ship(data, cfd):
+    """Proposition 5 as a property: constant CFDs are checked locally."""
+    _relation, cluster = data
+    constant_only = CFD(
+        cfd.lhs,
+        cfd.rhs,
+        [
+            PatternTuple(tp.lhs, [0 for _ in tp.rhs])
+            for tp in cfd.tableau
+        ],
+        name=cfd.name,
+    )
+    assert is_constant_cfd(constant_only)
+    for algorithm in (ctr_detect, pat_detect_s, pat_detect_rt):
+        assert algorithm(cluster, constant_only).tuples_shipped == 0
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_sigma_buckets_are_disjoint_cover(data, cfd):
+    """The σ function partitions each fragment's matching tuples (Lemma 6)."""
+    relation, cluster = data
+    for variable in normalize(cfd).variables:
+        index = PatternIndex(variable.patterns)
+        partitions, _ = partition_cluster(cluster, variable)
+        lhs_pos = SCHEMA.positions(variable.lhs)
+        for part in partitions:
+            matching = [
+                row
+                for row in part.site.fragment.rows
+                if index.matches_any(tuple(row[p] for p in lhs_pos))
+            ]
+            bucketed = sum(len(bucket) for bucket in part.buckets)
+            assert bucketed == len(matching)
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_response_time_and_shipment_nonnegative(data, cfd):
+    _relation, cluster = data
+    for algorithm in (ctr_detect, pat_detect_s, pat_detect_rt):
+        outcome = algorithm(cluster, cfd)
+        assert outcome.response_time >= 0.0
+        assert outcome.tuples_shipped >= 0
+
+
+@SETTINGS
+@given(clusters(), cfds())
+def test_pat_s_never_ships_more_than_ctr(data, cfd):
+    """Per-pattern max-stat coordinators cannot ship more than one global
+    coordinator chosen by the same max-stat rule."""
+    _relation, cluster = data
+    ctr = ctr_detect(cluster, cfd)
+    pat = pat_detect_s(cluster, cfd)
+    assert pat.tuples_shipped <= ctr.tuples_shipped

@@ -1,0 +1,122 @@
+"""Unit tests for repro.relational.relation."""
+
+import pytest
+
+from repro.relational import Eq, Relation, Schema, SchemaError
+
+R = Schema("R", ["id", "x", "y"], key=["id"])
+
+
+def rel(rows):
+    return Relation(R, rows)
+
+
+def test_rows_must_fit_schema_width():
+    with pytest.raises(SchemaError):
+        rel([(1, 2)])
+
+
+def test_from_and_to_dicts_roundtrip():
+    records = [{"id": 1, "x": "a", "y": 10}, {"id": 2, "x": "b", "y": 20}]
+    relation = Relation.from_dicts(R, records)
+    assert relation.to_dicts() == records
+
+
+def test_value_lookup():
+    relation = rel([(1, "a", 10)])
+    assert relation.value(relation.rows[0], "y") == 10
+
+
+def test_select_with_predicate_object():
+    relation = rel([(1, "a", 10), (2, "b", 20)])
+    selected = relation.select(Eq("x", "b"))
+    assert selected.rows == [(2, "b", 20)]
+
+
+def test_select_with_callable():
+    relation = rel([(1, "a", 10), (2, "b", 20)])
+    selected = relation.select(lambda row, schema: row[schema.position("y")] > 15)
+    assert selected.rows == [(2, "b", 20)]
+
+
+def test_project_preserves_duplicates_by_default():
+    relation = rel([(1, "a", 10), (2, "a", 10)])
+    projected = relation.project(["x", "y"])
+    assert projected.rows == [("a", 10), ("a", 10)]
+
+
+def test_project_dedupe():
+    relation = rel([(1, "a", 10), (2, "a", 10)])
+    projected = relation.project(["x", "y"], dedupe=True)
+    assert projected.rows == [("a", 10)]
+
+
+def test_project_reorders_columns():
+    relation = rel([(1, "a", 10)])
+    projected = relation.project(["y", "id"])
+    assert projected.rows == [(10, 1)]
+    assert projected.schema.attributes == ("y", "id")
+
+
+def test_union_requires_same_attributes():
+    other = Relation(Schema("S", ["a"]), [(1,)])
+    with pytest.raises(SchemaError):
+        rel([]).union(other)
+
+
+def test_union_is_bag_union():
+    a = rel([(1, "a", 10)])
+    b = rel([(1, "a", 10)])
+    assert len(a.union(b)) == 2
+
+
+def test_distinct():
+    relation = rel([(1, "a", 10), (1, "a", 10), (2, "b", 20)])
+    assert len(relation.distinct()) == 2
+
+
+def test_join_on_key_reconstructs():
+    left = Relation(Schema("L", ["id", "x"], key=["id"]), [(1, "a"), (2, "b")])
+    right = Relation(Schema("R2", ["id", "y"], key=["id"]), [(2, 20), (1, 10)])
+    joined = left.join(right)
+    assert sorted(joined.rows) == [(1, "a", 10), (2, "b", 20)]
+    assert joined.schema.attributes == ("id", "x", "y")
+
+
+def test_join_drops_unmatched():
+    left = Relation(Schema("L", ["id", "x"], key=["id"]), [(1, "a")])
+    right = Relation(Schema("R2", ["id", "y"], key=["id"]), [(2, 20)])
+    assert len(left.join(right)) == 0
+
+
+def test_join_rejects_duplicate_payload_attributes():
+    left = Relation(Schema("L", ["id", "x"], key=["id"]), [(1, "a")])
+    right = Relation(Schema("R2", ["id", "x"], key=["id"]), [(1, "b")])
+    with pytest.raises(SchemaError):
+        left.join(right)
+
+
+def test_group_by():
+    relation = rel([(1, "a", 10), (2, "a", 20), (3, "b", 30)])
+    groups = relation.group_by(["x"])
+    assert set(groups) == {("a",), ("b",)}
+    assert len(groups[("a",)]) == 2
+
+
+def test_sorted_by():
+    relation = rel([(2, "b", 20), (1, "a", 10)])
+    assert relation.sorted_by(["x"]).rows[0][1] == "a"
+
+
+def test_equality_is_order_insensitive():
+    assert rel([(1, "a", 10), (2, "b", 20)]) == rel([(2, "b", 20), (1, "a", 10)])
+
+
+def test_pretty_renders_header_and_rows():
+    text = rel([(1, "a", 10)]).pretty()
+    assert "id" in text and "a" in text
+
+
+def test_pretty_truncates():
+    relation = rel([(i, "x", i) for i in range(30)])
+    assert "more rows" in relation.pretty(limit=5)

@@ -1,0 +1,137 @@
+"""Tests for replication-aware detection (Section VIII extension)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import detect_violations, parse_cfd
+from repro.datagen import cust_street_cfd, generate_cust
+from repro.detect import pat_detect_s, replicated_pat_detect
+from repro.distributed import ReplicatedCluster
+from repro.partition import partition_uniform
+from repro.relational import Relation, Schema
+
+S = Schema("R", ["id", "a", "b"], key=["id"])
+
+
+def fragments_of(rows, n):
+    relation = Relation(S, rows)
+    return [
+        Relation(S, rows[i::n]) for i in range(n)
+    ], relation
+
+
+# -- construction --------------------------------------------------------------
+
+
+def test_placement_validation():
+    frags, _ = fragments_of([(1, 1, "x"), (2, 2, "y")], 2)
+    with pytest.raises(ValueError):
+        ReplicatedCluster(frags, [{0}], 2)  # placement too short
+    with pytest.raises(ValueError):
+        ReplicatedCluster(frags, [{0}, set()], 2)  # fragment with no replica
+    with pytest.raises(ValueError):
+        ReplicatedCluster(frags, [{0}, {5}], 2)  # unknown site
+
+
+def test_replicate_round_robin():
+    base = partition_uniform(Relation(S, [(i, i, "x") for i in range(8)]), 4)
+    cluster = ReplicatedCluster.replicate(base, 2)
+    assert cluster.replicas_of(0) == frozenset({0, 1})
+    assert cluster.replicas_of(3) == frozenset({3, 0})
+    assert cluster.stored_tuples() == 2 * cluster.total_tuples()
+
+
+def test_replicate_degree_bounds():
+    base = partition_uniform(Relation(S, [(1, 1, "x")]), 2)
+    with pytest.raises(ValueError):
+        ReplicatedCluster.replicate(base, 0)
+    with pytest.raises(ValueError):
+        ReplicatedCluster.replicate(base, 3)
+
+
+def test_fragments_at_and_reconstruct():
+    frags, relation = fragments_of([(i, i % 2, "x") for i in range(6)], 3)
+    cluster = ReplicatedCluster(frags, [{0, 1}, {1}, {2}], 3)
+    assert cluster.fragments_at(1) == [0, 1]
+    assert cluster.reconstruct() == relation
+
+
+def test_balanced_scan_assignment_uses_replicas():
+    big = Relation(S, [(i, 1, "x") for i in range(100)])
+    small = Relation(S, [(100, 2, "y")])
+    cluster = ReplicatedCluster([big, small], [{0, 1}, {0}], 2)
+    chosen = cluster.balanced_scan_assignment()
+    # the big fragment goes to the site the small one cannot use
+    assert chosen == [1, 0]
+
+
+# -- detection ------------------------------------------------------------------
+
+
+def test_degree_one_equals_plain_patdetect():
+    data = generate_cust(5000)
+    base = partition_uniform(data, 4)
+    cfd = cust_street_cfd(60)
+    plain = pat_detect_s(base, cfd)
+    replicated = replicated_pat_detect(
+        ReplicatedCluster.replicate(base, 1), cfd
+    )
+    assert replicated.report.violations == plain.report.violations
+    assert replicated.tuples_shipped == plain.tuples_shipped
+
+
+def test_full_replication_ships_nothing():
+    data = generate_cust(3000)
+    base = partition_uniform(data, 4)
+    cfd = cust_street_cfd(40)
+    cluster = ReplicatedCluster.replicate(base, 4)
+    outcome = replicated_pat_detect(cluster, cfd)
+    assert outcome.tuples_shipped == 0
+    expected = detect_violations(data, cfd, collect_tuples=False)
+    assert outcome.report.violations == expected.violations
+
+
+def test_shipment_monotone_in_replication_degree():
+    data = generate_cust(4000)
+    base = partition_uniform(data, 4)
+    cfd = cust_street_cfd(60)
+    shipped = []
+    for degree in (1, 2, 3, 4):
+        cluster = ReplicatedCluster.replicate(base, degree)
+        shipped.append(replicated_pat_detect(cluster, cfd).tuples_shipped)
+    assert shipped == sorted(shipped, reverse=True)
+    assert shipped[-1] == 0
+
+
+def test_constant_cfd_local_with_replication():
+    data = generate_cust(2000)
+    base = partition_uniform(data, 3)
+    cluster = ReplicatedCluster.replicate(base, 2)
+    cfd = parse_cfd("([CC=44] -> [city='nowhere'])", name="const")
+    outcome = replicated_pat_detect(cluster, cfd)
+    assert outcome.tuples_shipped == 0
+    expected = detect_violations(data, cfd, collect_tuples=False)
+    assert outcome.report.violations == expected.violations
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.sampled_from("xyz")),
+        min_size=0,
+        max_size=18,
+    ),
+    st.integers(2, 4),
+    st.integers(1, 4),
+)
+def test_replicated_matches_centralized_random(body, n_sites, degree):
+    degree = min(degree, n_sites)
+    relation = Relation(S, [(i,) + r for i, r in enumerate(body)])
+    base = partition_uniform(relation, n_sites)
+    cluster = ReplicatedCluster.replicate(base, degree)
+    cfd = parse_cfd("([a] -> [b]) with (0 || _), (_ || _)", name="r")
+    expected = detect_violations(relation, cfd, collect_tuples=False)
+    outcome = replicated_pat_detect(cluster, cfd)
+    assert outcome.report.violations == expected.violations
+    assert outcome.tuples_shipped <= len(relation)

@@ -1,0 +1,119 @@
+"""Unit tests for violation reports, outcomes and the experiment harness."""
+
+import pytest
+
+from repro.core import Violation, ViolationReport
+from repro.distributed import (
+    CostBreakdown,
+    DetectionOutcome,
+    ShipmentLog,
+    StageTimes,
+)
+from repro.experiments import ExperimentResult, scale, scaled, sweep
+
+
+def v(cfd, *values):
+    return Violation(cfd=cfd, lhs_attributes=("a",), lhs_values=tuple(values))
+
+
+# -- ViolationReport -----------------------------------------------------------
+
+
+def test_report_set_semantics():
+    report = ViolationReport()
+    report.add(v("r1", 1))
+    report.add(v("r1", 1))  # duplicate
+    report.add(v("r2", 2))
+    assert len(report) == 2
+    assert report.cfd_names() == {"r1", "r2"}
+    assert report.for_cfd("r1") == {v("r1", 1)}
+
+
+def test_report_merge_and_union():
+    a = ViolationReport([v("r", 1)], tuple_keys=[(1,)])
+    b = ViolationReport([v("r", 2)], tuple_keys=[(2,)])
+    merged = ViolationReport.union([a, b])
+    assert len(merged) == 2
+    assert merged.tuple_keys == {(1,), (2,)}
+
+
+def test_report_equality_ignores_tuple_keys():
+    a = ViolationReport([v("r", 1)], tuple_keys=[(1,)])
+    b = ViolationReport([v("r", 1)], tuple_keys=[(9,)])
+    assert a == b
+
+
+def test_report_truthiness_and_clean():
+    assert not ViolationReport()
+    assert ViolationReport().is_clean()
+    assert ViolationReport([v("r", 1)])
+
+
+def test_report_summary_sorted():
+    report = ViolationReport([v("b", 1), v("a", 1), v("a", 2)])
+    lines = report.summary().splitlines()
+    assert lines[0].startswith("a: 2")
+    assert lines[1].startswith("b: 1")
+
+
+def test_violation_repr_mentions_binding():
+    assert "a=1" in repr(v("r", 1))
+
+
+# -- DetectionOutcome -------------------------------------------------------------
+
+
+def test_outcome_properties():
+    log = ShipmentLog()
+    log.ship(0, 1, 7, 14)
+    outcome = DetectionOutcome(
+        algorithm="X",
+        report=ViolationReport([v("r", 1)]),
+        shipments=log,
+        cost=CostBreakdown(stages=[StageTimes(1.0, 2.0, 3.0)]),
+    )
+    assert outcome.tuples_shipped == 7
+    assert outcome.response_time == pytest.approx(6.0)
+    assert "X" in repr(outcome)
+
+
+# -- experiment harness ----------------------------------------------------------
+
+
+def test_scaled_respects_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.5")
+    assert scale() == 0.5
+    assert scaled(1000) == 500
+    assert scaled(10) == 100  # floor of 100 tuples
+
+
+def test_scale_rejects_nonpositive(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0")
+    with pytest.raises(ValueError):
+        scale()
+
+
+def test_sweep_collects_series():
+    result = ExperimentResult("t", "title", "x", "y")
+    sweep(result, [1, 2, 3], lambda x: {"s1": float(x), "s2": float(x * x)})
+    assert result.xs == [1, 2, 3]
+    assert result.series_by_label("s2") == [1.0, 4.0, 9.0]
+    with pytest.raises(KeyError):
+        result.series_by_label("nope")
+
+
+def test_table_renders_all_series():
+    result = ExperimentResult("t", "title", "x", "y")
+    result.add_point(1, {"alpha": 0.5})
+    result.add_point(2, {"alpha": 1.5})
+    table = result.table()
+    assert "alpha" in table and "0.500" in table and "1.500" in table
+    assert "t: title" in table
+
+
+def test_save_writes_file(tmp_path):
+    result = ExperimentResult("myexp", "title", "x", "y")
+    result.add_point(1, {"s": 2.0})
+    path = result.save(tmp_path)
+    assert path.name == "myexp.txt"
+    assert "myexp" in path.read_text()

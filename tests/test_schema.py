@@ -1,0 +1,82 @@
+"""Unit tests for repro.relational.schema."""
+
+import pytest
+
+from repro.relational import Schema, SchemaError
+
+
+def test_positions_follow_declaration_order():
+    schema = Schema("R", ["a", "b", "c"])
+    assert schema.position("a") == 0
+    assert schema.position("c") == 2
+    assert schema.positions(["c", "a"]) == (2, 0)
+
+
+def test_default_key_is_first_attribute():
+    schema = Schema("R", ["id", "x"])
+    assert schema.key == ("id",)
+    assert schema.key_positions() == (0,)
+
+
+def test_explicit_composite_key():
+    schema = Schema("R", ["a", "b", "c"], key=["b", "c"])
+    assert schema.key_positions() == (1, 2)
+
+
+def test_unknown_attribute_raises():
+    schema = Schema("R", ["a"])
+    with pytest.raises(SchemaError):
+        schema.position("nope")
+
+
+def test_duplicate_attributes_rejected():
+    with pytest.raises(SchemaError):
+        Schema("R", ["a", "a"])
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        Schema("R", [])
+
+
+def test_key_must_be_subset_of_attributes():
+    with pytest.raises(SchemaError):
+        Schema("R", ["a"], key=["b"])
+
+
+def test_contains():
+    schema = Schema("R", ["a", "b"])
+    assert "a" in schema
+    assert "z" not in schema
+
+
+def test_project_keeps_key_when_retained():
+    schema = Schema("R", ["id", "x", "y"], key=["id"])
+    projected = schema.project(["id", "y"])
+    assert projected.attributes == ("id", "y")
+    assert projected.key == ("id",)
+
+
+def test_project_without_key_degrades_to_all_attributes():
+    schema = Schema("R", ["id", "x", "y"], key=["id"])
+    projected = schema.project(["x", "y"])
+    assert projected.key == ("x", "y")
+
+
+def test_project_validates_attributes():
+    schema = Schema("R", ["a"])
+    with pytest.raises(SchemaError):
+        schema.project(["a", "zz"])
+
+
+def test_equality_and_hash():
+    a = Schema("R", ["x", "y"], key=["x"])
+    b = Schema("R", ["x", "y"], key=["x"])
+    c = Schema("R", ["x", "y"], key=["y"])
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_len():
+    assert len(Schema("R", ["a", "b", "c"])) == 3

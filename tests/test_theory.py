@@ -1,0 +1,316 @@
+"""Tests for the complexity module: solvers, brute-force optima, reductions."""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import parse_cfd
+from repro.detect import ctr_detect, pat_detect_s
+from repro.partition import (
+    augmentation_size,
+    is_dependency_preserving,
+    minimum_refinement,
+    partition_uniform,
+)
+from repro.relational import Relation, Schema
+from repro.theory import (
+    HittingSetInstance,
+    SetCoverError,
+    SetCoverInstance,
+    greedy_hitting_set,
+    greedy_set_cover,
+    has_cover_of_size,
+    hitting_set_size,
+    is_hitting_set,
+    locally_checkable_after,
+    minimum_hitting_set,
+    minimum_set_cover,
+    minimum_shipment_count,
+    minimum_shipments,
+    set_cover_size,
+    theorem1_cover_shipments,
+    theorem1_reduction,
+    theorem2_reduction,
+    theorem3_reduction,
+    theorem4_reduction,
+    theorem8_reduction,
+)
+
+# -- set cover ------------------------------------------------------------
+
+
+def test_minimum_set_cover_simple():
+    cover = minimum_set_cover(
+        {1, 2, 3, 4, 5}, {"a": {1, 2, 3}, "b": {4, 5}, "c": {1, 4}, "d": {5}}
+    )
+    assert sorted(cover) == ["a", "b"]
+
+
+def test_set_cover_requires_coverage():
+    with pytest.raises(SetCoverError):
+        minimum_set_cover({1, 2}, {"a": {1}})
+
+
+def test_empty_universe_needs_nothing():
+    assert minimum_set_cover(set(), {"a": {1}}) == []
+
+
+def test_has_cover_of_size():
+    subsets = {"a": {1, 2}, "b": {2, 3}, "c": {3, 1}}
+    assert has_cover_of_size({1, 2, 3}, subsets, 2)
+    assert not has_cover_of_size({1, 2, 3}, subsets, 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.frozensets(st.integers(0, 7), min_size=1, max_size=4),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_exact_cover_optimal_vs_enumeration(subsets):
+    universe = frozenset().union(*subsets)
+    exact = minimum_set_cover(universe, subsets)
+    assert frozenset().union(*(subsets[i] for i in exact)) == universe
+    # no strictly smaller cover exists
+    for size in range(len(exact)):
+        for combo in itertools.combinations(range(len(subsets)), size):
+            assert frozenset().union(*(subsets[i] for i in combo), frozenset()) != universe
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.frozensets(st.integers(0, 7), min_size=1, max_size=4),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_greedy_cover_is_a_cover_and_not_smaller_than_exact(subsets):
+    universe = frozenset().union(*subsets)
+    greedy = greedy_set_cover(universe, subsets)
+    assert frozenset().union(*(subsets[i] for i in greedy)) == universe
+    assert len(greedy) >= set_cover_size(universe, subsets)
+
+
+# -- hitting set ----------------------------------------------------------
+
+
+def test_minimum_hitting_set_triangle():
+    collection = [("a", "b"), ("b", "c"), ("a", "c")]
+    hit = minimum_hitting_set("abc", collection)
+    assert len(hit) == 2
+    assert is_hitting_set(hit, collection)
+
+
+def test_hitting_set_single_element_everywhere():
+    collection = [("a", "b"), ("a", "c"), ("a",)]
+    assert minimum_hitting_set("abc", collection) == ["a"]
+
+
+def test_greedy_hitting_set_hits():
+    collection = [("a", "b"), ("c", "d"), ("b", "c")]
+    hit = greedy_hitting_set("abcd", collection)
+    assert is_hitting_set(hit, collection)
+    assert len(hit) >= hitting_set_size("abcd", collection)
+
+
+def test_empty_collection():
+    assert minimum_hitting_set("abc", []) == []
+
+
+# -- brute-force optimum shipments -----------------------------------------
+
+S = Schema("R", ["id", "a", "b"], key=["id"])
+
+
+def two_site_cluster(rows1, rows2):
+    from repro.distributed import Cluster, Site
+
+    return Cluster(
+        [Site(0, Relation(S, rows1)), Site(1, Relation(S, rows2))]
+    )
+
+
+def test_locally_checkable_no_cross_site_conflicts():
+    cluster = two_site_cluster([(1, 1, "x"), (2, 1, "y")], [(3, 2, "z")])
+    fd = parse_cfd("([a] -> [b])")
+    assert locally_checkable_after(cluster, [fd], [])
+
+
+def test_minimum_shipment_one_move_for_one_conflict():
+    cluster = two_site_cluster([(1, 1, "x")], [(2, 1, "y")])
+    fd = parse_cfd("([a] -> [b])")
+    assert not locally_checkable_after(cluster, [fd], [])
+    assert minimum_shipment_count(cluster, [fd]) == 1
+
+
+def test_minimum_shipment_zero_when_clean():
+    cluster = two_site_cluster([(1, 1, "x")], [(2, 2, "y")])
+    fd = parse_cfd("([a] -> [b])")
+    assert minimum_shipment_count(cluster, [fd]) == 0
+
+
+def test_minimum_shipments_respects_max_size():
+    cluster = two_site_cluster(
+        [(1, 1, "x"), (2, 2, "x")], [(3, 1, "y"), (4, 2, "y")]
+    )
+    fd = parse_cfd("([a] -> [b])")
+    within_one = minimum_shipments(cluster, [fd], max_size=1)
+    # two independent conflicts: one shipment cannot reveal both
+    assert within_one is None
+    assert minimum_shipment_count(cluster, [fd]) == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.sampled_from("xy")),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(2, 3),
+)
+def test_heuristics_never_beat_bruteforce(body, n_sites):
+    """Theorem 1 in practice: PATDETECTS/CTRDETECT ship >= the true optimum."""
+    relation = Relation(S, [(i,) + row for i, row in enumerate(body)])
+    cluster = partition_uniform(relation, n_sites)
+    fd = parse_cfd("([a] -> [b])")
+    optimum = minimum_shipment_count(cluster, [fd])
+    assert optimum is not None
+    assert pat_detect_s(cluster, fd).tuples_shipped >= optimum
+    assert ctr_detect(cluster, fd).tuples_shipped >= optimum
+
+
+# -- Theorem 1 reduction ----------------------------------------------------
+
+MSC = SetCoverInstance(
+    elements=("x1", "x2", "x3", "x4", "x5", "x6"),
+    subsets=(
+        ("x1", "x2", "x3"),
+        ("x4", "x5", "x6"),
+        ("x2", "x4", "x6"),
+        ("x1", "x3", "x5"),
+    ),
+    k=2,
+)
+
+
+def test_msc_instance_validation():
+    with pytest.raises(ValueError):
+        SetCoverInstance(("a",), (("a", "a", "a"),), 1)
+    with pytest.raises(ValueError):
+        SetCoverInstance(("a", "b", "c"), (("a", "b", "z"),), 1)
+
+
+def test_theorem1_structure():
+    inst = theorem1_reduction(MSC)
+    m, n = len(MSC.elements), len(MSC.subsets)
+    assert inst.cluster.n_sites == n + 2
+    for i in range(n):
+        assert len(inst.cluster.fragment(i)) == 1
+    assert len(inst.cluster.fragment(inst.v_site)) == 6 * m * m
+    assert len(inst.cluster.fragment(inst.u_site)) == 6 * m * m
+    assert [cfd.name for cfd in inst.sigma] == [
+        "A1->B", "A2->B", "A3->B", "Bu->B",
+    ]
+    l, lp = inst.value_width, inst.c_width
+    assert lp == 6 * m * l + 1
+    assert inst.k_prime == 2 * m * (2 * lp + 4 * l) + MSC.k * 6 * l
+
+
+def test_theorem1_forward_direction():
+    """A cover of size K yields shipments of byte size exactly K' after
+    which Σ is locally checkable — the proof's forward construction."""
+    inst = theorem1_reduction(MSC)
+    moves = theorem1_cover_shipments(inst, [0, 1])  # a valid cover
+    assert len(moves) == MSC.k + 2 * len(MSC.elements)
+    assert sum(inst.move_bytes(mv) for mv in moves) == inst.k_prime
+    assert locally_checkable_after(inst.cluster, inst.sigma, moves)
+
+
+def test_theorem1_empty_shipments_insufficient():
+    inst = theorem1_reduction(MSC)
+    assert not locally_checkable_after(inst.cluster, inst.sigma, [])
+
+
+def test_theorem1_non_cover_rejected():
+    inst = theorem1_reduction(MSC)
+    with pytest.raises(ValueError):
+        theorem1_cover_shipments(inst, [0])  # {x1..x3} alone is not a cover
+
+
+# -- Theorems 2-4 structural artifacts ---------------------------------------
+
+
+def test_theorem2_structure():
+    inst = theorem2_reduction(MSC)
+    assert set(inst.partition.names) == {"R1", "R2"}
+    assert "W" in inst.partition.attributes_of("R2")
+    assert len(inst.sigma) == 4
+    assert not is_dependency_preserving(inst.partition, inst.sigma)
+
+
+def test_theorem3_structure():
+    inst = theorem3_reduction(MSC)
+    m, n = len(MSC.elements), len(MSC.subsets)
+    assert inst.cluster.n_sites == n + 1
+    assert inst.cluster.total_tuples() == m * (3 * n + 1)
+    assert len(inst.cluster.fragment(n)) == m
+    assert inst.k_prime == MSC.k + m + 1
+
+
+def test_theorem4_structure():
+    inst = theorem4_reduction(MSC)
+    m, n = len(MSC.elements), len(MSC.subsets)
+    assert len(inst.instance.schema) == m * m + m + 1
+    assert inst.partition.names[-1] == f"V{n + 1}"
+    assert len(inst.instance) == 2
+    # the two tuples agree on every A and differ on every B
+    assert not is_dependency_preserving(inst.partition, inst.sigma)
+
+
+# -- Theorem 8 reduction ------------------------------------------------------
+
+
+def test_theorem8_forward_direction_general():
+    """A hitting set induces a preserving augmentation of the same size,
+    so the minimum refinement is never larger than the minimum hitting set."""
+    hs = HittingSetInstance(
+        elements=("a", "b", "c"),
+        subsets=(("a", "b"), ("b", "c"), ("a", "c")),
+        k=2,
+    )
+    inst = theorem8_reduction(hs)
+    hit = minimum_hitting_set(hs.elements, hs.subsets)
+    refined = inst.partition.refine({"R0": [f"A_{x}" for x in hit]})
+    assert is_dependency_preserving(refined, inst.sigma)
+    augmentation = minimum_refinement(inst.partition, inst.sigma)
+    assert augmentation_size(augmentation) <= len(hit)
+
+
+def test_theorem8_equality_on_disjoint_subsets():
+    """With pairwise-disjoint subsets the reduction is tight: minimum
+    refinement size == minimum hitting set size."""
+    hs = HittingSetInstance(
+        elements=("a", "b", "c", "d"),
+        subsets=(("a", "b"), ("c", "d")),
+        k=2,
+    )
+    inst = theorem8_reduction(hs)
+    assert hitting_set_size(hs.elements, hs.subsets) == 2
+    augmentation = minimum_refinement(inst.partition, inst.sigma)
+    assert augmentation_size(augmentation) == 2
+    assert is_dependency_preserving(
+        inst.partition.refine(augmentation), inst.sigma
+    )
+
+
+def test_theorem8_single_subset():
+    hs = HittingSetInstance(elements=("a", "b"), subsets=(("a", "b"),), k=1)
+    inst = theorem8_reduction(hs)
+    augmentation = minimum_refinement(inst.partition, inst.sigma)
+    assert augmentation_size(augmentation) == 1
