@@ -20,6 +20,11 @@ Commands
 ``figures``
     Regenerate the paper's Figure 3 experiments (all or a subset).
 
+``bench``
+    Time centralized detection — the per-normal-form reference plan vs the
+    fused columnar engine — on the Fig. 3c/3i workloads and write the
+    machine-readable perf trajectory (``BENCH_detect.json``).
+
 CFDs are given in the paper notation accepted by
 :func:`repro.core.parse_cfd`, e.g. ``"([CC=44, zip] -> [street])"``.
 """
@@ -96,6 +101,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="figure ids (fig3a..fig3i); repeatable; default all",
     )
     figures.add_argument("--out", default="results")
+
+    bench = commands.add_parser(
+        "bench", help="benchmark the detection engines (reference vs fused)"
+    )
+    bench.add_argument(
+        "--out", default="BENCH_detect.json",
+        help="where to write the JSON summary (default BENCH_detect.json)",
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--fraction", type=float, default=1.0,
+        help="use only this fraction of the scaled dataset",
+    )
     return parser
 
 
@@ -181,6 +199,31 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import bench_detection
+
+    summary = bench_detection(
+        out=args.out, repeats=args.repeats, fraction=args.fraction
+    )
+    print(
+        f"detection bench: {summary['n_tuples']} tuples "
+        f"(REPRO_SCALE={summary['scale']})"
+    )
+    for name, entry in summary["workloads"].items():
+        print(
+            f"  {name}: baseline {entry['baseline_seconds']:.3f}s, "
+            f"fused {entry['fused_warm_seconds']:.3f}s warm "
+            f"({entry['fused_cold_seconds']:.3f}s cold) -> "
+            f"{entry['speedup']:.1f}x speedup, "
+            f"{entry['fused_rows_per_sec']:,.0f} rows/s, "
+            f"matches reference: {entry['matches_reference']}"
+        )
+    print(f"[saved to {args.out}]")
+    return 0 if all(
+        entry["matches_reference"] for entry in summary["workloads"].values()
+    ) else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -189,6 +232,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "detect": _cmd_detect,
         "sql": _cmd_sql,
         "figures": _cmd_figures,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -17,6 +17,13 @@ from .detection import (
     detect_normalized,
     detect_variable,
     detect_violations,
+    detect_violations_reference,
+)
+from .fused import (
+    FusedDetector,
+    detect_constants,
+    detect_variables,
+    fused_detect,
 )
 from .implication import ChaseState, Inconsistent, chase, implies, implies_all
 from .normalize import (
@@ -48,9 +55,14 @@ __all__ = [
     "is_predicate",
     "check_cost",
     "detect_constant",
+    "detect_constants",
     "detect_normalized",
     "detect_variable",
+    "detect_variables",
     "detect_violations",
+    "detect_violations_reference",
+    "FusedDetector",
+    "fused_detect",
     "ChaseState",
     "Inconsistent",
     "chase",

@@ -7,10 +7,24 @@ on ``X`` over the tuples matching the pattern tableau catches pairwise
 violations of the variable normal forms.  This module is the same plan on
 our relational engine; it is both the baseline detector and the local
 checking step every distributed algorithm runs at coordinator sites.
+
+Two engines implement the plan:
+
+* the **reference** engine below — one scan per normal form, row tuples
+  and hash tables rebuilt per query.  It is the executable spec every
+  other detector (fused, distributed, SQL) is tested against;
+* the **fused** engine (:mod:`repro.core.fused`) — a single pass over the
+  relation's cached columnar encoding evaluating all of Σ at once.
+
+:func:`detect_violations` dispatches to the fused engine by default (set
+``REPRO_ENGINE=reference`` or pass ``engine="reference"`` to force the
+row-at-a-time plan).
 """
 
 from __future__ import annotations
 
+import math
+import os
 from typing import Iterable, Sequence
 
 from ..relational import Relation
@@ -124,16 +138,17 @@ def detect_normalized(
     return report
 
 
-def detect_violations(
+def detect_violations_reference(
     relation: Relation,
     cfds: CFD | Iterable[CFD],
     collect_tuples: bool = True,
 ) -> ViolationReport:
-    """``Vioπ(Σ, D)`` (plus violating tuple keys) on a centralized relation.
+    """``Vioπ(Σ, D)`` by the literal per-normal-form SQL plan of [2].
 
-    This is the reference detector: every distributed algorithm must agree
-    with it, which the test suite asserts both on the paper's running
-    example and property-based random instances.
+    This is the reference oracle: the fused engine and every distributed
+    algorithm must agree with it bit-for-bit (violations and tuple keys),
+    which the test suite asserts both on the paper's running example and
+    property-based random instances.
     """
     if isinstance(cfds, CFD):
         cfds = [cfds]
@@ -143,14 +158,38 @@ def detect_violations(
     return report
 
 
+def detect_violations(
+    relation: Relation,
+    cfds: CFD | Iterable[CFD],
+    collect_tuples: bool = True,
+    engine: str | None = None,
+) -> ViolationReport:
+    """``Vioπ(Σ, D)`` (plus violating tuple keys) on a centralized relation.
+
+    ``engine`` selects the execution backend: ``"fused"`` (the default —
+    single-pass columnar evaluation of all of Σ) or ``"reference"`` (one
+    scan per normal form).  When ``engine`` is ``None`` the ``REPRO_ENGINE``
+    environment variable decides, defaulting to ``"fused"``.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "fused")
+    if engine == "fused":
+        from .fused import fused_detect
+
+        return fused_detect(relation, cfds, collect_tuples)
+    if engine == "reference":
+        return detect_violations_reference(relation, cfds, collect_tuples)
+    raise ValueError(
+        f"unknown detection engine {engine!r}; use 'fused' or 'reference'"
+    )
+
+
 def check_cost(n_tuples: int, n_cfds: int = 1) -> float:
     """The paper's estimate of local checking cost: ``|D| · log |D|``.
 
     Used by the Section III-B response-time model; scaled by the number of
     CFDs checked since each runs its own GROUP BY query.
     """
-    import math
-
     if n_tuples <= 0:
         return 0.0
     return float(n_cfds) * n_tuples * math.log2(n_tuples + 1)

@@ -1,0 +1,275 @@
+"""Fused single-pass detection of a whole CFD set Σ over the columnar backend.
+
+The reference detector (:func:`repro.core.detection.detect_violations_reference`)
+replays the SQL plan of [2] literally: one scan of the row tuples per
+constant normal form, one scan plus one hash GROUP BY per variable normal
+form — O(|Σ| · |D|) passes that re-materialize Python tuples and rebuild
+hash tables every time.  This module is the same mathematics restructured
+so each row tuple is *touched once*:
+
+1. **One pass over the tuples.**  The relation's cached
+   :class:`~repro.relational.columnar.ColumnStore` dictionary-encodes each
+   referenced attribute the first time it is needed; that encoding scan is
+   the only place raw row tuples are hashed.  Composite
+   :class:`~repro.relational.columnar.KeyColumn` views assign every row the
+   ordinal of its distinct X (and Y) combination, shared by every normal
+   form with the same attribute list — and shared with ``group_by``,
+   ``join`` and ``HashIndex``, and across repeated detections, because the
+   store is cached on the immutable relation.
+
+2. **Per-form folds over integer codes.**  Each constant normal form
+   compiles to per-column *code* tests (a pattern constant missing from a
+   column proves no row can match, so the form drops out entirely; an eCFD
+   predicate is evaluated once per distinct value, never per row).  Each
+   variable normal form probes its :class:`PatternIndex` once per distinct
+   X group — the shared σ trie of Section IV-B — and folds rows into
+   per-(CFD, X-group) conflict states: first RHS code seen, conflict flag,
+   member rows.  Per (row, matching form) the work is a couple of list
+   lookups — no tuple construction, no value hashing.
+
+The output is bit-for-bit the reference detector's :class:`ViolationReport`
+(violations *and* violating tuple keys), which the property-based suite
+asserts on random relations and CFD sets.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Iterable, Sequence
+
+from ..relational import Relation
+from ..relational.columnar import ColumnStore, column_store
+from .cfd import CFD, matches
+from .epatterns import is_predicate
+from .normalize import (
+    ConstantCFD,
+    PatternIndex,
+    VariableCFD,
+    normalize_all,
+)
+from .violations import Violation, ViolationReport
+
+
+def _project_rows(
+    rows: Sequence[tuple], ids: Sequence[int], positions: tuple[int, ...]
+):
+    """Iterate ``rows[i][positions]`` tuples for ``i`` in ``ids``, C-speed.
+
+    ``itemgetter`` with several positions yields the projection tuples
+    directly; a single position is wrapped through one-iterable ``zip`` to
+    get 1-tuples without a Python-level loop.
+    """
+    fetched = map(rows.__getitem__, ids)
+    if len(positions) == 1:
+        return zip(map(itemgetter(positions[0]), fetched))
+    return map(itemgetter(*positions), fetched)
+
+
+def _collect_keys(
+    report: ViolationReport,
+    rows: Sequence[tuple],
+    ids: Sequence[int],
+    key_pos: tuple[int, ...],
+) -> None:
+    """Add the key projections of the given violating rows to the report."""
+    if ids:
+        report.tuple_keys.update(_project_rows(rows, ids, key_pos))
+
+
+# -- constant normal forms ----------------------------------------------------
+
+
+def _compile_constant(store: ColumnStore, constant: ConstantCFD):
+    """Compile one constant form to code-level tests, or ``None`` if it can
+    never fire on this relation (a required constant is absent, or no value
+    of the RHS column violates the pattern)."""
+    checks = []
+    for attr, value in zip(constant.lhs, constant.values):
+        column = store.column(attr)
+        if is_predicate(value):
+            allowed = frozenset(
+                code for code, v in enumerate(column.values) if value.matches(v)
+            )
+        else:
+            code = column.code_of.get(value)
+            allowed = frozenset((code,)) if code is not None else frozenset()
+        if not allowed:
+            return None
+        checks.append((column.codes, allowed))
+    rhs_column = store.column(constant.rhs_attr)
+    bad = frozenset(
+        code
+        for code, v in enumerate(rhs_column.values)
+        if not matches(v, constant.rhs_value)
+    )
+    if not bad:
+        return None
+    return checks, rhs_column.codes, bad
+
+
+def _scan_constants(
+    relation: Relation,
+    constants: Sequence[ConstantCFD],
+    collect_tuples: bool,
+) -> ViolationReport:
+    report = ViolationReport()
+    rows = relation.rows
+    if not rows or not constants:
+        return report
+    store = column_store(relation)
+    schema = relation.schema
+    key_pos = schema.key_positions()
+    for constant in constants:
+        plan = _compile_constant(store, constant)
+        if plan is None:
+            continue
+        checks, rhs_codes, bad = plan
+        hits: list[int] = []
+        if checks:
+            first_codes, first_allowed = checks[0]
+            rest = checks[1:]
+            for i, code in enumerate(first_codes):
+                if code not in first_allowed:
+                    continue
+                for codes, allowed in rest:
+                    if codes[i] not in allowed:
+                        break
+                else:
+                    if rhs_codes[i] in bad:
+                        hits.append(i)
+        else:  # all-wildcard LHS: the pattern conditions every row
+            hits = [i for i, code in enumerate(rhs_codes) if code in bad]
+        if not hits:
+            continue
+        report_pos = schema.positions(constant.report_lhs)
+        for values in set(_project_rows(rows, hits, report_pos)):
+            report.add(
+                Violation(
+                    cfd=constant.source,
+                    lhs_attributes=constant.report_lhs,
+                    lhs_values=values,
+                )
+            )
+        if collect_tuples:
+            _collect_keys(report, rows, hits, key_pos)
+    return report
+
+
+# -- variable normal forms ----------------------------------------------------
+
+
+def _scan_variables(
+    relation: Relation,
+    variables: Sequence[tuple[VariableCFD, PatternIndex]],
+    collect_tuples: bool,
+) -> ViolationReport:
+    report = ViolationReport()
+    rows = relation.rows
+    if not rows or not variables:
+        return report
+    store = column_store(relation)
+    key_pos = relation.schema.key_positions()
+    for variable, index in variables:
+        x_key = store.key_column(variable.lhs)
+        y_key = store.key_column(variable.rhs)
+        # σ membership once per distinct X combination, not per row
+        matched = [index.matches_any(values) for values in x_key.values]
+        n_groups = x_key.n_groups
+        first_y = [-1] * n_groups
+        conflict = bytearray(n_groups)
+        x_codes = x_key.codes
+        y_codes = y_key.codes
+        for i, g in enumerate(x_codes):
+            if not matched[g]:
+                continue
+            y = y_codes[i]
+            f = first_y[g]
+            if f < 0:
+                first_y[g] = y
+            elif f != y:
+                conflict[g] = 1
+        if not any(conflict):
+            continue
+        for g in range(n_groups):
+            if conflict[g]:
+                report.add(
+                    Violation(
+                        cfd=variable.source,
+                        lhs_attributes=variable.lhs,
+                        lhs_values=x_key.values[g],
+                    )
+                )
+        if collect_tuples:
+            # every member of a conflicting group is a violating tuple
+            ids = [i for i, g in enumerate(x_codes) if conflict[g]]
+            _collect_keys(report, rows, ids, key_pos)
+    return report
+
+
+# -- public API ---------------------------------------------------------------
+
+
+def detect_constants(
+    relation: Relation,
+    constants: Sequence[ConstantCFD],
+    collect_tuples: bool = True,
+) -> ViolationReport:
+    """Violations of several constant normal forms, over the columnar store."""
+    return _scan_constants(relation, constants, collect_tuples)
+
+
+def detect_variables(
+    relation: Relation,
+    variables: Sequence[VariableCFD],
+    collect_tuples: bool = True,
+) -> ViolationReport:
+    """Violations of several variable normal forms, over the columnar store."""
+    return _scan_variables(
+        relation,
+        [(variable, PatternIndex(variable.patterns)) for variable in variables],
+        collect_tuples,
+    )
+
+
+class FusedDetector:
+    """Σ compiled once — normal forms and σ pattern indexes — then evaluated
+    against any number of relations.
+
+    The per-relation columnar state lives on the relations themselves, so a
+    detector instance is stateless across calls and cheap to share.
+    """
+
+    __slots__ = ("cfds", "normalized", "_constants", "_variables")
+
+    def __init__(self, cfds: CFD | Iterable[CFD]) -> None:
+        if isinstance(cfds, CFD):
+            cfds = [cfds]
+        self.cfds = list(cfds)
+        self.normalized = normalize_all(self.cfds)
+        self._constants = [
+            constant for nf in self.normalized for constant in nf.constants
+        ]
+        self._variables = [
+            (variable, PatternIndex(variable.patterns))
+            for nf in self.normalized
+            for variable in nf.variables
+        ]
+
+    def detect(
+        self, relation: Relation, collect_tuples: bool = True
+    ) -> ViolationReport:
+        """``Vioπ(Σ, D)`` plus violating tuple keys, fused over one encoding
+        pass of ``relation``."""
+        report = _scan_constants(relation, self._constants, collect_tuples)
+        return report.merge(
+            _scan_variables(relation, self._variables, collect_tuples)
+        )
+
+
+def fused_detect(
+    relation: Relation,
+    cfds: CFD | Iterable[CFD],
+    collect_tuples: bool = True,
+) -> ViolationReport:
+    """One-shot fused detection (compile Σ, then :meth:`FusedDetector.detect`)."""
+    return FusedDetector(cfds).detect(relation, collect_tuples)

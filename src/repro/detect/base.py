@@ -26,8 +26,8 @@ from ..core import (
     PatternIndex,
     VariableCFD,
     ViolationReport,
-    detect_constant,
-    detect_variable,
+    detect_constants,
+    detect_variables,
     normalize,
 )
 from ..distributed import (
@@ -38,7 +38,7 @@ from ..distributed import (
     Site,
     StageTimes,
 )
-from ..relational import Relation, Schema, compatible_with_bindings
+from ..relational import Relation, Schema, column_store, compatible_with_bindings
 from .local import applicable_patterns
 
 
@@ -65,6 +65,31 @@ def ship_projection_schema(schema: Schema, variable: VariableCFD) -> Schema:
     return schema.project(variable.attributes)
 
 
+def partition_fragment(
+    fragment: Relation, variable: VariableCFD, index: PatternIndex
+) -> list[list[tuple]]:
+    """σ-partition one fragment: per-pattern buckets of ``π_{X ∪ A}`` rows.
+
+    Columnar: the fragment's cached composite key column assigns each row
+    the ordinal of its distinct ``X ∪ A`` combination, σ is probed once per
+    distinct combination, and each row costs two list lookups.  Fragments
+    checked against several CFDs (or several algorithms) reuse the same
+    encoded columns.
+    """
+    buckets: list[list[tuple]] = [[] for _ in variable.patterns]
+    if not fragment.rows:
+        return buckets
+    key = column_store(fragment).key_column(variable.attributes)
+    lhs_width = len(variable.lhs)
+    values = key.values
+    ordinals = [index.first_match(combo[:lhs_width]) for combo in values]
+    for g in key.codes:
+        ordinal = ordinals[g]
+        if ordinal is not None:
+            buckets[ordinal].append(values[g])
+    return buckets
+
+
 def partition_site(
     site: Site,
     variable: VariableCFD,
@@ -76,26 +101,14 @@ def partition_site(
     fragmentation predicate is incompatible with every pattern of the CFD,
     the site does not participate at all (no scan, no statistics).
     """
-    applicable = applicable_patterns(site, variable)
-    buckets: list[list[tuple]] = [[] for _ in variable.patterns]
-    if not applicable:
-        return SitePartition(site, buckets, participated=False)
-
-    fragment = site.fragment
-    positions = fragment.schema.positions(variable.attributes)
-    lhs_width = len(variable.lhs)
-    match_cache: dict[tuple, int | None] = {}
-    for row in fragment.rows:
-        projected = tuple(row[p] for p in positions)
-        x = projected[:lhs_width]
-        ordinal = match_cache.get(x, -1)
-        if ordinal == -1:
-            ordinal = index.first_match(x)
-            match_cache[x] = ordinal
-        if ordinal is None:
-            continue
-        buckets[ordinal].append(projected)
-    return SitePartition(site, buckets, participated=True)
+    if not applicable_patterns(site, variable):
+        empty: list[list[tuple]] = [[] for _ in variable.patterns]
+        return SitePartition(site, empty, participated=False)
+    return SitePartition(
+        site,
+        partition_fragment(site.fragment, variable, index),
+        participated=True,
+    )
 
 
 def partition_cluster(
@@ -164,16 +177,23 @@ def ship_buckets(
 def local_constant_checks(
     cluster: Cluster, constants: Sequence[ConstantCFD]
 ) -> ViolationReport:
-    """Proposition 5: validate constant CFDs at each site, no shipment."""
+    """Proposition 5: validate constant CFDs at each site, no shipment.
+
+    Each site runs one fused pass over its fragment for all the constant
+    forms applicable there, instead of one scan per (site, form).
+    """
     report = ViolationReport()
-    for constant in constants:
-        for site in cluster.sites:
-            if site.predicate is not None and not compatible_with_bindings(
-                site.predicate, constant.condition()
-            ):
-                continue  # F_i ∧ F_φ unsatisfiable: φ not applicable here
+    for site in cluster.sites:
+        applicable = [
+            constant
+            for constant in constants
+            # F_i ∧ F_φ unsatisfiable: φ not applicable at this site
+            if site.predicate is None
+            or compatible_with_bindings(site.predicate, constant.condition())
+        ]
+        if applicable:
             report.merge(
-                detect_constant(site.fragment, constant, collect_tuples=True)
+                detect_constants(site.fragment, applicable, collect_tuples=True)
             )
     return report
 
@@ -203,7 +223,7 @@ def coordinator_check(
             patterns=(variable.patterns[ordinal],),
         )
         relation = Relation(schema, rows, copy=False)
-        report.merge(detect_variable(relation, single, collect_tuples=False))
+        report.merge(detect_variables(relation, [single], collect_tuples=False))
         site = coordinators[ordinal]
         ops_per_site[site] = ops_per_site.get(site, 0.0) + model.check_ops(
             len(rows)

@@ -24,13 +24,13 @@ from ..core import (
     PatternIndex,
     VariableCFD,
     ViolationReport,
-    detect_variable,
+    detect_variables,
     is_wildcard,
     normalize,
     sort_patterns_by_generality,
 )
 from ..distributed import Cluster, DetectionOutcome, ShipmentLog
-from ..relational import Relation
+from ..relational import Relation, column_store
 from . import base
 from .pat import Strategy, make_select_min_response, select_max_stat
 
@@ -117,38 +117,53 @@ def _partition_site_for_cluster(
     counts used for check-cost accounting.
     """
     fragment = site.fragment
-    schema = fragment.schema
-    group_positions = schema.positions(group.attributes)
-    member_data = [
-        (
-            schema.positions(member.lhs),
-            PatternIndex(member.patterns),
-        )
-        for member in group.members
-    ]
-    shared_positions = schema.positions(group.shared)
-
     buckets: list[list[tuple]] = [[] for _ in group.projected]
     member_counts = [
         [0] * len(group.members) for _ in group.projected
     ]
-    for row in fragment.rows:
+    if not fragment.rows:
+        return buckets, member_counts
+
+    # Columnar: encode the attribute union once, then resolve member
+    # matches and the projected σ ordinal per *distinct* combination.
+    key = column_store(fragment).key_column(group.attributes)
+    attr_pos = {attr: i for i, attr in enumerate(group.attributes)}
+    member_data = [
+        (
+            tuple(attr_pos[a] for a in member.lhs),
+            PatternIndex(member.patterns),
+        )
+        for member in group.members
+    ]
+    shared_positions = tuple(attr_pos[a] for a in group.shared)
+    plans: list[tuple[int, list[int]] | None] = []
+    for combo in key.values:
         matched = [
             m
             for m, (positions, index) in enumerate(member_data)
-            if index.matches_any(tuple(row[p] for p in positions))
+            if index.matches_any(tuple(combo[p] for p in positions))
         ]
         if not matched:
+            plans.append(None)
             continue
-        xc = tuple(row[p] for p in shared_positions)
+        xc = tuple(combo[p] for p in shared_positions)
         ordinal = projected_index.first_match(xc)
         if ordinal is None:  # cannot happen: member match ⇒ projected match
             raise AssertionError(
                 "tuple matched a member CFD but no projected pattern"
             )
-        buckets[ordinal].append(tuple(row[p] for p in group_positions))
+        plans.append((ordinal, matched))
+
+    values = key.values
+    for g in key.codes:
+        plan = plans[g]
+        if plan is None:
+            continue
+        ordinal, matched = plan
+        buckets[ordinal].append(values[g])
+        counts = member_counts[ordinal]
         for m in matched:
-            member_counts[ordinal][m] += 1
+            counts[m] += 1
     return buckets, member_counts
 
 
@@ -243,7 +258,7 @@ def clust_detect(
             ops = float(len(rows))
             for m, member in enumerate(group.members):
                 report.merge(
-                    detect_variable(relation, member, collect_tuples=False)
+                    detect_variables(relation, [member], collect_tuples=False)
                 )
                 ops += model.check_ops(total_counts[ordinal][m])
             ops_per_site[site_index] = ops_per_site.get(site_index, 0.0) + ops

@@ -11,8 +11,8 @@ most once.
 
 from __future__ import annotations
 
-from ..core import CFD, PatternIndex, VariableCFD, ViolationReport, detect_variable
-from ..distributed import Cluster, CostBreakdown, DetectionOutcome, ShipmentLog
+from ..core import CFD, detect_variables
+from ..distributed import Cluster, DetectionOutcome, ShipmentLog
 from ..relational import Relation
 from . import base
 
@@ -66,7 +66,7 @@ def ctr_detect(cluster: Cluster, cfd: CFD) -> DetectionOutcome:
         log.merge(stage_log)
 
         relation = Relation(schema, merged_rows, copy=False)
-        report.merge(detect_variable(relation, variable, collect_tuples=False))
+        report.merge(detect_variables(relation, [variable], collect_tuples=False))
         check = cluster.cost_model.check_time(
             cluster.cost_model.check_ops(len(merged_rows))
         )

@@ -27,7 +27,7 @@ from typing import Iterable
 from ..core import (
     CFD,
     ViolationReport,
-    detect_constant,
+    detect_constants,
     normalize,
 )
 from ..distributed import (
@@ -156,7 +156,7 @@ def hybrid_detect(
                     )
                     stages.append(base.stage(0.0, transfer, 0.0))
                 report.merge(
-                    detect_constant(gathered, constant, collect_tuples=False)
+                    detect_constants(gathered, [constant], collect_tuples=False)
                 )
 
         for variable in normalized.variables:

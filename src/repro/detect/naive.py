@@ -1,9 +1,10 @@
 """The naive baseline of Section III-A: ship everything to one site.
 
 Ships every fragment (whole tuples, all attributes) to a coordinator,
-reconstructs ``D`` and runs the centralized detector.  Exists to quantify
-how much traffic the real algorithms save; the paper dismisses it as
-incurring "excessive network traffic".
+reconstructs ``D`` and runs the centralized detector (the fused columnar
+engine, via the :func:`repro.core.detect_violations` dispatcher).  Exists
+to quantify how much traffic the real algorithms save; the paper dismisses
+it as incurring "excessive network traffic".
 """
 
 from __future__ import annotations

@@ -17,29 +17,19 @@ availability-blind PATDETECTS; with full replication nothing ships at all.
 
 from __future__ import annotations
 
-from ..core import CFD, PatternIndex, ViolationReport, detect_constant, normalize
+from ..core import (
+    CFD,
+    PatternIndex,
+    VariableCFD,
+    ViolationReport,
+    detect_constants,
+    detect_variables,
+    normalize,
+)
 from ..distributed import CostBreakdown, DetectionOutcome, ShipmentLog
 from ..distributed.replication import ReplicatedCluster
 from ..relational import Relation
 from . import base
-
-
-def _partition_fragment(fragment, variable, index: PatternIndex):
-    positions = fragment.schema.positions(variable.attributes)
-    lhs_width = len(variable.lhs)
-    buckets: list[list[tuple]] = [[] for _ in variable.patterns]
-    cache: dict[tuple, int | None] = {}
-    for row in fragment.rows:
-        projected = tuple(row[p] for p in positions)
-        x = projected[:lhs_width]
-        ordinal = cache.get(x, -1)
-        if ordinal == -1:
-            ordinal = index.first_match(x)
-            cache[x] = ordinal
-        if ordinal is None:
-            continue
-        buckets[ordinal].append(projected)
-    return buckets
 
 
 def replicated_pat_detect(
@@ -53,12 +43,15 @@ def replicated_pat_detect(
     stages = []
     details: dict[str, object] = {}
 
-    # Constant CFDs: each fragment checked at one replica, no shipment.
+    # Constant CFDs: each fragment checked at one replica, no shipment —
+    # one fused pass per fragment for the whole constant set.
     scan_sites = cluster.balanced_scan_assignment()
-    for constant in normalized.constants:
+    if normalized.constants:
         for fragment in cluster.fragments:
             report.merge(
-                detect_constant(fragment, constant, collect_tuples=False)
+                detect_constants(
+                    fragment, normalized.constants, collect_tuples=False
+                )
             )
 
     for variable in normalized.variables:
@@ -67,7 +60,7 @@ def replicated_pat_detect(
 
         # 1. balanced scans: per-site load = Σ sizes of fragments it scans
         fragment_buckets = [
-            _partition_fragment(fragment, variable, index)
+            base.partition_fragment(fragment, variable, index)
             for fragment in cluster.fragments
         ]
         scan_load = [0] * cluster.n_sites
@@ -133,8 +126,6 @@ def replicated_pat_detect(
         log.merge(stage_log)
 
         # 4. per-coordinator checks, as in the unreplicated algorithms
-        from ..core import VariableCFD, detect_variable
-
         ops_per_site: dict[int, float] = {}
         for l, rows in enumerate(merged):
             if not rows:
@@ -146,7 +137,7 @@ def replicated_pat_detect(
                 patterns=(variable.patterns[l],),
             )
             relation = Relation(schema, rows, copy=False)
-            report.merge(detect_variable(relation, single, collect_tuples=False))
+            report.merge(detect_variables(relation, [single], collect_tuples=False))
             site = coordinators[l]
             ops_per_site[site] = ops_per_site.get(site, 0.0) + model.check_ops(
                 len(rows)

@@ -5,7 +5,10 @@ but its Section V machinery needs a working detector: a CFD is checked
 *locally* when some fragment covers all its attributes (Section II-C);
 otherwise the needed attribute columns are shipped (keyed) to a coordinator
 and joined before running the centralized detector — the semijoin-flavoured
-plan Section VII points at.
+plan Section VII points at.  Both the key joins and the coordinator's
+detection run on the columnar backend: joins probe the fragments' cached
+group indexes, and detection goes through the fused engine the
+:func:`repro.core.detect_violations` dispatcher selects.
 
 Each needed attribute column is shipped at most once: for every attribute
 outside the coordinator's fragment we pick one source site holding it.

@@ -24,6 +24,7 @@ from .predicate import (
     compatible_with_bindings,
     satisfiable,
 )
+from .columnar import Column, ColumnStore, KeyColumn, column_store
 from .csvio import infer_column_types, load_csv, save_csv
 from .index import HashIndex
 from .relation import Relation
@@ -47,6 +48,10 @@ __all__ = [
     "TruePred",
     "Relation",
     "HashIndex",
+    "Column",
+    "ColumnStore",
+    "KeyColumn",
+    "column_store",
     "Schema",
     "SchemaError",
     "compatible_with_bindings",

@@ -1,0 +1,228 @@
+"""Dictionary-encoded columnar execution backend.
+
+The row store (:class:`~repro.relational.relation.Relation`) keeps tuples,
+which is what the paper's formalism talks about — but every hot query in
+this library (σ partitioning, GROUP BY detection, hash joins) only compares
+values for *equality*.  A dictionary-encoded column replaces each value by a
+small integer code, after which those comparisons become integer
+comparisons over contiguous code arrays, and repeated group-bys over the
+same attributes become free: the grouping is computed once and cached.
+
+Three views are built lazily, per relation, and cached on the relation
+itself (relations are treated as immutable values throughout the library,
+so the caches never need invalidation):
+
+* :class:`Column` — one attribute as ``codes`` (row -> int code), ``values``
+  (code -> value) and ``code_of`` (value -> code);
+* :class:`KeyColumn` — the composite over an attribute *list*: ``codes``
+  assigns every row the ordinal of its distinct value combination, and
+  ``values`` decodes an ordinal back to the value tuple.  This is the
+  dictionary-encoded form of a GROUP BY key;
+* ``group_index`` — the classic hash index (value tuple -> row ids),
+  derived from a :class:`KeyColumn`; :class:`~repro.relational.index.HashIndex`,
+  :meth:`Relation.group_by` and :meth:`Relation.join` all share it.
+
+Codes are stored in plain lists rather than ``array('I')``: CPython indexes
+lists faster than it unboxes array elements, and nothing here assumes
+numpy.  The fused detector (:mod:`repro.core.fused`) consumes these views
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+class Column:
+    """One attribute of a relation, dictionary-encoded.
+
+    ``codes[i]`` is the code of row ``i``'s value; ``values[c]`` decodes a
+    code; ``code_of[v]`` encodes a value (absent values of the domain are
+    simply missing — a probe with ``code_of.get`` answers "does any row
+    carry this constant?" in O(1)).
+    """
+
+    __slots__ = ("attribute", "codes", "values", "code_of")
+
+    def __init__(
+        self,
+        attribute: str,
+        codes: list[int],
+        values: list[object],
+        code_of: dict[object, int],
+    ) -> None:
+        self.attribute = attribute
+        self.codes = codes
+        self.values = values
+        self.code_of = code_of
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return (
+            f"Column({self.attribute!r}, {len(self.codes)} rows, "
+            f"{len(self.values)} distinct)"
+        )
+
+
+class KeyColumn:
+    """A composite (multi-attribute) dictionary-encoded column.
+
+    ``codes[i]`` is the ordinal of row ``i``'s distinct value *combination*
+    over ``attributes``; ``values[g]`` is that combination as a tuple, in
+    first-seen order.  Equal to the grouping a hash GROUP BY would compute,
+    in a form that downstream passes can consume with two list lookups per
+    row.
+    """
+
+    __slots__ = ("attributes", "codes", "values")
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...],
+        codes: list[int],
+        values: list[tuple],
+    ) -> None:
+        self.attributes = attributes
+        self.codes = codes
+        self.values = values
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyColumn({list(self.attributes)}, {len(self.codes)} rows, "
+            f"{len(self.values)} groups)"
+        )
+
+
+class ColumnStore:
+    """Lazily built, cached columnar views of one (immutable) relation.
+
+    Obtain through :func:`column_store`, which hangs the store off the
+    relation so every consumer — the fused detector, ``HashIndex``,
+    ``group_by``, ``join`` — shares one set of columns and group indexes.
+    """
+
+    __slots__ = ("schema", "rows", "_columns", "_key_columns", "_group_indexes")
+
+    def __init__(self, relation) -> None:
+        self.schema = relation.schema
+        self.rows = relation.rows
+        self._columns: dict[str, Column] = {}
+        self._key_columns: dict[tuple[str, ...], KeyColumn] = {}
+        self._group_indexes: dict[tuple[str, ...], dict[tuple, list[int]]] = {}
+
+    # -- per-attribute columns -------------------------------------------
+
+    def column(self, attribute: str) -> Column:
+        """The dictionary-encoded column of ``attribute`` (cached)."""
+        cached = self._columns.get(attribute)
+        if cached is not None:
+            return cached
+        position = self.schema.position(attribute)
+        codes: list[int] = []
+        values: list[object] = []
+        code_of: dict[object, int] = {}
+        append = codes.append
+        get = code_of.get
+        for row in self.rows:
+            value = row[position]
+            code = get(value)
+            if code is None:
+                code = len(values)
+                code_of[value] = code
+                values.append(value)
+            append(code)
+        column = Column(attribute, codes, values, code_of)
+        self._columns[attribute] = column
+        return column
+
+    # -- composite key columns -------------------------------------------
+
+    def key_column(self, attributes: Sequence[str]) -> KeyColumn:
+        """The composite column over ``attributes`` (cached per tuple)."""
+        attributes = tuple(attributes)
+        cached = self._key_columns.get(attributes)
+        if cached is not None:
+            return cached
+        if not attributes:
+            # degenerate GROUP BY (): every row in the single empty group
+            key = KeyColumn(attributes, [0] * len(self.rows), [()])
+            self._key_columns[attributes] = key
+            return key
+        if len(attributes) == 1:
+            # reuse the per-attribute codes; only the decode side is new
+            column = self.column(attributes[0])
+            key = KeyColumn(
+                attributes, column.codes, [(v,) for v in column.values]
+            )
+            self._key_columns[attributes] = key
+            return key
+        code_arrays = [self.column(a).codes for a in attributes]
+        value_arrays = [self.column(a).values for a in attributes]
+        codes: list[int] = []
+        values: list[tuple] = []
+        index: dict[tuple, int] = {}
+        append = codes.append
+        get = index.get
+        for combo in zip(*code_arrays):
+            group = get(combo)
+            if group is None:
+                group = len(values)
+                index[combo] = group
+                values.append(
+                    tuple(decode[c] for decode, c in zip(value_arrays, combo))
+                )
+            append(group)
+        key = KeyColumn(attributes, codes, values)
+        self._key_columns[attributes] = key
+        return key
+
+    # -- hash group index -------------------------------------------------
+
+    def group_index(self, attributes: Sequence[str]) -> dict[tuple, list[int]]:
+        """Value tuple -> row ids, in first-seen order (cached per tuple).
+
+        The shared backing of ``HashIndex``, ``Relation.group_by`` and the
+        build side of ``Relation.join``.  Callers must not mutate the
+        returned dict or its lists.
+        """
+        attributes = tuple(attributes)
+        cached = self._group_indexes.get(attributes)
+        if cached is not None:
+            return cached
+        key = self.key_column(attributes)
+        buckets: list[list[int]] = [[] for _ in key.values]
+        for i, group in enumerate(key.codes):
+            buckets[group].append(i)
+        index = {key.values[g]: ids for g, ids in enumerate(buckets)}
+        self._group_indexes[attributes] = index
+        return index
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnStore({self.schema.name!r}, {len(self.rows)} rows, "
+            f"{len(self._columns)} columns built)"
+        )
+
+
+def column_store(relation) -> ColumnStore:
+    """The relation's cached :class:`ColumnStore`, built on first use.
+
+    The store is stowed in the relation's ``_colstore`` slot; objects
+    without that slot (duck-typed relation stand-ins) still work, they just
+    rebuild per call.
+    """
+    store = getattr(relation, "_colstore", None)
+    if store is None:
+        store = ColumnStore(relation)
+        try:
+            relation._colstore = store
+        except AttributeError:  # no slot on a relation-like stand-in
+            pass
+    return store

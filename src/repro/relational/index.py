@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
+from .columnar import column_store
 from .relation import Relation
 from .schema import SchemaError
 
@@ -20,9 +21,11 @@ class HashIndex:
     Maps each distinct attribute-value combination to the matching rows.
     The index holds references to the relation's row tuples; it is a
     snapshot — relations are treated as immutable throughout the library.
+    The bucketing is backed by the relation's cached columnar group index,
+    so two indexes on the same attributes hash the rows only once.
     """
 
-    __slots__ = ("relation", "attributes", "_positions", "_buckets")
+    __slots__ = ("relation", "attributes", "_buckets")
 
     def __init__(self, relation: Relation, attributes: Sequence[str]) -> None:
         attributes = tuple(attributes)
@@ -30,13 +33,12 @@ class HashIndex:
             raise SchemaError("an index needs at least one attribute")
         self.relation = relation
         self.attributes = attributes
-        self._positions = relation.schema.positions(attributes)
-        buckets: dict[tuple, list[tuple]] = {}
-        for row in relation.rows:
-            buckets.setdefault(
-                tuple(row[p] for p in self._positions), []
-            ).append(row)
-        self._buckets = buckets
+        relation.schema.positions(attributes)  # validates the attributes
+        rows = relation.rows
+        self._buckets = {
+            key: [rows[i] for i in ids]
+            for key, ids in column_store(relation).group_index(attributes).items()
+        }
 
     def lookup(self, values: Sequence[object]) -> list[tuple]:
         """Rows whose indexed attributes equal ``values``."""

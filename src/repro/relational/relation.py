@@ -7,6 +7,10 @@ reconstruct vertically partitioned relations), union, and hash group-by
 (the engine behind the SQL GROUP BY detection technique of [2]).
 
 Rows are plain tuples positioned according to ``relation.schema.attributes``.
+Because relations are immutable values, each one lazily grows a cached
+columnar view (:mod:`repro.relational.columnar`) that ``group_by``,
+``join`` and :class:`~repro.relational.index.HashIndex` share, so repeated
+hashing of the same attribute combinations is paid once per relation.
 """
 
 from __future__ import annotations
@@ -14,6 +18,15 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from .schema import Schema, SchemaError
+
+
+def _sort_key(value: object) -> tuple:
+    """A total order over mixed-type values: numbers first, numerically."""
+    if isinstance(value, (int, float)):
+        return (0, "", value)
+    if isinstance(value, str):
+        return (1, "str", value)
+    return (1, type(value).__name__, str(value))
 
 
 class Relation:
@@ -24,7 +37,7 @@ class Relation:
     treats them as immutable values throughout).
     """
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_colstore")
 
     def __init__(
         self,
@@ -139,9 +152,11 @@ class Relation:
                 f"join would duplicate non-join attributes {sorted(overlap)}"
             )
 
-        index: dict[tuple, list[tuple]] = {}
-        for row in other.rows:
-            index.setdefault(tuple(row[p] for p in right_pos), []).append(row)
+        from .columnar import column_store
+
+        # build side: the other relation's cached group index on the join key
+        index = column_store(other).group_index(on)
+        other_rows = other.rows
 
         out_schema = Schema(
             f"{self.schema.name}⋈{other.schema.name}",
@@ -150,23 +165,37 @@ class Relation:
         )
         out_rows = []
         for row in self.rows:
-            for match in index.get(tuple(row[p] for p in left_pos), ()):
-                out_rows.append(row + tuple(match[p] for p in right_rest_pos))
+            ids = index.get(tuple(row[p] for p in left_pos))
+            if ids:
+                for i in ids:
+                    match = other_rows[i]
+                    out_rows.append(row + tuple(match[p] for p in right_rest_pos))
         return Relation(out_schema, out_rows, copy=False)
 
     def group_by(self, attributes: Sequence[str]) -> dict[tuple, list[tuple]]:
-        """Hash group-by: grouping-key tuple -> rows in first-seen order."""
-        positions = self.schema.positions(attributes)
-        groups: dict[tuple, list[tuple]] = {}
-        for row in self.rows:
-            groups.setdefault(tuple(row[p] for p in positions), []).append(row)
-        return groups
+        """Hash group-by: grouping-key tuple -> rows in first-seen order.
+
+        Backed by the relation's cached columnar group index, so grouping
+        by the same attributes twice hashes the rows only once.
+        """
+        from .columnar import column_store
+
+        index = column_store(self).group_index(tuple(attributes))
+        rows = self.rows
+        return {key: [rows[i] for i in ids] for key, ids in index.items()}
 
     def sorted_by(self, attributes: Sequence[str]) -> "Relation":
-        """Rows sorted lexicographically by ``attributes`` (stringified order)."""
+        """Rows sorted lexicographically by ``attributes``, type-aware.
+
+        Numeric values order numerically (and before non-numeric ones);
+        other values order by type name then string form, so mixed-type
+        columns still get a stable total order without ``1, 10, 2``-style
+        stringified misordering.
+        """
         positions = self.schema.positions(attributes)
         keyed = sorted(
-            self.rows, key=lambda row: tuple(str(row[p]) for p in positions)
+            self.rows,
+            key=lambda row: tuple(_sort_key(row[p]) for p in positions),
         )
         return Relation(self.schema, keyed, copy=False)
 

@@ -32,7 +32,7 @@ class Schema:
         Attributes forming the key.  Defaults to the first attribute.
     """
 
-    __slots__ = ("name", "attributes", "key", "_positions")
+    __slots__ = ("name", "attributes", "key", "_positions", "_positions_cache")
 
     def __init__(
         self,
@@ -55,6 +55,7 @@ class Schema:
         self.attributes = attributes
         self.key = key
         self._positions = {a: i for i, a in enumerate(attributes)}
+        self._positions_cache: dict[tuple[str, ...], tuple[int, ...]] = {}
 
     # -- lookups ---------------------------------------------------------
 
@@ -69,8 +70,18 @@ class Schema:
             ) from None
 
     def positions(self, attributes: Iterable[str]) -> tuple[int, ...]:
-        """Return column indexes for several attributes, in the given order."""
-        return tuple(self.position(a) for a in attributes)
+        """Return column indexes for several attributes, in the given order.
+
+        Memoized per attribute tuple — every detector resolves the same
+        LHS/RHS lists once per query, so repeated lookups are one dict
+        probe.
+        """
+        key = tuple(attributes)
+        cached = self._positions_cache.get(key)
+        if cached is None:
+            cached = tuple(self.position(a) for a in key)
+            self._positions_cache[key] = cached
+        return cached
 
     def __contains__(self, attribute: object) -> bool:
         return attribute in self._positions

@@ -108,6 +108,18 @@ def test_sorted_by():
     assert relation.sorted_by(["x"]).rows[0][1] == "a"
 
 
+def test_sorted_by_orders_numbers_numerically():
+    # regression: stringified sorting ordered numeric columns 1, 10, 2
+    relation = rel([(1, "a", 10), (2, "b", 2), (3, "c", 1)])
+    assert [row[2] for row in relation.sorted_by(["y"]).rows] == [1, 2, 10]
+
+
+def test_sorted_by_mixed_types_is_stable():
+    relation = rel([(1, "a", "x"), (2, "b", 10), (3, "c", 2), (4, "d", None)])
+    ordered = [row[2] for row in relation.sorted_by(["y"]).rows]
+    assert ordered == [2, 10, None, "x"]  # numbers first, then by type name
+
+
 def test_equality_is_order_insensitive():
     assert rel([(1, "a", 10), (2, "b", 20)]) == rel([(2, "b", 20), (1, "a", 10)])
 

@@ -27,6 +27,15 @@ def test_unknown_attribute_raises():
     schema = Schema("R", ["a"])
     with pytest.raises(SchemaError):
         schema.position("nope")
+    with pytest.raises(SchemaError):
+        schema.positions(["a", "nope"])
+
+
+def test_positions_are_memoized():
+    schema = Schema("R", ["a", "b", "c"])
+    first = schema.positions(["c", "a"])
+    assert schema.positions(["c", "a"]) is first  # cached tuple, one probe
+    assert schema.positions(("c", "a")) is first  # list/tuple spell the same key
 
 
 def test_duplicate_attributes_rejected():
