@@ -1,16 +1,21 @@
-"""Perf regression gate: fused single-pass detection vs per-CFD scans.
+"""Perf regression gate: the three detection engines on the Fig. 3c/3i data.
 
 Runs the same measurement as ``repro bench`` — the Fig. 3c data-size
-configuration at ``REPRO_SCALE``, single-CFD (Fig. 3c) and multi-CFD
-(Fig. 3i) workloads — writes the machine-readable trajectory to
-``BENCH_detect.json`` at the repo root, and asserts:
+configuration at ``REPRO_SCALE`` (deterministically seeded, so timings
+compare like-for-like across runs), single-CFD (Fig. 3c) and multi-CFD
+(Fig. 3i) workloads — and asserts:
 
-* the fused engine matches the reference oracle (violations and tuple
-  keys) on every workload;
-* the steady-state speedup stays above a conservative floor.  The floor is
-  set below the ≥3x the engine delivers on an idle machine so a loaded CI
-  host does not flake the gate; the JSON records the actual numbers for
-  the trajectory.
+* the fused engine and, when numpy is active, the fused-numpy engine match
+  the reference oracle (violations and tuple keys) on every workload;
+* the steady-state speedups stay above conservative floors.  The floors
+  sit well below what the engines deliver on an idle machine (fused ≥ 4x
+  over the per-CFD-scan plan, fused-numpy ≥ 2x again over fused) so a
+  loaded CI host does not flake the gate.
+
+The machine-readable trajectory is written to ``BENCH_detect.json`` at the
+repo root **only when ``REPRO_BENCH=1``** — a plain ``pytest`` run must not
+dirty the working tree; export the variable when you intend to re-record
+the trajectory.
 """
 
 import json
@@ -21,13 +26,18 @@ from repro.experiments import bench_detection
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_detect.json"
 
-#: conservative CI floor; the recorded steady-state speedup target is >= 3x.
-#: Override (e.g. to 0 on a heavily loaded host) via the environment.
+#: conservative CI floors; the recorded steady-state targets are >= 4x for
+#: fused over reference and >= 2x for fused-numpy over fused.  Override
+#: (e.g. to 0 on a heavily loaded host) via the environment.
 SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "1.8"))
+NUMPY_VS_FUSED_FLOOR = float(
+    os.environ.get("REPRO_BENCH_NUMPY_FLOOR", "1.3")
+)
 
 
-def test_fused_engine_speedup_and_equivalence():
-    summary = bench_detection(out=BENCH_PATH, repeats=3)
+def test_engine_speedups_and_equivalence():
+    record = os.environ.get("REPRO_BENCH") == "1"
+    summary = bench_detection(out=BENCH_PATH if record else None, repeats=3)
 
     for name, entry in summary["workloads"].items():
         assert entry["matches_reference"], f"{name}: fused != reference"
@@ -35,17 +45,40 @@ def test_fused_engine_speedup_and_equivalence():
             f"{name}: fused speedup regressed to {entry['speedup']:.2f}x "
             f"(floor {SPEEDUP_FLOOR}x)"
         )
+        if summary["numpy"]:
+            assert entry["fused_numpy_matches_reference"], (
+                f"{name}: fused-numpy != reference"
+            )
+            assert entry["fused_numpy_vs_fused"] >= NUMPY_VS_FUSED_FLOOR, (
+                f"{name}: fused-numpy regressed to "
+                f"{entry['fused_numpy_vs_fused']:.2f}x over fused "
+                f"(floor {NUMPY_VS_FUSED_FLOOR}x)"
+            )
 
-    persisted = json.loads(BENCH_PATH.read_text())
-    assert persisted["speedup"] == summary["speedup"]
-    assert persisted["n_tuples"] == summary["n_tuples"]
-    print(
-        "\n"
-        + "\n".join(
+    if record:
+        persisted = json.loads(BENCH_PATH.read_text())
+        assert persisted["speedup"] == summary["speedup"]
+        assert persisted["n_tuples"] == summary["n_tuples"]
+
+    def line(name, entry):
+        text = (
             f"{name}: {entry['speedup']:.1f}x warm "
             f"({entry['cold_speedup']:.1f}x cold), "
             f"{entry['fused_rows_per_sec']:,.0f} rows/s fused vs "
             f"{entry['baseline_rows_per_sec']:,.0f} rows/s baseline"
+        )
+        if "fused_numpy_rows_per_sec" in entry:
+            text += (
+                f"; fused-numpy {entry['fused_numpy_speedup']:.1f}x warm, "
+                f"{entry['fused_numpy_rows_per_sec']:,.0f} rows/s "
+                f"({entry['fused_numpy_vs_fused']:.1f}x over fused)"
+            )
+        return text
+
+    print(
+        "\n"
+        + "\n".join(
+            line(name, entry)
             for name, entry in summary["workloads"].items()
         )
     )

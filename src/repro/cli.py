@@ -103,7 +103,8 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default="results")
 
     bench = commands.add_parser(
-        "bench", help="benchmark the detection engines (reference vs fused)"
+        "bench",
+        help="benchmark the detection engines (reference vs fused vs fused-numpy)",
     )
     bench.add_argument(
         "--out", default="BENCH_detect.json",
@@ -218,10 +219,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{entry['fused_rows_per_sec']:,.0f} rows/s, "
             f"matches reference: {entry['matches_reference']}"
         )
+        if "fused_numpy_warm_seconds" in entry:
+            print(
+                f"  {name}: fused-numpy "
+                f"{entry['fused_numpy_warm_seconds']:.3f}s warm "
+                f"({entry['fused_numpy_cold_seconds']:.3f}s cold) -> "
+                f"{entry['fused_numpy_speedup']:.1f}x speedup "
+                f"({entry['fused_numpy_vs_fused']:.1f}x over fused), "
+                f"{entry['fused_numpy_rows_per_sec']:,.0f} rows/s, "
+                f"matches reference: {entry['fused_numpy_matches_reference']}"
+            )
+    if not summary["numpy"]:
+        print("  (fused-numpy tier skipped: numpy unavailable or disabled)")
     print(f"[saved to {args.out}]")
-    return 0 if all(
-        entry["matches_reference"] for entry in summary["workloads"].values()
-    ) else 1
+    ok = all(
+        entry["matches_reference"]
+        and entry.get("fused_numpy_matches_reference", True)
+        for entry in summary["workloads"].values()
+    )
+    return 0 if ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:

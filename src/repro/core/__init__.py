@@ -12,6 +12,7 @@ from .cfd import (
 )
 from .epatterns import NotValue, OneOf, PatternPredicate, Range, is_predicate
 from .detection import (
+    ENGINES,
     check_cost,
     detect_constant,
     detect_normalized,
@@ -53,6 +54,7 @@ __all__ = [
     "PatternPredicate",
     "Range",
     "is_predicate",
+    "ENGINES",
     "check_cost",
     "detect_constant",
     "detect_constants",

@@ -8,17 +8,27 @@ violations of the variable normal forms.  This module is the same plan on
 our relational engine; it is both the baseline detector and the local
 checking step every distributed algorithm runs at coordinator sites.
 
-Two engines implement the plan:
+Three engines implement the plan:
 
 * the **reference** engine below — one scan per normal form, row tuples
   and hash tables rebuilt per query.  It is the executable spec every
-  other detector (fused, distributed, SQL) is tested against;
+  other detector (fused, fused-numpy, distributed, SQL) is tested
+  against;
 * the **fused** engine (:mod:`repro.core.fused`) — a single pass over the
-  relation's cached columnar encoding evaluating all of Σ at once.
+  relation's cached columnar encoding evaluating all of Σ at once, with
+  pure-Python per-form folds;
+* the **fused-numpy** engine — the same single pass with the folds
+  vectorized over the store's ``int32`` code arrays (boolean-mask
+  constant tests, sorted group-reduce conflict detection).  Requires the
+  optional numpy dependency (the ``fast`` extra).
 
-:func:`detect_violations` dispatches to the fused engine by default (set
-``REPRO_ENGINE=reference`` or pass ``engine="reference"`` to force the
-row-at-a-time plan).
+:func:`detect_violations` dispatches between them: pass
+``engine="reference" | "fused" | "fused-numpy"``, or set the
+``REPRO_ENGINE`` environment variable to the same values (the engine
+conformance matrix in the test suite does exactly that).  With neither
+given, detection auto-selects: fused-numpy when numpy is importable (and
+not disabled via ``REPRO_NUMPY=0``) and the relation is large enough to
+amortize array overhead, fused otherwise.
 """
 
 from __future__ import annotations
@@ -158,6 +168,10 @@ def detect_violations_reference(
     return report
 
 
+#: engine names :func:`detect_violations` accepts (besides ``"auto"``).
+ENGINES = ("reference", "fused", "fused-numpy")
+
+
 def detect_violations(
     relation: Relation,
     cfds: CFD | Iterable[CFD],
@@ -166,21 +180,27 @@ def detect_violations(
 ) -> ViolationReport:
     """``Vioπ(Σ, D)`` (plus violating tuple keys) on a centralized relation.
 
-    ``engine`` selects the execution backend: ``"fused"`` (the default —
-    single-pass columnar evaluation of all of Σ) or ``"reference"`` (one
-    scan per normal form).  When ``engine`` is ``None`` the ``REPRO_ENGINE``
-    environment variable decides, defaulting to ``"fused"``.
+    ``engine`` selects the execution backend: ``"fused"`` (single-pass
+    columnar evaluation of all of Σ, pure-Python folds), ``"fused-numpy"``
+    (the same pass with vectorized folds; raises ``RuntimeError`` when
+    numpy is unavailable), ``"reference"`` (one scan per normal form) or
+    ``"auto"``.  When ``engine`` is ``None`` the ``REPRO_ENGINE``
+    environment variable decides, defaulting to ``"auto"`` — the fused
+    engine with vectorized folds whenever numpy is active and the relation
+    is large enough for them to pay off.
     """
     if engine is None:
-        engine = os.environ.get("REPRO_ENGINE", "fused")
-    if engine == "fused":
+        engine = os.environ.get("REPRO_ENGINE", "auto")
+    if engine in ("auto", "fused", "fused-numpy"):
         from .fused import fused_detect
 
-        return fused_detect(relation, cfds, collect_tuples)
+        vectorize = {"auto": None, "fused": False, "fused-numpy": True}[engine]
+        return fused_detect(relation, cfds, collect_tuples, vectorize)
     if engine == "reference":
         return detect_violations_reference(relation, cfds, collect_tuples)
     raise ValueError(
-        f"unknown detection engine {engine!r}; use 'fused' or 'reference'"
+        f"unknown detection engine {engine!r}; "
+        f"use one of {', '.join(ENGINES)} (or 'auto')"
     )
 
 

@@ -66,7 +66,10 @@ def ship_projection_schema(schema: Schema, variable: VariableCFD) -> Schema:
 
 
 def partition_fragment(
-    fragment: Relation, variable: VariableCFD, index: PatternIndex
+    fragment: Relation,
+    variable: VariableCFD,
+    index: PatternIndex,
+    intern: dict[tuple, tuple] | None = None,
 ) -> list[list[tuple]]:
     """σ-partition one fragment: per-pattern buckets of ``π_{X ∪ A}`` rows.
 
@@ -75,6 +78,12 @@ def partition_fragment(
     distinct combination, and each row costs two list lookups.  Fragments
     checked against several CFDs (or several algorithms) reuse the same
     encoded columns.
+
+    ``intern`` is an optional cross-fragment intern table: distinct
+    projections are canonicalized through it once per fragment, so equal
+    rows shipped from different sites arrive at the coordinator as one
+    shared tuple object (within one fragment the key column already
+    interns — every row of a group reuses the group's value tuple).
     """
     buckets: list[list[tuple]] = [[] for _ in variable.patterns]
     if not fragment.rows:
@@ -83,6 +92,11 @@ def partition_fragment(
     lhs_width = len(variable.lhs)
     values = key.values
     ordinals = [index.first_match(combo[:lhs_width]) for combo in values]
+    if intern is not None:
+        values = [
+            intern.setdefault(combo, combo) if ordinals[g] is not None else combo
+            for g, combo in enumerate(values)
+        ]
     for g in key.codes:
         ordinal = ordinals[g]
         if ordinal is not None:
@@ -94,6 +108,7 @@ def partition_site(
     site: Site,
     variable: VariableCFD,
     index: PatternIndex,
+    intern: dict[tuple, tuple] | None = None,
 ) -> SitePartition:
     """Compute ``σ_i`` at one site: buckets ``H_i^l`` and their sizes.
 
@@ -106,7 +121,7 @@ def partition_site(
         return SitePartition(site, empty, participated=False)
     return SitePartition(
         site,
-        partition_fragment(site.fragment, variable, index),
+        partition_fragment(site.fragment, variable, index, intern),
         participated=True,
     )
 
@@ -114,10 +129,16 @@ def partition_site(
 def partition_cluster(
     cluster: Cluster, variable: VariableCFD
 ) -> tuple[list[SitePartition], PatternIndex]:
-    """Run :func:`partition_site` at every site of the cluster."""
+    """Run :func:`partition_site` at every site of the cluster.
+
+    One intern table is shared across the sites, so the ``(X, A)``
+    projections later merged at coordinators are deduplicated to one tuple
+    object per distinct combination cluster-wide.
+    """
     index = PatternIndex(variable.patterns)
+    intern: dict[tuple, tuple] = {}
     partitions = [
-        partition_site(site, variable, index) for site in cluster.sites
+        partition_site(site, variable, index, intern) for site in cluster.sites
     ]
     return partitions, index
 

@@ -108,13 +108,18 @@ def cluster_cfds(
 
 
 def _partition_site_for_cluster(
-    site, group: CFDCluster, projected_index: PatternIndex
+    site,
+    group: CFDCluster,
+    projected_index: PatternIndex,
+    intern: dict[tuple, tuple] | None = None,
 ):
     """One scan of a fragment serving every member CFD of the cluster.
 
     Returns the per-projected-pattern buckets (projections onto the
     cluster's attribute union) and, per bucket, the per-member matching
-    counts used for check-cost accounting.
+    counts used for check-cost accounting.  ``intern`` canonicalizes the
+    shipped projections across fragments (see
+    :func:`repro.detect.base.partition_fragment`).
     """
     fragment = site.fragment
     buckets: list[list[tuple]] = [[] for _ in group.projected]
@@ -155,6 +160,11 @@ def _partition_site_for_cluster(
         plans.append((ordinal, matched))
 
     values = key.values
+    if intern is not None:
+        values = [
+            intern.setdefault(combo, combo) if plans[g] is not None else combo
+            for g, combo in enumerate(values)
+        ]
     for g in key.codes:
         plan = plans[g]
         if plan is None:
@@ -204,8 +214,9 @@ def clust_detect(
 
     for group in groups:
         projected_index = PatternIndex(group.projected)
+        intern: dict[tuple, tuple] = {}
         site_results = [
-            _partition_site_for_cluster(site, group, projected_index)
+            _partition_site_for_cluster(site, group, projected_index, intern)
             for site in cluster.sites
         ]
         scan = max(

@@ -121,19 +121,25 @@ def bench_detection(
     out: str | Path | None = None,
     repeats: int = 3,
     fraction: float = 1.0,
+    seed: int = 8,
 ) -> dict:
-    """Time centralized detection, reference vs fused, on the Fig. 3c/3i data.
+    """Time centralized detection across all three engines on Fig. 3c/3i data.
 
     The workload is the Fig. 3c data-size configuration (cust16 at
     ``REPRO_SCALE``), measured with the single 255-pattern street CFD
-    (Fig. 3c) and with the overlapping multi-CFD set Σ (Fig. 3i).  For each
-    workload the per-normal-form reference plan and the fused columnar
-    engine run ``repeats`` times; the fused engine is additionally timed
-    *cold* (fresh relation, empty columnar cache) so the JSON records both
-    the steady-state speedup — the number that matters for a detector that,
-    like a DBMS, keeps its indexes — and the one-shot one.  Reports are
-    cross-checked (violations and tuple keys) so the benchmark doubles as
-    an equivalence gate.
+    (Fig. 3c) and with the overlapping multi-CFD set Σ (Fig. 3i); the
+    generator is seeded (``seed``, default 8) so successive runs time the
+    identical instance and the recorded trajectory compares like-for-like.
+    Per workload the per-normal-form **reference** plan runs ``repeats``
+    times; the **fused** engine (pure-Python encoding *and* folds — the
+    array backend is disabled for this tier regardless of the environment)
+    and, when numpy is active, the **fused-numpy** engine (vectorized
+    encoding and folds) are each timed *cold* (fresh relation, empty
+    columnar cache) and then ``repeats`` times *warm* — the steady-state
+    number that matters for a detector that, like a DBMS, keeps its
+    indexes.  Every engine's report is cross-checked against the reference
+    (violations and tuple keys) so the benchmark doubles as an equivalence
+    gate.
 
     Returns the summary dict; when ``out`` is given it is also written
     there as JSON (``BENCH_detect.json``), giving future changes a
@@ -142,10 +148,11 @@ def bench_detection(
     from ..core import FusedDetector, detect_violations_reference
     from ..datagen import cust_overlapping_cfds, cust_street_cfd, generate_cust
     from ..relational import Relation
+    from ..relational.columnar import numpy_enabled
 
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    data = generate_cust(scaled(1_600_000), seed=8)
+    data = generate_cust(scaled(1_600_000), seed=seed)
     if fraction < 1.0:
         data = Relation(
             data.schema, data.rows[: int(len(data) * fraction)], copy=False
@@ -155,11 +162,34 @@ def bench_detection(
         "fig3i_multi_cfd": cust_overlapping_cfds(),
     }
 
+    def timed(call):
+        start = time.perf_counter()
+        report = call()
+        return report, time.perf_counter() - start
+
+    def cold_and_warm(detector, vectorize):
+        # a fresh relation over the same rows has an empty column cache, so
+        # the first detection is the cold measurement and doubles as the
+        # warm-up for the steady-state loop (even with repeats=1)
+        relation = Relation(data.schema, data.rows, copy=False)
+        report, cold = timed(
+            lambda: detector.detect(relation, True, vectorize)
+        )
+        warm_times = []
+        for _ in range(repeats):
+            report, elapsed = timed(
+                lambda: detector.detect(relation, True, vectorize)
+            )
+            warm_times.append(elapsed)
+        return report, cold, min(warm_times)
+
     summary: dict = {
-        "benchmark": "centralized detection, reference vs fused engine",
+        "benchmark": "centralized detection: reference vs fused vs fused-numpy",
         "scale": scale(),
+        "seed": seed,
         "n_tuples": len(data),
         "repeats": repeats,
+        "numpy": numpy_enabled(),
         "workloads": {},
     }
     for name, cfds in workloads.items():
@@ -167,29 +197,30 @@ def bench_detection(
 
         baseline_times = []
         for _ in range(repeats):
-            start = time.perf_counter()
-            reference_report = detect_violations_reference(
-                data, cfds, collect_tuples=True
+            reference_report, elapsed = timed(
+                lambda: detect_violations_reference(data, cfds, collect_tuples=True)
             )
-            baseline_times.append(time.perf_counter() - start)
-
-        # a fresh relation over the same rows has an empty column cache, so
-        # the first detection is the cold measurement and doubles as the
-        # warm-up for the steady-state loop (even with repeats=1)
-        bench_relation = Relation(data.schema, data.rows, copy=False)
-        start = time.perf_counter()
-        fused_report = detector.detect(bench_relation, collect_tuples=True)
-        cold_seconds = time.perf_counter() - start
-
-        warm_times = []
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fused_report = detector.detect(bench_relation, collect_tuples=True)
-            warm_times.append(time.perf_counter() - start)
-
+            baseline_times.append(elapsed)
         baseline = min(baseline_times)
-        warm = min(warm_times)
-        summary["workloads"][name] = {
+
+        def matches(report):
+            return (
+                report.violations == reference_report.violations
+                and report.tuple_keys == reference_report.tuple_keys
+            )
+
+        # pure-Python tier: list encoding and folds, whatever the machine has
+        previous = os.environ.get("REPRO_NUMPY")
+        os.environ["REPRO_NUMPY"] = "0"
+        try:
+            fused_report, cold_seconds, warm = cold_and_warm(detector, False)
+        finally:
+            if previous is None:
+                del os.environ["REPRO_NUMPY"]
+            else:
+                os.environ["REPRO_NUMPY"] = previous
+
+        entry = {
             "n_cfds": len(cfds),
             "baseline_seconds": baseline,
             "baseline_rows_per_sec": len(data) / baseline,
@@ -198,11 +229,23 @@ def bench_detection(
             "fused_rows_per_sec": len(data) / warm,
             "speedup": baseline / warm,
             "cold_speedup": baseline / cold_seconds,
-            "matches_reference": (
-                fused_report.violations == reference_report.violations
-                and fused_report.tuple_keys == reference_report.tuple_keys
-            ),
+            "matches_reference": matches(fused_report),
         }
+
+        if numpy_enabled():
+            numpy_report, numpy_cold, numpy_warm = cold_and_warm(detector, True)
+            entry.update(
+                {
+                    "fused_numpy_cold_seconds": numpy_cold,
+                    "fused_numpy_warm_seconds": numpy_warm,
+                    "fused_numpy_rows_per_sec": len(data) / numpy_warm,
+                    "fused_numpy_speedup": baseline / numpy_warm,
+                    "fused_numpy_cold_speedup": baseline / numpy_cold,
+                    "fused_numpy_vs_fused": warm / numpy_warm,
+                    "fused_numpy_matches_reference": matches(numpy_report),
+                }
+            )
+        summary["workloads"][name] = entry
 
     summary["speedup"] = summary["workloads"]["fig3c_single_cfd"]["speedup"]
     if out is not None:

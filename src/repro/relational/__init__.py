@@ -24,7 +24,7 @@ from .predicate import (
     compatible_with_bindings,
     satisfiable,
 )
-from .columnar import Column, ColumnStore, KeyColumn, column_store
+from .columnar import Column, ColumnStore, KeyColumn, column_store, numpy_enabled
 from .csvio import infer_column_types, load_csv, save_csv
 from .index import HashIndex
 from .relation import Relation
@@ -52,6 +52,7 @@ __all__ = [
     "ColumnStore",
     "KeyColumn",
     "column_store",
+    "numpy_enabled",
     "Schema",
     "SchemaError",
     "compatible_with_bindings",

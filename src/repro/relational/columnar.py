@@ -22,15 +22,98 @@ so the caches never need invalidation):
   derived from a :class:`KeyColumn`; :class:`~repro.relational.index.HashIndex`,
   :meth:`Relation.group_by` and :meth:`Relation.join` all share it.
 
-Codes are stored in plain lists rather than ``array('I')``: CPython indexes
-lists faster than it unboxes array elements, and nothing here assumes
-numpy.  The fused detector (:mod:`repro.core.fused`) consumes these views
-directly.
+Codes are canonically stored in plain lists: CPython indexes lists faster
+than it unboxes array elements, and nothing here *requires* numpy.  When
+numpy is importable (the optional ``fast`` extra; disable explicitly with
+``REPRO_NUMPY=0``) the store additionally acts as an **array backend**:
+
+* the encoding pass itself is vectorized — ``np.unique(...,
+  return_inverse=True)`` replaces the per-row dictionary probe for
+  numeric columns, with the sorted codes remapped so the first-seen-order
+  contract of the list backend is preserved bit-for-bit (string, mixed
+  and NaN-carrying columns keep the dictionary loop, which beats a
+  wide-element sort there);
+* composite keys combine the per-attribute code arrays arithmetically in
+  one int64 mixed-radix pass instead of hashing row tuples;
+* :meth:`Column.codes_array` / :meth:`KeyColumn.codes_array` expose the
+  codes as cached ``int32`` ndarrays, which the vectorized folds of the
+  ``fused-numpy`` detection engine (:mod:`repro.core.fused`) consume.
+
+Both representations describe the same encoding, so every consumer — the
+pure-Python fused folds, ``HashIndex``, ``group_by``, ``join``, the
+distributed detectors — works unchanged whichever backend built the store.
+Vectorized encoding kicks in at :data:`VECTORIZE_MIN_ROWS` rows; below
+that the dictionary loop wins on constant factors.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
+
+try:  # optional array backend — the library never requires numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI job
+    _np = None
+
+#: below this many rows the dictionary loop beats ``np.unique`` on constant
+#: factors; tests force the vectorized path by patching this to 0.
+VECTORIZE_MIN_ROWS = 256
+
+
+def numpy_enabled() -> bool:
+    """Whether the optional numpy array backend is active.
+
+    True when numpy is importable and ``REPRO_NUMPY`` is not ``"0"`` — the
+    environment override exists so the pure-Python paths can be exercised
+    (and benchmarked) on machines that do have numpy installed.
+    """
+    return _np is not None and os.environ.get("REPRO_NUMPY", "1") != "0"
+
+
+def _first_seen_remap(sorted_values, first_index, inverse):
+    """Remap ``np.unique`` output from sorted order to first-seen order.
+
+    Returns ``(codes, decode)`` where ``codes[i]`` numbers distinct values
+    by first appearance — the contract of the dictionary encoder — and
+    ``decode`` lists the (still numpy-boxed) values in that order.
+    """
+    order = _np.argsort(first_index)  # sorted ordinal -> first-seen position
+    rank = _np.empty(len(order), dtype=_np.int64)
+    rank[order] = _np.arange(len(order), dtype=_np.int64)
+    return rank[inverse].astype(_np.int32), sorted_values[order]
+
+
+def _encode_values_numpy(raw: list):
+    """Vectorized dictionary encoding of one *numeric* attribute, or ``None``.
+
+    Only numeric columns take this path; everything else — strings, whose
+    cached hashes make the dictionary loop faster than a wide-element sort
+    anyway; mixed columns, which ``np.asarray`` would silently stringify;
+    arbitrary objects; int64-overflowing integers — falls back (returns
+    ``None``).  A float result additionally must survive a value-exact
+    round trip: an int/float mix upcasts to float64, where ints beyond
+    2**53 collapse onto the same float and NaNs (which a Python dict keys
+    by identity) compare unequal to themselves — either would silently
+    diverge from the dictionary backend, and the two must agree
+    bit-for-bit.  Benign conflations (1 / 1.0 / True) round-trip as equal,
+    exactly as a dict conflates those keys.
+    """
+    try:
+        arr = _np.asarray(raw)
+    except (OverflowError, ValueError):  # ints beyond int64, odd shapes
+        return None
+    if arr.ndim != 1 or arr.dtype.kind not in "biuf":
+        return None
+    if arr.dtype.kind == "f" and arr.tolist() != raw:
+        return None
+    sorted_values, first_index, inverse = _np.unique(
+        arr, return_index=True, return_inverse=True
+    )
+    codes_arr, decode = _first_seen_remap(sorted_values, first_index, inverse)
+    values = decode.tolist()  # unbox to plain Python values
+    code_of = {value: code for code, value in enumerate(values)}
+    return codes_arr.tolist(), values, code_of, codes_arr
 
 
 class Column:
@@ -42,7 +125,7 @@ class Column:
     carry this constant?" in O(1)).
     """
 
-    __slots__ = ("attribute", "codes", "values", "code_of")
+    __slots__ = ("attribute", "codes", "values", "code_of", "_codes_np")
 
     def __init__(
         self,
@@ -50,15 +133,27 @@ class Column:
         codes: list[int],
         values: list[object],
         code_of: dict[object, int],
+        codes_np=None,
     ) -> None:
         self.attribute = attribute
         self.codes = codes
         self.values = values
         self.code_of = code_of
+        self._codes_np = codes_np
 
     @property
     def n_distinct(self) -> int:
         return len(self.values)
+
+    def codes_array(self):
+        """The codes as a cached ``int32`` ndarray (``None`` without numpy).
+
+        Built natively by the vectorized encoder; otherwise converted from
+        the list on first use.  The two views describe the same encoding.
+        """
+        if self._codes_np is None and numpy_enabled():
+            self._codes_np = _np.asarray(self.codes, dtype=_np.int32)
+        return self._codes_np
 
     def __repr__(self) -> str:
         return (
@@ -77,21 +172,30 @@ class KeyColumn:
     row.
     """
 
-    __slots__ = ("attributes", "codes", "values")
+    __slots__ = ("attributes", "codes", "values", "_codes_np")
 
     def __init__(
         self,
         attributes: tuple[str, ...],
         codes: list[int],
         values: list[tuple],
+        codes_np=None,
     ) -> None:
         self.attributes = attributes
         self.codes = codes
         self.values = values
+        self._codes_np = codes_np
 
     @property
     def n_groups(self) -> int:
         return len(self.values)
+
+    def codes_array(self):
+        """The group ordinals as a cached ``int32`` ndarray (see
+        :meth:`Column.codes_array`)."""
+        if self._codes_np is None and numpy_enabled():
+            self._codes_np = _np.asarray(self.codes, dtype=_np.int32)
+        return self._codes_np
 
     def __repr__(self) -> str:
         return (
@@ -108,7 +212,14 @@ class ColumnStore:
     ``group_by``, ``join`` — shares one set of columns and group indexes.
     """
 
-    __slots__ = ("schema", "rows", "_columns", "_key_columns", "_group_indexes")
+    __slots__ = (
+        "schema",
+        "rows",
+        "_columns",
+        "_key_columns",
+        "_group_indexes",
+        "scratch",
+    )
 
     def __init__(self, relation) -> None:
         self.schema = relation.schema
@@ -116,6 +227,9 @@ class ColumnStore:
         self._columns: dict[str, Column] = {}
         self._key_columns: dict[tuple[str, ...], KeyColumn] = {}
         self._group_indexes: dict[tuple[str, ...], dict[tuple, list[int]]] = {}
+        #: free-form memo space for engines that adapt to reuse (e.g. the
+        #: vectorized folds switch key-collection strategy on repeat runs)
+        self.scratch: dict = {}
 
     # -- per-attribute columns -------------------------------------------
 
@@ -125,6 +239,22 @@ class ColumnStore:
         if cached is not None:
             return cached
         position = self.schema.position(attribute)
+        if (
+            self.rows
+            and len(self.rows) >= VECTORIZE_MIN_ROWS
+            and numpy_enabled()
+            # cheap prefilter on the first value: a string/object column
+            # would only be rejected by the encoder after a throwaway
+            # wide-dtype array conversion (full checks still run inside)
+            and isinstance(self.rows[0][position], (bool, int, float))
+        ):
+            raw = [row[position] for row in self.rows]
+            encoded = _encode_values_numpy(raw)
+            if encoded is not None:
+                codes, values, code_of, codes_arr = encoded
+                column = Column(attribute, codes, values, code_of, codes_arr)
+                self._columns[attribute] = column
+                return column
         codes: list[int] = []
         values: list[object] = []
         code_of: dict[object, int] = {}
@@ -159,12 +289,21 @@ class ColumnStore:
             # reuse the per-attribute codes; only the decode side is new
             column = self.column(attributes[0])
             key = KeyColumn(
-                attributes, column.codes, [(v,) for v in column.values]
+                attributes,
+                column.codes,
+                [(v,) for v in column.values],
+                column._codes_np,
             )
             self._key_columns[attributes] = key
             return key
-        code_arrays = [self.column(a).codes for a in attributes]
-        value_arrays = [self.column(a).values for a in attributes]
+        columns = [self.column(a) for a in attributes]
+        if len(self.rows) >= VECTORIZE_MIN_ROWS and numpy_enabled():
+            key = self._key_column_numpy(attributes, columns)
+            if key is not None:
+                self._key_columns[attributes] = key
+                return key
+        code_arrays = [column.codes for column in columns]
+        value_arrays = [column.values for column in columns]
         codes: list[int] = []
         values: list[tuple] = []
         index: dict[tuple, int] = {}
@@ -182,6 +321,39 @@ class ColumnStore:
         key = KeyColumn(attributes, codes, values)
         self._key_columns[attributes] = key
         return key
+
+    def _key_column_numpy(
+        self, attributes: tuple[str, ...], columns: list[Column]
+    ) -> KeyColumn | None:
+        """Vectorized composite encoding: one mixed-radix int64 pass.
+
+        Each row's combination is packed into a single int64 (per-attribute
+        code weighted by the later attributes' alphabet sizes), grouped
+        with one ``np.unique`` and remapped to first-seen order.  Returns
+        ``None`` when the packed key could overflow int64 — the hash loop
+        handles that (rare, very-high-cardinality) case.
+        """
+        capacity = 1
+        for column in columns:
+            capacity *= max(column.n_distinct, 1)
+            if capacity > 2 ** 62:
+                return None
+        combined = columns[0].codes_array().astype(_np.int64)
+        for column in columns[1:]:
+            combined = combined * max(column.n_distinct, 1) + column.codes_array()
+        sorted_keys, first_index, inverse = _np.unique(
+            combined, return_index=True, return_inverse=True
+        )
+        codes_arr, _ = _first_seen_remap(sorted_keys, first_index, inverse)
+        # decode each group from its first occurrence's per-attribute codes
+        firsts = _np.sort(first_index).tolist()
+        code_lists = [column.codes for column in columns]
+        value_lists = [column.values for column in columns]
+        values = [
+            tuple(vl[cl[i]] for vl, cl in zip(value_lists, code_lists))
+            for i in firsts
+        ]
+        return KeyColumn(attributes, codes_arr.tolist(), values, codes_arr)
 
     # -- hash group index -------------------------------------------------
 

@@ -30,6 +30,9 @@ from repro.detect import clust_detect, ctr_detect, pat_detect_rt, pat_detect_s
 from repro.partition import partition_uniform
 from repro.relational import Relation, Schema
 
+# every test in this module runs once per detection engine (see conftest)
+pytestmark = pytest.mark.usefixtures("detection_engine")
+
 ATTRS = ("a", "b", "c")
 SCHEMA = Schema("R", ("id",) + ATTRS, key=("id",))
 

@@ -1,0 +1,283 @@
+"""Property-based differential suite: reference ≡ fused ≡ fused-numpy.
+
+The reference engine is the executable spec; the fused engine and its
+vectorized twin must reproduce it bit-for-bit — violations *and* collected
+tuple keys — on every input.  This module drives all three engines over
+random relations and CFD sets covering the paths where the backends
+genuinely diverge in implementation:
+
+* eCFD predicate entries (``OneOf`` / ``NotValue`` / ``Range``) on both
+  sides of the pattern;
+* mixed int/str columns, which the vectorized encoder must refuse
+  (``np.asarray`` would silently stringify) and route through the
+  dictionary loop;
+* both horizontal partition kinds, empty relations and fragments,
+  single-row X-groups, and all-identical columns;
+* warm re-detection on a cached store (the vectorized folds switch their
+  tuple-key collection strategy on the second run).
+
+``VECTORIZE_MIN_ROWS`` is forced to 0 for the whole module so the
+hypothesis-sized relations actually take the vectorized encode and fold
+paths; the columnar unit tests at the bottom pin the two encoders to the
+identical first-seen-order output.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    CFD,
+    NotValue,
+    OneOf,
+    PatternTuple,
+    Range,
+    WILDCARD,
+    detect_violations,
+)
+from repro.partition import partition_by_attribute, partition_uniform
+from repro.relational import Relation, Schema, column_store, numpy_enabled
+from repro.relational import columnar
+
+ATTRS = ("a", "b", "c", "d")
+SCHEMA = Schema("R", ("id",) + ATTRS, key=("id",))
+#: mixed domain: int-only draws exercise the vectorized encoder, draws with
+#: strings exercise its fallback — both against the same oracle
+VALUES = [0, 1, 2, "x", "y"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def vectorize_tiny_relations():
+    """Drop the vectorization threshold so hypothesis-sized inputs hit the
+    numpy encode and fold paths instead of the small-relation shortcut."""
+    patcher = pytest.MonkeyPatch()
+    patcher.setattr(columnar, "VECTORIZE_MIN_ROWS", 0)
+    yield
+    patcher.undo()
+
+
+def engines():
+    names = ["reference", "fused"]
+    if numpy_enabled():
+        names.append("fused-numpy")
+    return names
+
+
+def assert_engines_agree(relation, sigma):
+    expected = detect_violations(relation, sigma, engine="reference")
+    for engine in engines()[1:]:
+        # twice per engine: the second run folds over a warm columnar store
+        for _ in range(2):
+            report = detect_violations(relation, sigma, engine=engine)
+            assert report.violations == expected.violations, engine
+            assert report.tuple_keys == expected.tuple_keys, engine
+
+
+rows = st.lists(
+    st.tuples(*[st.sampled_from(VALUES) for _ in ATTRS]),
+    min_size=0,
+    max_size=24,
+)
+
+
+@st.composite
+def relations(draw):
+    body = draw(rows)
+    return Relation(SCHEMA, [(i,) + r for i, r in enumerate(body)])
+
+
+@st.composite
+def pattern_entries(draw):
+    kind = draw(st.integers(0, 6))
+    if kind == 0:
+        return WILDCARD
+    if kind == 1:
+        return OneOf(draw(st.sets(st.sampled_from(VALUES), min_size=1, max_size=2)))
+    if kind == 2:
+        return NotValue(draw(st.sampled_from(VALUES)))
+    if kind == 3:
+        return Range(draw(st.sampled_from(["<", "<=", ">", ">="])), draw(st.integers(0, 2)))
+    return draw(st.sampled_from(VALUES))
+
+
+@st.composite
+def cfds(draw):
+    lhs_size = draw(st.integers(1, 3))
+    attrs = draw(st.permutations(ATTRS).map(lambda p: list(p[: lhs_size + 1])))
+    lhs, rhs = attrs[:-1], [attrs[-1]]
+    n_patterns = draw(st.integers(1, 3))
+    tableau = [
+        PatternTuple(
+            [draw(pattern_entries()) for _ in lhs],
+            [draw(pattern_entries()) for _ in rhs],
+        )
+        for _ in range(n_patterns)
+    ]
+    return CFD(lhs, rhs, tableau, name=f"cfd{draw(st.integers(0, 10 ** 6))}")
+
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+
+@SETTINGS
+@given(relations(), st.lists(cfds(), min_size=1, max_size=3))
+def test_engines_agree_centralized(relation, sigma):
+    assert_engines_agree(relation, sigma)
+
+
+@SETTINGS
+@given(relations(), st.lists(cfds(), min_size=1, max_size=3), st.integers(1, 4))
+def test_engines_agree_on_uniform_fragments(relation, sigma, n_sites):
+    for site in partition_uniform(relation, n_sites).sites:
+        assert_engines_agree(site.fragment, sigma)
+
+
+@SETTINGS
+@given(relations(), st.lists(cfds(), min_size=1, max_size=3))
+def test_engines_agree_on_attribute_fragments(relation, sigma):
+    for site in partition_by_attribute(relation, "a").sites:
+        assert_engines_agree(site.fragment, sigma)
+
+
+# -- deterministic edge cases -------------------------------------------------
+
+
+def test_empty_relation():
+    assert_engines_agree(Relation(SCHEMA, []), [CFD(["a"], ["b"], name="phi")])
+
+
+def test_single_row_x_groups():
+    """Every X value distinct: no pairwise violation is possible."""
+    relation = Relation(SCHEMA, [(i, i, i % 2, 0, 0) for i in range(12)])
+    sigma = [CFD(["a"], ["b"], name="phi"), CFD(["a", "b"], ["c"], name="psi")]
+    assert_engines_agree(relation, sigma)
+    assert detect_violations(relation, sigma, engine="fused").is_clean()
+
+
+def test_all_identical_columns():
+    """One X group covering the whole relation, one shared Y value."""
+    relation = Relation(SCHEMA, [(i, 1, 1, 1, 1) for i in range(10)])
+    sigma = [CFD(["a"], ["b"], name="phi")]
+    assert_engines_agree(relation, sigma)
+    # flip one RHS value: the single group now conflicts, all rows violate
+    broken = Relation(SCHEMA, [(i, 1, 1 + (i == 9), 1, 1) for i in range(10)])
+    assert_engines_agree(broken, sigma)
+    report = detect_violations(broken, sigma)
+    assert report.tuple_keys == {(i,) for i in range(10)}
+
+
+def test_absent_constant_drops_out():
+    relation = Relation(SCHEMA, [(0, 1, 1, 0, 0), (1, 2, 0, 1, 2)])
+    cfd = CFD(["a"], ["b"], [PatternTuple((99,), (5,))], name="phi")
+    assert_engines_agree(relation, [cfd])
+
+
+def test_large_int_float_mix_does_not_conflate():
+    """An int/float mix upcasts to float64, where ints beyond 2**53 collapse
+    onto the same float; the vectorized encoder must detect the lossy round
+    trip and fall back, or fused-numpy silently misses violations.  The
+    float sits in the same column as the huge ints so the whole column
+    upcasts, and the two ints differ only below float64 precision."""
+    relation = Relation(
+        SCHEMA,
+        [(0, 1, 2 ** 60, 0, 0), (1, 1, 2 ** 60 + 1, 0, 0), (2, 2, 0.5, 0, 0)],
+    )
+    sigma = [CFD(["a"], ["b"], name="phi")]
+    assert_engines_agree(relation, sigma)
+    report = detect_violations(relation, sigma, engine="reference")
+    assert len(report.violations) == 1 and report.tuple_keys == {(0,), (1,)}
+
+
+def test_constant_and_variable_hits_in_one_shot_detection():
+    """First detection with both constant and variable collections: the
+    breadcrumb is resolved per call, and the combined report matches."""
+    relation = Relation(
+        SCHEMA, [(0, 1, 5, 0, 0), (1, 1, 1, 0, 1), (2, 1, 1, 0, 2)]
+    )
+    sigma = [
+        CFD(["a"], ["b"], [PatternTuple((1,), (9,))], name="const"),
+        CFD(["a", "c"], ["d"], name="var"),
+    ]
+    assert_engines_agree(relation, sigma)
+
+
+def test_mixed_type_key_columns():
+    """Composite X over a mixed int/str column: vectorized combine still
+    applies on top of the dictionary-encoded column codes."""
+    body = [(0, "x"), (1, "x"), (0, "x"), (1, 2), (0, 2), ("x", 2)]
+    relation = Relation(
+        SCHEMA, [(i, a, b, 0, i) for i, (a, b) in enumerate(body)]
+    )
+    sigma = [CFD(["a", "b"], ["d"], name="phi")]
+    assert_engines_agree(relation, sigma)
+
+
+@pytest.mark.skipif(not numpy_enabled(), reason="needs numpy")
+def test_explicit_fused_numpy_requires_numpy(monkeypatch):
+    relation = Relation(SCHEMA, [(0, 1, 1, 0, 0)])
+    cfd = CFD(["a"], ["b"], name="phi")
+    monkeypatch.setenv("REPRO_NUMPY", "0")
+    with pytest.raises(RuntimeError):
+        detect_violations(relation, cfd, engine="fused-numpy")
+    # auto falls back to the Python folds instead of raising
+    detect_violations(relation, cfd, engine="auto")
+
+
+# -- columnar backend equivalence ---------------------------------------------
+
+
+def both_stores(rows_, n_attrs=3):
+    """The same rows encoded by the vectorized and the dictionary backend."""
+    schema = Schema("R", ("id",) + ATTRS[:n_attrs], key=("id",))
+    vec = column_store(Relation(schema, rows_))
+    patcher = pytest.MonkeyPatch()
+    patcher.setattr(columnar, "VECTORIZE_MIN_ROWS", 10 ** 9)
+    try:
+        plain = column_store(Relation(schema, rows_))
+    finally:
+        patcher.undo()
+    return vec, plain
+
+
+@pytest.mark.skipif(not numpy_enabled(), reason="needs numpy")
+def test_vectorized_encode_matches_dictionary_encode():
+    rows_ = [(i, i % 7, (i * 3) % 5, i % 2) for i in range(500)]
+    vec, plain = both_stores(rows_)
+    for attr in ("a", "b", "c"):
+        left, right = vec.column(attr), plain.column(attr)
+        assert left._codes_np is not None, "vectorized encode should run"
+        assert left.codes == right.codes  # first-seen order preserved
+        assert left.values == right.values
+        assert left.code_of == right.code_of
+    key_vec = vec.key_column(("a", "b", "c"))
+    key_plain = plain.key_column(("a", "b", "c"))
+    assert key_vec.codes == key_plain.codes
+    assert key_vec.values == key_plain.values
+    assert vec.group_index(("a", "b")) == plain.group_index(("a", "b"))
+    assert list(vec.group_index(("a", "b"))) == list(plain.group_index(("a", "b")))
+
+
+@pytest.mark.skipif(not numpy_enabled(), reason="needs numpy")
+def test_vectorized_encode_fallbacks():
+    mixed = [(i, "s" if i % 2 else i, 1.5, float("nan")) for i in range(40)]
+    vec, plain = both_stores(mixed)
+    for attr in ("a", "c"):  # mixed and NaN columns take the dictionary loop
+        assert vec.column(attr)._codes_np is None
+        assert vec.column(attr).codes == plain.column(attr).codes
+    assert vec.column("b")._codes_np is not None  # clean floats vectorize
+    # the lazily-built array view agrees with the list view
+    assert vec.column("a").codes_array().tolist() == vec.column("a").codes
+
+
+@pytest.mark.skipif(not numpy_enabled(), reason="needs numpy")
+def test_code_arrays_are_cached_and_int32():
+    import numpy as np
+
+    rows_ = [(i, i % 3, i % 4, 0) for i in range(300)]
+    store = column_store(Relation(Schema("R", ("id",) + ATTRS[:3], key=("id",)), rows_))
+    column = store.column("a")
+    assert column.codes_array() is column.codes_array()
+    assert column.codes_array().dtype == np.int32
+    key = store.key_column(("a", "b"))
+    assert key.codes_array() is key.codes_array()
+    assert key.codes_array().dtype == np.int32

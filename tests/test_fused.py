@@ -166,12 +166,31 @@ def test_dispatcher_selects_engines(monkeypatch):
     cfd = CFD(["a", "b"], ["d"], name="phi")
     fused = detect_violations(relation, cfd, engine="fused")
     reference = detect_violations(relation, cfd, engine="reference")
-    assert fused.violations == reference.violations
+    auto = detect_violations(relation, cfd, engine="auto")
+    assert fused.violations == reference.violations == auto.violations
     with pytest.raises(ValueError):
         detect_violations(relation, cfd, engine="no-such-engine")
     monkeypatch.setenv("REPRO_ENGINE", "reference")
     via_env = detect_violations(relation, cfd)
     assert via_env.violations == reference.violations
+
+
+def test_dispatcher_fused_numpy_engine(monkeypatch):
+    from repro.relational import numpy_enabled
+
+    relation = small_relation()
+    cfd = CFD(["a", "b"], ["d"], name="phi")
+    reference = detect_violations(relation, cfd, engine="reference")
+    if numpy_enabled():
+        vectorized = detect_violations(relation, cfd, engine="fused-numpy")
+        assert vectorized.violations == reference.violations
+        assert vectorized.tuple_keys == reference.tuple_keys
+        monkeypatch.setenv("REPRO_ENGINE", "fused-numpy")
+        via_env = detect_violations(relation, cfd)
+        assert via_env.violations == reference.violations
+    else:
+        with pytest.raises(RuntimeError):
+            detect_violations(relation, cfd, engine="fused-numpy")
 
 
 # -- cached columnar index reuse ----------------------------------------------

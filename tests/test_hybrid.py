@@ -15,6 +15,9 @@ from repro.distributed import HybridCluster
 from repro.detect import hybrid_detect
 from repro.relational import Eq, Relation, Schema
 
+# every test in this module runs once per detection engine (see conftest)
+pytestmark = pytest.mark.usefixtures("detection_engine")
+
 S = Schema("R", ["id", "a", "b", "c", "d"], key=["id"])
 
 

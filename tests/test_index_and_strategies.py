@@ -19,6 +19,9 @@ from repro.detect import (
 from repro.partition import partition_uniform, vertical_partition
 from repro.relational import HashIndex, Relation, Schema, SchemaError
 
+# every test in this module runs once per detection engine (see conftest)
+pytestmark = pytest.mark.usefixtures("detection_engine")
+
 S = Schema("R", ["id", "a", "b"], key=["id"])
 REL = Relation(S, [(1, 1, "x"), (2, 1, "y"), (3, 2, "x"), (4, 2, "x")])
 

@@ -32,6 +32,9 @@ from repro.partition import (
     vertical_partition,
 )
 
+# the paper's worked examples must hold on every detection engine
+pytestmark = pytest.mark.usefixtures("detection_engine")
+
 
 @pytest.fixture(scope="module")
 def d0():

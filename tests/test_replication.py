@@ -11,6 +11,9 @@ from repro.distributed import ReplicatedCluster
 from repro.partition import partition_uniform
 from repro.relational import Relation, Schema
 
+# every test in this module runs once per detection engine (see conftest)
+pytestmark = pytest.mark.usefixtures("detection_engine")
+
 S = Schema("R", ["id", "a", "b"], key=["id"])
 
 
