@@ -39,6 +39,15 @@ def test_engine_speedups_and_equivalence():
     record = os.environ.get("REPRO_BENCH") == "1"
     summary = bench_detection(out=BENCH_PATH if record else None, repeats=3)
 
+    # the parallel fragment-detection legs gate on *equivalence* only:
+    # their speedups depend on the host's core count (recorded as
+    # cpu_count in the summary), so timing floors would flake anywhere
+    # from a laptop to a single-core CI container
+    parallel = summary.get("parallel")
+    assert parallel is not None and parallel["matches_serial"], (
+        "parallel fragment detection diverged from serial"
+    )
+
     for name, entry in summary["workloads"].items():
         assert entry["matches_reference"], f"{name}: fused != reference"
         assert entry["speedup"] >= SPEEDUP_FLOOR, (
@@ -75,10 +84,25 @@ def test_engine_speedups_and_equivalence():
             )
         return text
 
+    legs = parallel["legs"]
+    parallel_line = (
+        f"parallel (4 sites, {parallel['cpu_count']} CPUs): "
+        + ", ".join(
+            f"{name}={leg['warm_seconds'] * 1000:.1f}ms"
+            + (
+                f" ({leg['speedup_warm']:.2f}x)"
+                if "speedup_warm" in leg
+                else ""
+            )
+            for name, leg in legs.items()
+        )
+    )
     print(
         "\n"
         + "\n".join(
             line(name, entry)
             for name, entry in summary["workloads"].items()
         )
+        + "\n"
+        + parallel_line
     )

@@ -21,9 +21,17 @@ Commands
     Regenerate the paper's Figure 3 experiments (all or a subset).
 
 ``bench``
-    Time centralized detection — the per-normal-form reference plan vs the
-    fused columnar engine — on the Fig. 3c/3i workloads and write the
-    machine-readable perf trajectory (``BENCH_detect.json``).
+    Time the detection engines — the per-normal-form reference plan vs the
+    fused columnar engine (pure-Python and numpy folds), plus the parallel
+    fragment-detection legs — on the Fig. 3c/3i workloads.  The
+    machine-readable perf trajectory (``BENCH_detect.json``) is written
+    only when ``REPRO_BENCH=1``; otherwise a one-line warning says the
+    recording was skipped.
+
+Environment knobs honoured by every command: ``REPRO_ENGINE`` (detection
+backend; unknown values abort with exit code 2), ``REPRO_WORKERS`` /
+``REPRO_PARALLEL`` (parallel scheduler), ``REPRO_NUMPY`` (array backend
+opt-out), ``REPRO_SCALE`` (dataset scale) — see the README's table.
 
 CFDs are given in the paper notation accepted by
 :func:`repro.core.parse_cfd`, e.g. ``"([CC=44, zip] -> [street])"``.
@@ -32,10 +40,11 @@ CFDs are given in the paper notation accepted by
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
-from .core import CFD, detect_violations, parse_cfd
+from .core import CFD, ENGINES, detect_violations, parse_cfd
 from .core.sql import violation_sql
 from .detect import (
     clust_detect,
@@ -74,11 +83,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--key", default=None, help="key column (default: first column)"
     )
 
-    detect = commands.add_parser("detect", help="distributed detection on a CSV")
-    detect.add_argument("--data", required=True)
-    detect.add_argument("--cfd", action="append", required=True)
-    detect.add_argument("--key", default=None)
-    detect.add_argument("--sites", type=int, default=4)
+    detect = commands.add_parser(
+        "detect",
+        help="distributed detection on a CSV (simulated sites, Section IV)",
+    )
+    detect.add_argument("--data", required=True, help="CSV file with a header row")
+    detect.add_argument(
+        "--cfd", action="append", required=True,
+        help="a CFD in paper notation; repeatable",
+    )
+    detect.add_argument(
+        "--key", default=None, help="key column (default: first column)"
+    )
+    detect.add_argument(
+        "--sites", type=int, default=4, help="number of simulated sites"
+    )
     detect.add_argument(
         "--partition-by", default=None, metavar="ATTR",
         help="fragment by attribute value instead of uniformly",
@@ -87,6 +106,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--algorithm",
         choices=["ctr", "pat-s", "pat-rt", "seq", "clust", "naive"],
         default="pat-rt",
+        help="Section IV algorithm (default pat-rt: per-pattern "
+        "coordinators minimizing response time)",
+    )
+    detect.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the per-fragment scans on N workers (overrides "
+        "REPRO_WORKERS; REPRO_PARALLEL picks threads or processes)",
     )
 
     sql = commands.add_parser("sql", help="print the detection SQL for a CFD")
@@ -104,16 +130,26 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = commands.add_parser(
         "bench",
-        help="benchmark the detection engines (reference vs fused vs fused-numpy)",
+        help="benchmark the detection engines (reference vs fused vs "
+        "fused-numpy) and the parallel fragment-detection legs",
     )
     bench.add_argument(
         "--out", default="BENCH_detect.json",
-        help="where to write the JSON summary (default BENCH_detect.json)",
+        help="where to write the JSON summary when REPRO_BENCH=1 "
+        "(default BENCH_detect.json)",
     )
-    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="steady-state (warm) timing repetitions per engine",
+    )
     bench.add_argument(
         "--fraction", type=float, default=1.0,
         help="use only this fraction of the scaled dataset",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="worker count of the parallel fragment-detection legs "
+        "(serial vs N threads vs N processes; 1 skips the legs)",
     )
     return parser
 
@@ -133,6 +169,24 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
+    from .partition import partition_by_attribute, partition_uniform
+
+    if args.workers is not None:
+        # scoped to this command: embedders calling main() must not find
+        # REPRO_WORKERS silently changed afterwards
+        previous = os.environ.get("REPRO_WORKERS")
+        os.environ["REPRO_WORKERS"] = str(args.workers)
+        try:
+            return _run_detect(args)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_WORKERS", None)
+            else:
+                os.environ["REPRO_WORKERS"] = previous
+    return _run_detect(args)
+
+
+def _run_detect(args: argparse.Namespace) -> int:
     from .partition import partition_by_attribute, partition_uniform
 
     relation = infer_column_types(
@@ -162,7 +216,8 @@ def _cmd_detect(args: argparse.Namespace) -> int:
 
     print(outcome.report.summary())
     print(
-        f"tuples shipped: {outcome.tuples_shipped}; "
+        f"tuples shipped: {outcome.tuples_shipped} "
+        f"({outcome.shipments.codes_shipped} dictionary codes on the wire); "
         f"simulated response time: {outcome.response_time:.3f}s"
     )
     return 1 if outcome.report else 0
@@ -203,8 +258,18 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import bench_detection
 
+    record = os.environ.get("REPRO_BENCH") == "1"
+    if not record:
+        print(
+            f"warning: not recording {args.out} (set REPRO_BENCH=1 to "
+            "persist the perf trajectory)",
+            file=sys.stderr,
+        )
     summary = bench_detection(
-        out=args.out, repeats=args.repeats, fraction=args.fraction
+        out=args.out if record else None,
+        repeats=args.repeats,
+        fraction=args.fraction,
+        workers=args.workers,
     )
     print(
         f"detection bench: {summary['n_tuples']} tuples "
@@ -231,17 +296,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
     if not summary["numpy"]:
         print("  (fused-numpy tier skipped: numpy unavailable or disabled)")
-    print(f"[saved to {args.out}]")
+    parallel = summary.get("parallel")
+    if parallel:
+        legs = parallel["legs"]
+        serial_warm = legs["1"]["warm_seconds"]
+        line = (
+            f"  parallel fragment detection ({parallel['algorithm']}, "
+            f"{parallel['sites']} sites, {parallel['cpu_count']} CPUs): "
+            f"serial {serial_warm * 1000:.1f}ms warm"
+        )
+        for name, leg in legs.items():
+            if name == "1":
+                continue
+            line += (
+                f"; {name.replace('_', ' workers ')} "
+                f"{leg['warm_seconds'] * 1000:.1f}ms "
+                f"({leg['speedup_warm']:.2f}x)"
+            )
+        print(line)
+        print(
+            "  parallel matches serial: "
+            f"{parallel['matches_serial']}"
+        )
+    if record:
+        print(f"[saved to {args.out}]")
     ok = all(
         entry["matches_reference"]
         and entry.get("fused_numpy_matches_reference", True)
         for entry in summary["workloads"].values()
-    )
+    ) and (parallel is None or parallel["matches_serial"])
     return 0 if ok else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    engine = os.environ.get("REPRO_ENGINE")
+    if engine is not None and engine not in ENGINES + ("auto",):
+        # fail loudly instead of silently falling back to auto: a typo in
+        # the environment would otherwise benchmark the wrong engine
+        print(
+            f"error: unknown REPRO_ENGINE {engine!r}; "
+            f"use one of {', '.join(ENGINES)} (or 'auto')",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        # same fail-loudly treatment for the scheduler knobs: surface the
+        # typo before any data is loaded, not as a mid-detection traceback
+        from .core import resolve_mode, resolve_workers
+
+        resolve_workers()
+        resolve_mode()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     args = _build_parser().parse_args(argv)
     handlers = {
         "check": _cmd_check,

@@ -34,7 +34,16 @@ from .normalize import (
     VariableCFD,
     normalize,
     normalize_all,
+    pattern_index,
     sort_patterns_by_generality,
+)
+from .parallel import (
+    FragmentPool,
+    map_fragments,
+    parallel_enabled,
+    parallel_map,
+    resolve_mode,
+    resolve_workers,
 )
 from .parser import format_cfd, parse_cfd
 from .sql import run_detection_on_sqlite, violation_sql
@@ -76,7 +85,14 @@ __all__ = [
     "VariableCFD",
     "normalize",
     "normalize_all",
+    "pattern_index",
     "sort_patterns_by_generality",
+    "FragmentPool",
+    "map_fragments",
+    "parallel_enabled",
+    "parallel_map",
+    "resolve_mode",
+    "resolve_workers",
     "format_cfd",
     "run_detection_on_sqlite",
     "violation_sql",

@@ -152,20 +152,31 @@ def detect_violations_reference(
     relation: Relation,
     cfds: CFD | Iterable[CFD],
     collect_tuples: bool = True,
+    parallel: int | bool | None = None,
 ) -> ViolationReport:
     """``Vioπ(Σ, D)`` by the literal per-normal-form SQL plan of [2].
 
     This is the reference oracle: the fused engine and every distributed
     algorithm must agree with it bit-for-bit (violations and tuple keys),
     which the test suite asserts both on the paper's running example and
-    property-based random instances.
+    property-based random instances.  ``parallel`` (default: the
+    ``REPRO_WORKERS`` environment) runs the per-CFD scans on a thread
+    pool; reports merge in CFD order, so the answer never depends on the
+    concurrency.
     """
+    from .parallel import parallel_map
+
     if isinstance(cfds, CFD):
         cfds = [cfds]
-    report = ViolationReport()
-    for normalized in normalize_all(cfds):
-        report.merge(detect_normalized(relation, normalized, collect_tuples))
-    return report
+    return ViolationReport.union(
+        parallel_map(
+            lambda normalized: detect_normalized(
+                relation, normalized, collect_tuples
+            ),
+            normalize_all(cfds),
+            workers=parallel,
+        )
+    )
 
 
 #: engine names :func:`detect_violations` accepts (besides ``"auto"``).
@@ -177,17 +188,29 @@ def detect_violations(
     cfds: CFD | Iterable[CFD],
     collect_tuples: bool = True,
     engine: str | None = None,
+    parallel: int | bool | None = None,
 ) -> ViolationReport:
     """``Vioπ(Σ, D)`` (plus violating tuple keys) on a centralized relation.
 
-    ``engine`` selects the execution backend: ``"fused"`` (single-pass
-    columnar evaluation of all of Σ, pure-Python folds), ``"fused-numpy"``
-    (the same pass with vectorized folds; raises ``RuntimeError`` when
-    numpy is unavailable), ``"reference"`` (one scan per normal form) or
-    ``"auto"``.  When ``engine`` is ``None`` the ``REPRO_ENGINE``
-    environment variable decides, defaulting to ``"auto"`` — the fused
-    engine with vectorized folds whenever numpy is active and the relation
-    is large enough for them to pay off.
+    This is the library's central detection entry point: the CLI, the
+    experiment harness and every distributed detector's local check land
+    here.  Two orthogonal knobs select how the plan executes:
+
+    ``engine``
+        The execution backend: ``"fused"`` (single-pass columnar
+        evaluation of all of Σ, pure-Python folds), ``"fused-numpy"`` (the
+        same pass with vectorized folds; raises ``RuntimeError`` when
+        numpy is unavailable), ``"reference"`` (one scan per normal form —
+        the executable spec) or ``"auto"``.  When ``None``, the
+        ``REPRO_ENGINE`` environment variable decides, defaulting to
+        ``"auto"`` — the fused engine with vectorized folds whenever numpy
+        is active and the relation is large enough for them to pay off.
+    ``parallel``
+        Worker count for the per-normal-form folds (a thread pool; see
+        :mod:`repro.core.parallel`).  When ``None``, the ``REPRO_WORKERS``
+        environment variable decides, defaulting to serial.  Whatever the
+        setting, the report is bit-identical to a serial run — the
+        conformance suite asserts it per engine.
     """
     if engine is None:
         engine = os.environ.get("REPRO_ENGINE", "auto")
@@ -195,9 +218,11 @@ def detect_violations(
         from .fused import fused_detect
 
         vectorize = {"auto": None, "fused": False, "fused-numpy": True}[engine]
-        return fused_detect(relation, cfds, collect_tuples, vectorize)
+        return fused_detect(relation, cfds, collect_tuples, vectorize, parallel)
     if engine == "reference":
-        return detect_violations_reference(relation, cfds, collect_tuples)
+        return detect_violations_reference(
+            relation, cfds, collect_tuples, parallel
+        )
     raise ValueError(
         f"unknown detection engine {engine!r}; "
         f"use one of {', '.join(ENGINES)} (or 'auto')"

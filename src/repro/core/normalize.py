@@ -120,12 +120,34 @@ def sort_patterns_by_generality(
     )
 
 
+#: value-keyed memo of :func:`normalize` — CFDs are immutable values and
+#: every detection run (and every site of a distributed run) re-normalizes
+#: the same Σ, so the split is worth remembering.  Keyed on the name too:
+#: ``CFD.__eq__`` deliberately ignores it, but the normal forms carry it
+#: as their ``source``.  Bounded: cleared when it would outgrow the cap
+#: (property-based suites mint thousands of CFDs).
+_NORMALIZE_MEMO: dict[tuple[str, CFD], NormalizedCFD] = {}
+_NORMALIZE_MEMO_CAP = 512
+
+
 def normalize(cfd: CFD) -> NormalizedCFD:
-    """Split ``cfd`` into constant and variable normal forms.
+    """Split ``cfd`` into constant and variable normal forms (memoized).
 
     The union of violations of the parts equals the violations of the
     original CFD (the standard equivalence of [2], pinned by tests).
     """
+    key = (cfd.name, cfd)
+    cached = _NORMALIZE_MEMO.get(key)
+    if cached is not None:
+        return cached
+    normalized = _normalize_uncached(cfd)
+    if len(_NORMALIZE_MEMO) >= _NORMALIZE_MEMO_CAP:
+        _NORMALIZE_MEMO.clear()
+    _NORMALIZE_MEMO[key] = normalized
+    return normalized
+
+
+def _normalize_uncached(cfd: CFD) -> NormalizedCFD:
     constants: list[ConstantCFD] = []
     # RHS-attribute subset with wildcard entries -> list of (tableau idx, lhs row)
     variable_rows: dict[tuple[str, ...], list[tuple[int, tuple[object, ...]]]] = {}
@@ -235,3 +257,27 @@ class PatternIndex:
     def matches_any(self, values: Sequence[object]) -> bool:
         """Whether any pattern row matches (membership in ``D[Tp[X]]``)."""
         return self.first_match(values) is not None
+
+
+#: value-keyed memo of :func:`pattern_index` (same rationale and bounding
+#: as the :func:`normalize` memo: one trie per distinct tableau, shared by
+#: every site, worker and repeat detection that partitions with it).
+_INDEX_MEMO: dict[tuple, PatternIndex] = {}
+_INDEX_MEMO_CAP = 512
+
+
+def pattern_index(patterns: tuple[tuple[object, ...], ...]) -> PatternIndex:
+    """The (memoized) :class:`PatternIndex` of a pattern tableau.
+
+    Pattern rows are immutable value tuples, so the σ trie is a pure
+    function of them; the memo also lets the parallel scheduler's worker
+    processes rebuild each trie once and reuse it across work orders.
+    """
+    cached = _INDEX_MEMO.get(patterns)
+    if cached is not None:
+        return cached
+    index = PatternIndex(patterns)
+    if len(_INDEX_MEMO) >= _INDEX_MEMO_CAP:
+        _INDEX_MEMO.clear()
+    _INDEX_MEMO[patterns] = index
+    return index

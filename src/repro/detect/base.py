@@ -13,11 +13,29 @@ All three single-CFD algorithms follow the same skeleton:
 
 This module implements the skeleton; the algorithm modules plug in their
 coordinator-selection strategies.
+
+Since PR 3 the skeleton executes on two subsystems layered over the
+columnar backend:
+
+* **Parallel fragment scans** — step 2 runs one
+  :func:`partition_fragment_summary` per site through
+  :func:`repro.core.parallel.map_fragments`, concurrently when
+  ``REPRO_WORKERS`` asks for it (threads by default,
+  ``REPRO_PARALLEL=process`` for fragment-resident worker processes).
+  Results come back in site order, so parallel runs are bit-identical to
+  serial ones.
+* **Shared dictionaries** — each cluster keeps one
+  :class:`~repro.relational.shareddict.SharedPairDictionary` per variable
+  CFD.  A fragment's scan returns its *local* distinct ``X ∪ A``
+  combinations once (the local dictionary, shipped like the ``lstat``
+  control traffic); afterwards every bucket crosses sites as ``(x_code,
+  y_code)`` int pairs, and :func:`coordinator_check` detects conflicts
+  directly on the code pairs, decoding only the violating ``X`` values.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..core import (
@@ -25,11 +43,13 @@ from ..core import (
     CFD,
     PatternIndex,
     VariableCFD,
+    Violation,
     ViolationReport,
     detect_constants,
-    detect_variables,
     normalize,
+    pattern_index,
 )
+from ..core.parallel import map_fragments
 from ..distributed import (
     Cluster,
     CostBreakdown,
@@ -38,26 +58,70 @@ from ..distributed import (
     Site,
     StageTimes,
 )
-from ..relational import Relation, Schema, column_store, compatible_with_bindings
+from ..relational import (
+    Relation,
+    Schema,
+    SharedPairDictionary,
+    column_store,
+    compatible_with_bindings,
+    shared_dict_on,
+)
 from .local import applicable_patterns
+
+
+@dataclass
+class CodedBucket:
+    """One σ bucket of one fragment, in dictionary-coded form.
+
+    ``count`` is ``|H_i^l|`` — how many of the fragment's rows fall in the
+    bucket (the statistic broadcast as ``lstat`` and the number of rows a
+    shipment of this bucket counts).  ``codes`` lists the *local* distinct
+    ``X ∪ A`` combination codes present, in the fragment's first-seen
+    order; the coordinator translates them to cluster-global ``(x_code,
+    y_code)`` pairs through the site's
+    :class:`~repro.relational.shareddict.SharedPairDictionary` entry.
+    """
+
+    count: int = 0
+    codes: list[int] = field(default_factory=list)
+
+    def __len__(self) -> int:  # rows in the bucket, as the paper counts
+        return self.count
 
 
 @dataclass
 class SitePartition:
     """One site's share of the σ partition of a variable CFD.
 
-    ``buckets[l]`` holds the ``(X, A)`` projections of the tuples ``t`` of
-    the site's fragment with ``σ(t) = l`` (``H_i^l`` in the paper);
-    ``lstat[l] = |H_i^l|`` is the statistic the site broadcasts.
+    ``buckets[l]`` summarizes the tuples ``t`` of the site's fragment with
+    ``σ(t) = l`` (``H_i^l`` in the paper); ``lstat[l] = |H_i^l|`` is the
+    statistic the site broadcasts.  ``pairs`` maps the fragment's local
+    combination codes to the cluster-global ``(x_code, y_code)`` pairs of
+    ``shared`` — the translation the coordinator applies when merging.
     """
 
     site: Site
-    buckets: list[list[tuple]]
+    buckets: list[CodedBucket]
     participated: bool
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    shared: SharedPairDictionary | None = None
 
     @property
     def lstat(self) -> list[int]:
-        return [len(bucket) for bucket in self.buckets]
+        return [bucket.count for bucket in self.buckets]
+
+
+@dataclass
+class MergedBucket:
+    """One pattern's merged bucket ``⋃_i H_i^l`` as seen by its coordinator.
+
+    ``rows`` counts the member tuples (what the check-cost model charges);
+    ``pairs`` holds the received distinct ``(x_code, y_code)`` pairs — the
+    code arrays the coordinator-side merge runs on.
+    """
+
+    rows: int = 0
+    pairs: list[tuple[int, int]] = field(default_factory=list)
 
 
 def ship_projection_schema(schema: Schema, variable: VariableCFD) -> Schema:
@@ -65,81 +129,126 @@ def ship_projection_schema(schema: Schema, variable: VariableCFD) -> Schema:
     return schema.project(variable.attributes)
 
 
-def partition_fragment(
+def group_occupancy(fragment: Relation, attributes: Sequence[str]) -> list[int]:
+    """Rows per distinct combination of ``attributes`` (cached per store).
+
+    A pure function of the fragment's composite key column, so it is
+    memoized in the store's scratch space: repeat detections skip the
+    per-row pass entirely.
+    """
+    store = column_store(fragment)
+    key = store.key_column(attributes)
+    cache_key = ("occupancy", tuple(attributes))
+    cached = store.scratch.get(cache_key)
+    if cached is not None:
+        return cached
+    codes_arr = key.codes_array()
+    if codes_arr is not None:
+        import numpy as np
+
+        occupancy = np.bincount(codes_arr, minlength=key.n_groups).tolist()
+    else:
+        occupancy = [0] * key.n_groups
+        for g in key.codes:
+            occupancy[g] += 1
+    store.scratch[cache_key] = occupancy
+    return occupancy
+
+
+def partition_fragment_summary(
     fragment: Relation,
     variable: VariableCFD,
-    index: PatternIndex,
-    intern: dict[tuple, tuple] | None = None,
-) -> list[list[tuple]]:
-    """σ-partition one fragment: per-pattern buckets of ``π_{X ∪ A}`` rows.
+    need_values: bool = True,
+    index: PatternIndex | None = None,
+):
+    """σ-partition one fragment into dictionary-coded bucket summaries.
 
-    Columnar: the fragment's cached composite key column assigns each row
-    the ordinal of its distinct ``X ∪ A`` combination, σ is probed once per
-    distinct combination, and each row costs two list lookups.  Fragments
-    checked against several CFDs (or several algorithms) reuse the same
-    encoded columns.
+    The worker-side scan of step 2: the fragment's cached composite key
+    column assigns each row the ordinal of its distinct ``X ∪ A``
+    combination, σ is probed once per *distinct* combination, and each
+    bucket is summarized as (row count, distinct local codes present).
 
-    ``intern`` is an optional cross-fragment intern table: distinct
-    projections are canonicalized through it once per fragment, so equal
-    rows shipped from different sites arrive at the coordinator as one
-    shared tuple object (within one fragment the key column already
-    interns — every row of a group reuses the group's value tuple).
+    Returns ``(counts, bucket_codes, values)`` where ``values`` is the
+    fragment's local dictionary (distinct combinations, first-seen order)
+    when ``need_values`` — the coordinator asks for it only the first time
+    it sees this fragment; afterwards codes suffice.  Runs unchanged in a
+    thread, in a fragment-resident worker process, or inline.
     """
-    buckets: list[list[tuple]] = [[] for _ in variable.patterns]
+    n_patterns = len(variable.patterns)
+    counts = [0] * n_patterns
+    bucket_codes: list[list[int]] = [[] for _ in range(n_patterns)]
     if not fragment.rows:
-        return buckets
+        return counts, bucket_codes, [] if need_values else None
+    if index is None:
+        # memoized per tableau — worker processes build each σ trie once
+        # and reuse it across work orders
+        index = pattern_index(variable.patterns)
     key = column_store(fragment).key_column(variable.attributes)
+    occupancy = group_occupancy(fragment, variable.attributes)
     lhs_width = len(variable.lhs)
-    values = key.values
-    ordinals = [index.first_match(combo[:lhs_width]) for combo in values]
-    if intern is not None:
-        values = [
-            intern.setdefault(combo, combo) if ordinals[g] is not None else combo
-            for g, combo in enumerate(values)
-        ]
-    for g in key.codes:
-        ordinal = ordinals[g]
-        if ordinal is not None:
-            buckets[ordinal].append(values[g])
-    return buckets
-
-
-def partition_site(
-    site: Site,
-    variable: VariableCFD,
-    index: PatternIndex,
-    intern: dict[tuple, tuple] | None = None,
-) -> SitePartition:
-    """Compute ``σ_i`` at one site: buckets ``H_i^l`` and their sizes.
-
-    Applies the Section IV-A pruning rule first: when the site's
-    fragmentation predicate is incompatible with every pattern of the CFD,
-    the site does not participate at all (no scan, no statistics).
-    """
-    if not applicable_patterns(site, variable):
-        empty: list[list[tuple]] = [[] for _ in variable.patterns]
-        return SitePartition(site, empty, participated=False)
-    return SitePartition(
-        site,
-        partition_fragment(site.fragment, variable, index, intern),
-        participated=True,
-    )
+    first_match = index.first_match
+    for g, combo in enumerate(key.values):
+        ordinal = first_match(combo[:lhs_width])
+        if ordinal is None:
+            continue
+        counts[ordinal] += occupancy[g]
+        bucket_codes[ordinal].append(g)
+    return counts, bucket_codes, key.values if need_values else None
 
 
 def partition_cluster(
     cluster: Cluster, variable: VariableCFD
 ) -> tuple[list[SitePartition], PatternIndex]:
-    """Run :func:`partition_site` at every site of the cluster.
+    """Run the σ scan at every site of the cluster, concurrently if asked.
 
-    One intern table is shared across the sites, so the ``(X, A)``
-    projections later merged at coordinators are deduplicated to one tuple
-    object per distinct combination cluster-wide.
+    The per-site scans go through
+    :func:`repro.core.parallel.map_fragments` (honouring
+    ``REPRO_WORKERS`` / ``REPRO_PARALLEL``); translation into the
+    cluster's shared dictionary happens coordinator-side afterwards, in
+    site order, so codes — and therefore reports — are identical whatever
+    the concurrency.  The dictionary (and each site's translation) is
+    cached on the cluster, so only the first detection of a variable CFD
+    pays the interning pass.
     """
-    index = PatternIndex(variable.patterns)
-    intern: dict[tuple, tuple] = {}
-    partitions = [
-        partition_site(site, variable, index, intern) for site in cluster.sites
+    index = pattern_index(variable.patterns)
+    shared: SharedPairDictionary = shared_dict_on(
+        cluster,
+        ("pairs", variable),
+        lambda: SharedPairDictionary(len(variable.lhs)),
+    )
+    sites = cluster.sites
+    n_patterns = len(variable.patterns)
+    participating = [
+        i for i, site in enumerate(sites) if applicable_patterns(site, variable)
     ]
+    # the σ trie is not shipped to workers: they rebuild it once from the
+    # (memoized) tableau, keeping the per-task payload small
+    tasks = [
+        (i, (variable, shared.pairs_for(i) is None))
+        for i in participating
+    ]
+    fragments = [site.fragment for site in sites]
+    results = map_fragments(
+        cluster, fragments, partition_fragment_summary, tasks
+    )
+
+    by_site = dict(zip(participating, results))
+    partitions: list[SitePartition] = []
+    for i, site in enumerate(sites):
+        result = by_site.get(i)
+        if result is None:
+            empty = [CodedBucket() for _ in range(n_patterns)]
+            partitions.append(SitePartition(site, empty, False, [], shared))
+            continue
+        counts, bucket_codes, values = result
+        pairs = shared.pairs_for(i)
+        if pairs is None:
+            pairs = shared.translate(i, values)
+        buckets = [
+            CodedBucket(count, codes)
+            for count, codes in zip(counts, bucket_codes)
+        ]
+        partitions.append(SitePartition(site, buckets, True, pairs, shared))
     return partitions, index
 
 
@@ -169,30 +278,53 @@ def ship_buckets(
     log: ShipmentLog,
     tag: str,
     width: int,
-) -> list[list[tuple]]:
+) -> list[MergedBucket]:
     """Ship every bucket to its pattern's coordinator; return merged data.
 
-    Returns ``merged[l]`` = the rows of ``⋃_i H_i^l`` as available at the
-    coordinator of pattern ``l`` (local rows are not shipped, only counted
-    into the merged relation).
+    Returns ``merged[l]`` = the coded view of ``⋃_i H_i^l`` as available
+    at the coordinator of pattern ``l`` (local rows are not shipped, only
+    counted into the merged bucket).  Shipments are dictionary-coded: a
+    row crosses the wire as one ``(x_code, y_code)`` pair whatever its
+    attribute width, which the log records via ``n_codes``.
     """
-    merged: list[list[tuple]] = [[] for _ in coordinators]
+    merged = [MergedBucket() for _ in coordinators]
     for part in partitions:
         source = part.site.index
+        pairs = part.pairs
         for ordinal, bucket in enumerate(part.buckets):
-            if not bucket:
+            if not bucket.count:
                 continue
             dest = coordinators[ordinal]
             if dest != source:
                 log.ship(
                     dest,
                     source,
-                    len(bucket),
-                    len(bucket) * width,
+                    bucket.count,
+                    bucket.count * width,
                     tag=f"{tag}#p{ordinal}",
+                    n_codes=2 * bucket.count,
                 )
-            merged[ordinal].extend(bucket)
+            target = merged[ordinal]
+            target.rows += bucket.count
+            target.pairs.extend(map(pairs.__getitem__, bucket.codes))
     return merged
+
+
+def conflicting_x_codes(pairs: Sequence[tuple[int, int]]) -> set[int]:
+    """``x`` codes taking at least two distinct ``y`` codes in ``pairs``.
+
+    The coordinator-side merge: one pass over the received code pairs, no
+    value materialization.  Equal values carry equal codes cluster-wide
+    (the shared-dictionary invariant), so this is exactly the GROUP BY
+    conflict test of the centralized detector.
+    """
+    first: dict[int, int] = {}
+    conflicts: set[int] = set()
+    for x, y in pairs:
+        f = first.setdefault(x, y)
+        if f != y:
+            conflicts.add(x)
+    return conflicts
 
 
 def local_constant_checks(
@@ -223,31 +355,37 @@ def coordinator_check(
     cluster: Cluster,
     variable: VariableCFD,
     coordinators: Sequence[int],
-    merged: Sequence[Sequence[tuple]],
+    merged: Sequence[MergedBucket],
+    shared: SharedPairDictionary,
 ) -> tuple[ViolationReport, float]:
-    """Run the per-pattern detection at each coordinator.
+    """Run the per-pattern detection at each coordinator, on code pairs.
 
-    Returns the merged report and the check-stage time: coordinators work
-    in parallel, so the stage lasts as long as the busiest site.
+    Each coordinator groups its received ``(x_code, y_code)`` pairs and
+    reports the ``x`` codes carrying two distinct ``y`` codes — the
+    centralized GROUP BY detection collapsed onto the shared dictionary's
+    codes; only violating ``X`` values are decoded.  Returns the merged
+    report and the check-stage time: coordinators work in parallel, so the
+    stage lasts as long as the busiest site (charged for the full row
+    counts, not the coded distincts — the model follows the paper).
     """
     model: CostModel = cluster.cost_model
-    schema = ship_projection_schema(cluster.schema, variable)
     report = ViolationReport()
     ops_per_site: dict[int, float] = {}
-    for ordinal, rows in enumerate(merged):
-        if not rows:
+    x_values = shared.x_values
+    for ordinal, bucket in enumerate(merged):
+        if not bucket.rows:
             continue
-        single = VariableCFD(
-            source=variable.source,
-            lhs=variable.lhs,
-            rhs=variable.rhs,
-            patterns=(variable.patterns[ordinal],),
-        )
-        relation = Relation(schema, rows, copy=False)
-        report.merge(detect_variables(relation, [single], collect_tuples=False))
+        for x_code in conflicting_x_codes(bucket.pairs):
+            report.add(
+                Violation(
+                    cfd=variable.source,
+                    lhs_attributes=variable.lhs,
+                    lhs_values=x_values[x_code],
+                )
+            )
         site = coordinators[ordinal]
         ops_per_site[site] = ops_per_site.get(site, 0.0) + model.check_ops(
-            len(rows)
+            bucket.rows
         )
     check_time = max(
         (model.check_time(ops) for ops in ops_per_site.values()), default=0.0

@@ -1,13 +1,24 @@
 """Algorithm CLUSTDETECT (Section IV-C): merge CFDs with overlapping LHS.
 
-Two CFDs ``(X → A, Tp)`` and ``(X' → B, T'p)`` are merged when ``X ⊆ X'``
-or ``X' ⊆ X``.  For each resulting cluster the data is partitioned once, by
+Partition kind: horizontal.  Paper section: IV-C, Fig. 3(f)–(i).  Two CFDs
+``(X → A, Tp)`` and ``(X' → B, T'p)`` are merged when ``X ⊆ X'`` or
+``X' ⊆ X``.  For each resulting cluster the data is partitioned once, by
 the tableaux *projected onto the shared attributes* ``X ∩ X'``; a
 coordinator is designated per projected pattern; and each coordinator runs
 the detection queries of every member CFD on the tuples it received.  A
 tuple matching several member CFDs is thus shipped once per cluster rather
 than once per CFD, which is where CLUSTDETECT's savings over SEQDETECT come
-from (Fig. 3(f)–(i)).
+from.
+
+Shipping strategy: the fragment scans run concurrently under
+``REPRO_WORKERS`` and each shipped row crosses the network as a *single*
+int — its combination's code in the CFD cluster's
+:class:`~repro.relational.shareddict.SharedComboDictionary` (the
+coordinator needs whole combinations back, because every member CFD
+projects them differently).  Coordinators dedupe the received codes and
+run the members' GROUP BY queries over the distinct decoded combinations
+— conflict existence is multiplicity-free, so this is exactly the
+row-level answer.
 
 Correctness: tuples agreeing on a member's full LHS ``X'`` also agree on
 ``X ∩ X' ⊆ X'``, hence land at the same coordinator, so every violating
@@ -27,10 +38,17 @@ from ..core import (
     detect_variables,
     is_wildcard,
     normalize,
+    pattern_index,
     sort_patterns_by_generality,
 )
+from ..core.parallel import map_fragments
 from ..distributed import Cluster, DetectionOutcome, ShipmentLog
-from ..relational import Relation, column_store
+from ..relational import (
+    Relation,
+    SharedComboDictionary,
+    column_store,
+    shared_dict_on,
+)
 from . import base
 from .pat import Strategy, make_select_min_response, select_max_stat
 
@@ -107,49 +125,48 @@ def cluster_cfds(
     return clusters
 
 
-def _partition_site_for_cluster(
-    site,
-    group: CFDCluster,
-    projected_index: PatternIndex,
-    intern: dict[tuple, tuple] | None = None,
+def cluster_fragment_summary(
+    fragment: Relation, group: CFDCluster, need_values: bool = True
 ):
     """One scan of a fragment serving every member CFD of the cluster.
 
-    Returns the per-projected-pattern buckets (projections onto the
-    cluster's attribute union) and, per bucket, the per-member matching
-    counts used for check-cost accounting.  ``intern`` canonicalizes the
-    shipped projections across fragments (see
-    :func:`repro.detect.base.partition_fragment`).
+    Columnar: the attribute union is encoded once, member matches and the
+    projected σ ordinal are resolved per *distinct* combination, and each
+    bucket comes back as (row count, distinct local combination codes) —
+    ready for the shared-dictionary translation at the coordinator — plus
+    the per-member matching counts used for check-cost accounting.
+    ``need_values`` additionally returns the fragment's local dictionary
+    (its distinct combinations), which the coordinator requests only once
+    per fragment.  Module-level and self-contained so the parallel
+    scheduler can run it in a fragment-resident worker process.
     """
-    fragment = site.fragment
-    buckets: list[list[tuple]] = [[] for _ in group.projected]
-    member_counts = [
-        [0] * len(group.members) for _ in group.projected
-    ]
+    n_buckets = len(group.projected)
+    n_members = len(group.members)
+    counts = [0] * n_buckets
+    bucket_codes: list[list[int]] = [[] for _ in range(n_buckets)]
+    member_counts = [[0] * n_members for _ in range(n_buckets)]
     if not fragment.rows:
-        return buckets, member_counts
+        return counts, bucket_codes, member_counts, [] if need_values else None
 
-    # Columnar: encode the attribute union once, then resolve member
-    # matches and the projected σ ordinal per *distinct* combination.
+    projected_index = pattern_index(group.projected)
     key = column_store(fragment).key_column(group.attributes)
+    occupancy = base.group_occupancy(fragment, group.attributes)
     attr_pos = {attr: i for i, attr in enumerate(group.attributes)}
     member_data = [
         (
             tuple(attr_pos[a] for a in member.lhs),
-            PatternIndex(member.patterns),
+            pattern_index(member.patterns),
         )
         for member in group.members
     ]
     shared_positions = tuple(attr_pos[a] for a in group.shared)
-    plans: list[tuple[int, list[int]] | None] = []
-    for combo in key.values:
+    for g, combo in enumerate(key.values):
         matched = [
             m
             for m, (positions, index) in enumerate(member_data)
             if index.matches_any(tuple(combo[p] for p in positions))
         ]
         if not matched:
-            plans.append(None)
             continue
         xc = tuple(combo[p] for p in shared_positions)
         ordinal = projected_index.first_match(xc)
@@ -157,24 +174,12 @@ def _partition_site_for_cluster(
             raise AssertionError(
                 "tuple matched a member CFD but no projected pattern"
             )
-        plans.append((ordinal, matched))
-
-    values = key.values
-    if intern is not None:
-        values = [
-            intern.setdefault(combo, combo) if plans[g] is not None else combo
-            for g, combo in enumerate(values)
-        ]
-    for g in key.codes:
-        plan = plans[g]
-        if plan is None:
-            continue
-        ordinal, matched = plan
-        buckets[ordinal].append(values[g])
-        counts = member_counts[ordinal]
+        n = occupancy[g]
+        counts[ordinal] += n
+        bucket_codes[ordinal].append(g)
         for m in matched:
-            counts[m] += 1
-    return buckets, member_counts
+            member_counts[ordinal][m] += n
+    return counts, bucket_codes, member_counts, key.values if need_values else None
 
 
 def clust_detect(
@@ -213,60 +218,94 @@ def clust_detect(
     chosen: dict[str, list[int]] = {}
 
     for group in groups:
-        projected_index = PatternIndex(group.projected)
-        intern: dict[tuple, tuple] = {}
-        site_results = [
-            _partition_site_for_cluster(site, group, projected_index, intern)
-            for site in cluster.sites
+        # one shared combination dictionary per CFD cluster, cached on the
+        # data cluster so repeat detections reuse the interned codes
+        shared: SharedComboDictionary = shared_dict_on(
+            cluster,
+            ("combo",) + tuple(group.members),
+            SharedComboDictionary,
+        )
+        fragments = [site.fragment for site in cluster.sites]
+        tasks = [
+            (i, (group, shared.codes_for(i) is None))
+            for i in range(len(fragments))
         ]
+        summaries = map_fragments(
+            cluster, fragments, cluster_fragment_summary, tasks
+        )
+        site_results = []
+        for i, (counts, bucket_codes, member_counts, values) in enumerate(
+            summaries
+        ):
+            codes = shared.codes_for(i)
+            if codes is None:
+                codes = shared.translate(i, values)
+            site_results.append((counts, bucket_codes, codes, member_counts))
         scan = max(
             (model.scan_time(len(site.fragment)) for site in cluster.sites),
             default=0.0,
         )
         base.exchange_statistics(cluster, log)
 
-        lstat = [
-            [len(bucket) for bucket in buckets]
-            for buckets, _counts in site_results
-        ]
+        lstat = [counts for counts, _codes, _pairs, _mc in site_results]
         coordinators = pick(cluster, lstat)
         chosen[group.name] = coordinators
 
         width = len(group.attributes)
         stage_log = ShipmentLog()
-        merged: list[list[tuple]] = [[] for _ in group.projected]
+        merged_rows = [0] * len(group.projected)
+        # distinct global combination codes per bucket, deduped across
+        # sites in site order (the coordinator's working set)
+        merged_codes: list[dict[int, None]] = [
+            {} for _ in group.projected
+        ]
         total_counts = [
             [0] * len(group.members) for _ in group.projected
         ]
-        for site, (buckets, counts) in zip(cluster.sites, site_results):
-            for ordinal, bucket in enumerate(buckets):
-                if not bucket:
+        for site, (counts, bucket_codes, codes, member_counts) in zip(
+            cluster.sites, site_results
+        ):
+            for ordinal, count in enumerate(counts):
+                if not count:
                     continue
                 dest = coordinators[ordinal]
                 if dest != site.index:
                     stage_log.ship(
                         dest,
                         site.index,
-                        len(bucket),
-                        len(bucket) * width,
+                        count,
+                        count * width,
                         tag=f"{group.name}#p{ordinal}",
+                        # one combination code per row on the wire
+                        n_codes=count,
                     )
-                merged[ordinal].extend(bucket)
+                merged_rows[ordinal] += count
+                bucket = merged_codes[ordinal]
+                for g in bucket_codes[ordinal]:
+                    bucket[codes[g]] = None
                 for m in range(len(group.members)):
-                    total_counts[ordinal][m] += counts[ordinal][m]
+                    total_counts[ordinal][m] += member_counts[ordinal][m]
         transfer = model.transfer_time(stage_log.outgoing_by_source())
         log.merge(stage_log)
 
         schema = cluster.schema.project(group.attributes)
+        decode = shared.values
         ops_per_site: dict[int, float] = {}
-        for ordinal, rows in enumerate(merged):
+        for ordinal, rows in enumerate(merged_rows):
             if not rows:
                 continue
-            relation = Relation(schema, rows, copy=False)
+            # decode the distinct combinations and run every member's GROUP
+            # BY over them — conflict existence is multiplicity-free, so
+            # the distinct working set answers exactly like the full rows
+            relation = Relation(
+                schema,
+                [decode[code] for code in merged_codes[ordinal]],
+                copy=False,
+            )
             site_index = coordinators[ordinal]
             # Routing scan of the received bucket, then one GROUP BY per member
             # over its own matching tuples.
-            ops = float(len(rows))
+            ops = float(rows)
             for m, member in enumerate(group.members):
                 report.merge(
                     detect_variables(relation, [member], collect_tuples=False)

@@ -1,19 +1,20 @@
 """Algorithm CTRDETECT (Section IV-B): a single coordinator per CFD.
 
-Every site counts its tuples matching the LHS of any pattern tuple
-(``lstat_i``), the counts are broadcast, and the site with the maximum
-count becomes the coordinator (ties break to the smallest site, so all
-sites pick the same coordinator independently).  All other sites ship the
-``(X, A)`` projections of their matching tuples to it, where the violations
-are detected with the centralized SQL technique.  Each tuple is shipped at
-most once.
+Partition kind: horizontal.  Shipping strategy: every site counts its
+tuples matching the LHS of any pattern tuple (``lstat_i``), the counts are
+broadcast, and the site with the maximum count becomes the coordinator
+(ties break to the smallest site, so all sites pick the same coordinator
+independently).  All other sites ship the ``(X, A)`` projections of their
+matching tuples to it — as shared-dictionary ``(x_code, y_code)`` pairs
+(see :mod:`repro.relational.shareddict`) — where the violations are
+detected with the centralized GROUP BY technique run on the code pairs.
+Each tuple is shipped at most once.
 """
 
 from __future__ import annotations
 
-from ..core import CFD, detect_variables
+from ..core import CFD, Violation
 from ..distributed import Cluster, DetectionOutcome, ShipmentLog
-from ..relational import Relation
 from . import base
 
 
@@ -44,31 +45,45 @@ def ctr_detect(cluster: Cluster, cfd: CFD) -> DetectionOutcome:
 
         schema = base.ship_projection_schema(cluster.schema, variable)
         width = len(schema)
-        merged_rows: list[tuple] = []
+        merged_pairs: list[tuple[int, int]] = []
+        merged_rows = 0
         stage_log = ShipmentLog()
         for part in partitions:
-            rows = [row for bucket in part.buckets for row in bucket]
+            rows = sum(part.lstat)
             if not rows:
                 continue
             if part.site.index != coordinator:
                 stage_log.ship(
                     coordinator,
                     part.site.index,
-                    len(rows),
-                    len(rows) * width,
+                    rows,
+                    rows * width,
                     tag=variable.source,
+                    n_codes=2 * rows,
                 )
-            merged_rows.extend(rows)
+            pairs = part.pairs
+            for bucket in part.buckets:
+                merged_pairs.extend(map(pairs.__getitem__, bucket.codes))
+            merged_rows += rows
 
         transfer = cluster.cost_model.transfer_time(
             stage_log.outgoing_by_source()
         )
         log.merge(stage_log)
 
-        relation = Relation(schema, merged_rows, copy=False)
-        report.merge(detect_variables(relation, [variable], collect_tuples=False))
+        # One X value never spans two σ buckets (σ is a function of X), so
+        # the per-CFD GROUP BY collapses to one conflict scan of the codes.
+        shared = partitions[0].shared
+        for x_code in base.conflicting_x_codes(merged_pairs):
+            report.add(
+                Violation(
+                    cfd=variable.source,
+                    lhs_attributes=variable.lhs,
+                    lhs_values=shared.x_values[x_code],
+                )
+            )
         check = cluster.cost_model.check_time(
-            cluster.cost_model.check_ops(len(merged_rows))
+            cluster.cost_model.check_ops(merged_rows)
         )
         cost.stages.append(base.stage(scan, transfer, check))
 

@@ -1,20 +1,27 @@
 """Detection under hybrid fragmentation (Section VIII future work).
 
-Two phases compose the existing machinery:
+Partition kind: hybrid — horizontal *regions*, each vertically partitioned
+inside.  Paper section: VIII (future work).  Two phases compose the
+existing machinery:
 
 1. **Vertical gather (within each region).**  For each CFD, every region
    designates the vertical fragment covering most of the CFD's attributes
    as the *region gather site*; the other fragments ship the keyed columns
-   of the missing attributes there, where the region's
+   of the missing attributes there (dictionary-coded, one int per cell —
+   ``n_codes`` in the shipment log), where the region's
    ``π_{X ∪ A}(D_region[Tp[X]])`` projection is assembled by key join.
    Regions whose predicate contradicts every pattern (``F_i ∧ F_φ``) are
-   skipped outright.
+   skipped outright; the remaining gathers are independent and run
+   concurrently under ``REPRO_WORKERS``, with shipment logs merged in
+   region order so the outcome stays deterministic.
 
 2. **Horizontal detection (across regions).**  The gather sites now hold a
    horizontal partition of the matching tuples, so the σ-based per-pattern
    coordination of PATDETECTS runs across them unchanged — we synthesize a
    horizontal :class:`~repro.distributed.Cluster` over the gathered
-   projections and remap the resulting shipments back to global site ids.
+   projections (whose buckets then ship as shared-dictionary code pairs,
+   like every horizontal algorithm) and remap the resulting shipments back
+   to global site ids.
 
 Each tuple attribute crosses the network at most twice (once into its
 region's gather site, once to a pattern coordinator), and only when needed.
@@ -30,6 +37,7 @@ from ..core import (
     detect_constants,
     normalize,
 )
+from ..core.parallel import parallel_map
 from ..distributed import (
     Cluster,
     CostBreakdown,
@@ -65,13 +73,15 @@ def _gather_region(
     cluster: HybridCluster,
     region_index: int,
     attributes: tuple[str, ...],
-    log: ShipmentLog,
     tag: str,
-) -> tuple[int, Relation, float]:
+) -> tuple[int, Relation, float, ShipmentLog]:
     """Phase 1 at one region: assemble π_{key ∪ attributes} at one site.
 
     Returns (global gather-site id, gathered relation, transfer time of
-    this region's intra-region shipments).
+    this region's intra-region shipments, the shipment log of those
+    shipments).  The log is returned rather than merged in place so the
+    per-region gathers can run concurrently and still merge
+    deterministically, in region order, at the caller.
     """
     region = cluster.regions[region_index]
     vertical = region.vertical
@@ -105,12 +115,13 @@ def _gather_region(
             len(column),
             len(column) * len(column.schema),
             tag=f"{tag}@{region.name}",
+            # keyed columns ship dictionary-coded: one int per cell
+            n_codes=len(column) * len(column.schema),
         )
         joined = joined.join(column, on=key)
     transfer = cluster.cost_model.transfer_time(stage_log.outgoing_by_source())
-    log.merge(stage_log)
     ordered = joined.project(tuple(key) + tuple(attributes))
-    return gather_site, ordered, transfer
+    return gather_site, ordered, transfer, stage_log
 
 
 def hybrid_detect(
@@ -151,25 +162,35 @@ def hybrid_detect(
                 if local:
                     gathered = local[0].fragment
                 else:
-                    _site, gathered, transfer = _gather_region(
-                        cluster, r, needed, log, constant.source
+                    _site, gathered, transfer, stage_log = _gather_region(
+                        cluster, r, needed, constant.source
                     )
+                    log.merge(stage_log)
                     stages.append(base.stage(0.0, transfer, 0.0))
                 report.merge(
                     detect_constants(gathered, [constant], collect_tuples=False)
                 )
 
         for variable in normalized.variables:
-            # Phase 1: vertical gathers, region by region (parallel).
+            # Phase 1: vertical gathers, region by region — independent, so
+            # they run through the parallel scheduler; logs merge in region
+            # order to keep the run deterministic.
+            applicable_regions = [
+                r
+                for r, region in enumerate(cluster.regions)
+                if _region_applicable(region, variable)
+            ]
+            gathers = parallel_map(
+                lambda r: _gather_region(
+                    cluster, r, variable.attributes, variable.source
+                ),
+                applicable_regions,
+            )
             gathered_sites: list[int] = []
             gathered_fragments: list[Relation] = []
             transfers = []
-            for r, region in enumerate(cluster.regions):
-                if not _region_applicable(region, variable):
-                    continue
-                site, fragment, transfer = _gather_region(
-                    cluster, r, variable.attributes, log, variable.source
-                )
+            for site, fragment, transfer, stage_log in gathers:
+                log.merge(stage_log)
                 gathered_sites.append(site)
                 gathered_fragments.append(
                     fragment.project(variable.attributes)
@@ -232,9 +253,10 @@ def hybrid_detect(
                     event.n_tuples,
                     event.n_cells,
                     tag=event.tag,
+                    n_codes=event.n_codes,
                 )
             stage_report, check = base.coordinator_check(
-                synthetic, variable, coordinators, merged
+                synthetic, variable, coordinators, merged, partitions[0].shared
             )
             report.merge(stage_report)
             stages.append(base.stage(scan, transfer, check))

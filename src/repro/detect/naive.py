@@ -1,6 +1,7 @@
 """The naive baseline of Section III-A: ship everything to one site.
 
-Ships every fragment (whole tuples, all attributes) to a coordinator,
+Partition kind: horizontal.  Shipping strategy: none worth the name —
+ships every fragment (whole tuples, all attributes, uncoded) to a coordinator,
 reconstructs ``D`` and runs the centralized detector (the fused columnar
 engine, via the :func:`repro.core.detect_violations` dispatcher).  Exists
 to quantify how much traffic the real algorithms save; the paper dismisses

@@ -1,9 +1,13 @@
 """Algorithms PATDETECTS and PATDETECTRT (Section IV-B, Fig. 2).
 
-Both partition each fragment with the σ function induced by the generality
-ordering of the pattern tableau (Lemma 6) and designate a coordinator *per
-pattern tuple*, distributing the detection work across sites.  They differ
-only in the coordinator-selection rule:
+Partition kind: horizontal.  Shipping strategy: both algorithms partition
+each fragment with the σ function induced by the generality ordering of
+the pattern tableau (Lemma 6) and designate a coordinator *per pattern
+tuple*, distributing the detection work across sites; σ buckets cross the
+network as shared-dictionary ``(x_code, y_code)`` pairs (see
+:mod:`repro.relational.shareddict`) and the fragment scans run
+concurrently under ``REPRO_WORKERS``.  The two differ only in the
+coordinator-selection rule:
 
 * ``PATDETECTS`` minimizes total shipment: the coordinator of pattern
   ``t_p^l`` is the site with the largest ``lstat[·, l]`` (that site would
@@ -188,7 +192,7 @@ def _pat_detect(
         log.merge(stage_log)
 
         stage_report, check = base.coordinator_check(
-            cluster, variable, coordinators, merged
+            cluster, variable, coordinators, merged, partitions[0].shared
         )
         report.merge(stage_report)
         cost.stages.append(base.stage(scan, transfer, check))

@@ -1,15 +1,21 @@
 """Replication-aware detection (Section VIII future work).
 
-The per-pattern skeleton of PATDETECTS, upgraded to exploit replicas:
+Partition kind: replicated horizontal fragments (a fragment → sites
+placement map).  Paper section: VIII ("capitalize on data replication to
+increase parallelism and reduce response time").  The per-pattern skeleton
+of PATDETECTS, upgraded to exploit replicas:
 
 1. each fragment is scanned (σ-partitioned) at one replica, chosen to
-   balance the per-site scan load — replication buys scan parallelism;
+   balance the per-site scan load — replication buys scan parallelism
+   (and the simulation scans fragments concurrently under
+   ``REPRO_WORKERS``, like the σ scans of the other algorithms);
 2. pattern coordinators are chosen by *availability*: the statistic of
    site ``s`` for pattern ``l`` counts the matching tuples of every
    fragment replicated at ``s``, so fragments co-located with the
    coordinator contribute without any shipment;
-3. only fragments with no replica at the coordinator ship their bucket,
-   each from the replica whose outgoing load is lowest.
+3. only fragments with no replica at the coordinator ship their bucket —
+   as shared-dictionary ``(x_code, y_code)`` pairs — each from the
+   replica whose outgoing load is lowest.
 
 With a single replica per fragment this degrades exactly to the
 availability-blind PATDETECTS; with full replication nothing ships at all.
@@ -19,16 +25,15 @@ from __future__ import annotations
 
 from ..core import (
     CFD,
-    PatternIndex,
-    VariableCFD,
+    Violation,
     ViolationReport,
     detect_constants,
-    detect_variables,
     normalize,
 )
+from ..core.parallel import map_fragments
 from ..distributed import CostBreakdown, DetectionOutcome, ShipmentLog
 from ..distributed.replication import ReplicatedCluster
-from ..relational import Relation
+from ..relational import SharedPairDictionary, shared_dict_on
 from . import base
 
 
@@ -55,14 +60,33 @@ def replicated_pat_detect(
             )
 
     for variable in normalized.variables:
-        index = PatternIndex(variable.patterns)
         n_patterns = len(variable.patterns)
 
-        # 1. balanced scans: per-site load = Σ sizes of fragments it scans
-        fragment_buckets = [
-            base.partition_fragment(fragment, variable, index)
-            for fragment in cluster.fragments
+        # 1. balanced scans: per-site load = Σ sizes of fragments it scans.
+        # Fragments are summarized concurrently (REPRO_WORKERS) and their
+        # distinct projections interned into the cluster's shared
+        # dictionary, cached across detections.
+        shared: SharedPairDictionary = shared_dict_on(
+            cluster,
+            ("pairs", variable),
+            lambda: SharedPairDictionary(len(variable.lhs)),
+        )
+        fragments = list(cluster.fragments)
+        tasks = [
+            (f, (variable, shared.pairs_for(f) is None))
+            for f in range(len(fragments))
         ]
+        summaries = map_fragments(
+            cluster, fragments, base.partition_fragment_summary, tasks
+        )
+        fragment_counts: list[list[int]] = []
+        fragment_coded: list[tuple[list[list[int]], list[tuple[int, int]]]] = []
+        for f, (counts, bucket_codes, values) in enumerate(summaries):
+            pairs = shared.pairs_for(f)
+            if pairs is None:
+                pairs = shared.translate(f, values)
+            fragment_counts.append(counts)
+            fragment_coded.append((bucket_codes, pairs))
         scan_load = [0] * cluster.n_sites
         for f, site in enumerate(scan_sites):
             scan_load[site] += len(cluster.fragments[f])
@@ -73,15 +97,15 @@ def replicated_pat_detect(
 
         # 2. availability-aware coordinators
         available = [[0] * n_patterns for _ in range(cluster.n_sites)]
-        for f, buckets in enumerate(fragment_buckets):
+        for f, counts in enumerate(fragment_counts):
             for site in cluster.replicas_of(f):
-                for l, bucket in enumerate(buckets):
-                    available[site][l] += len(bucket)
+                for l, count in enumerate(counts):
+                    available[site][l] += count
         # pick by availability, spreading ties across sites so that full
         # replication yields per-pattern parallelism instead of one hot
         # coordinator
         pattern_totals = [
-            sum(len(fragment_buckets[f][l]) for f in range(len(cluster.fragments)))
+            sum(counts[l] for counts in fragment_counts)
             for l in range(n_patterns)
         ]
         assigned_load = [0] * cluster.n_sites
@@ -103,44 +127,50 @@ def replicated_pat_detect(
         width = len(schema)
         outgoing = [0] * cluster.n_sites
         stage_log = ShipmentLog()
-        merged: list[list[tuple]] = [[] for _ in range(n_patterns)]
-        for f, buckets in enumerate(fragment_buckets):
+        merged = [base.MergedBucket() for _ in range(n_patterns)]
+        for f, counts in enumerate(fragment_counts):
+            bucket_codes, pairs = fragment_coded[f]
             replicas = cluster.replicas_of(f)
-            for l, bucket in enumerate(buckets):
-                if not bucket:
+            for l, count in enumerate(counts):
+                if not count:
                     continue
                 dest = coordinators[l]
-                merged[l].extend(bucket)
+                merged[l].rows += count
+                merged[l].pairs.extend(
+                    map(pairs.__getitem__, bucket_codes[l])
+                )
                 if dest in replicas:
                     continue  # locally available at the coordinator
                 source = min(replicas, key=lambda s: (outgoing[s], s))
-                outgoing[source] += len(bucket)
+                outgoing[source] += count
                 stage_log.ship(
                     dest,
                     source,
-                    len(bucket),
-                    len(bucket) * width,
+                    count,
+                    count * width,
                     tag=f"{variable.source}#p{l}",
+                    n_codes=2 * count,
                 )
         transfer = model.transfer_time(stage_log.outgoing_by_source())
         log.merge(stage_log)
 
-        # 4. per-coordinator checks, as in the unreplicated algorithms
+        # 4. per-coordinator checks, as in the unreplicated algorithms:
+        # one conflict scan over each merged bucket's code pairs
         ops_per_site: dict[int, float] = {}
-        for l, rows in enumerate(merged):
-            if not rows:
+        for l, bucket in enumerate(merged):
+            if not bucket.rows:
                 continue
-            single = VariableCFD(
-                source=variable.source,
-                lhs=variable.lhs,
-                rhs=variable.rhs,
-                patterns=(variable.patterns[l],),
-            )
-            relation = Relation(schema, rows, copy=False)
-            report.merge(detect_variables(relation, [single], collect_tuples=False))
+            for x_code in base.conflicting_x_codes(bucket.pairs):
+                report.add(
+                    Violation(
+                        cfd=variable.source,
+                        lhs_attributes=variable.lhs,
+                        lhs_values=shared.x_values[x_code],
+                    )
+                )
             site = coordinators[l]
             ops_per_site[site] = ops_per_site.get(site, 0.0) + model.check_ops(
-                len(rows)
+                bucket.rows
             )
         check = max(
             (model.check_time(ops) for ops in ops_per_site.values()),

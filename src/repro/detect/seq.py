@@ -1,6 +1,8 @@
 """Algorithm SEQDETECT (Section IV-C): one CFD after another, pipelined.
 
-Processes the CFDs of Σ sequentially with a single-CFD algorithm
+Partition kind: horizontal; shipping strategy and coded transport are
+inherited from the per-CFD algorithm it drives.  Processes the CFDs of Σ
+sequentially with a single-CFD algorithm
 (PATDETECTS or PATDETECTRT).  Sites pipeline the work: as soon as a site
 finishes partitioning/checking the current CFD it starts on the next, so
 the reported response time is the flow-shop makespan of the per-CFD stages

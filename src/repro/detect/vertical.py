@@ -1,5 +1,7 @@
 """Detection in vertically partitioned data.
 
+Partition kind: vertical (fragment ``i`` holds ``π_{X_i}(D)``, keyed).
+Paper sections: II-C (local checkability) and VII (the semijoin direction).
 The paper defers full algorithms for the vertical case to a later report,
 but its Section V machinery needs a working detector: a CFD is checked
 *locally* when some fragment covers all its attributes (Section II-C);
@@ -9,6 +11,15 @@ plan Section VII points at.  Both the key joins and the coordinator's
 detection run on the columnar backend: joins probe the fragments' cached
 group indexes, and detection goes through the fused engine the
 :func:`repro.core.detect_violations` dispatcher selects.
+
+Shipping strategy: whole keyed columns, at most once per attribute, with
+the payload accounted as dictionary codes (``n_codes`` — each shipped cell
+is one int against the source fragment's column dictionary; the
+dictionaries themselves travel once, like control traffic).  Per-CFD plans
+are independent, so the planning loop runs through
+:func:`repro.core.parallel.parallel_map` when ``REPRO_WORKERS`` asks for
+concurrency; results merge in CFD order, keeping the outcome identical to
+a serial run.
 
 Each needed attribute column is shipped at most once: for every attribute
 outside the coordinator's fragment we pick one source site holding it.
@@ -27,6 +38,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..core import CFD, ViolationReport, detect_violations, is_wildcard, normalize
+from ..core.parallel import parallel_map
 from ..distributed import (
     CostBreakdown,
     DetectionOutcome,
@@ -106,19 +118,18 @@ def vertical_detect(
     stages = []
     plans: dict[str, dict] = {}
 
-    for cfd in cfds:
+    def plan_cfd(cfd: CFD):
+        """One CFD's plan: (report, stage, stage log or None, plan dict)."""
         needed = cfd.attributes
         local_sites = cluster.sites_with_attributes(needed)
         if local_sites:
             site = local_sites[0]
             fragment = site.fragment
-            report.merge(
-                detect_violations(fragment, cfd, collect_tuples=True)
-            )
+            cfd_report = detect_violations(fragment, cfd, collect_tuples=True)
             check = model.check_time(model.check_ops(len(fragment)))
-            stages.append(base.stage(0.0, 0.0, check))
-            plans[cfd.name] = {"local": site.name}
-            continue
+            return cfd_report, base.stage(0.0, 0.0, check), None, {
+                "local": site.name
+            }
 
         # Coordinator: the site covering the most needed attributes.
         coverage = [
@@ -162,23 +173,34 @@ def vertical_detect(
                 len(column),
                 len(column) * len(column.schema),
                 tag=cfd.name,
+                # keyed columns ship dictionary-coded: one int per cell
+                n_codes=len(column) * len(column.schema),
             )
             joined = joined.join(column, on=key)
         transfer = model.transfer_time(stage_log.outgoing_by_source())
-        log.merge(stage_log)
 
-        report.merge(detect_violations(joined, cfd, collect_tuples=True))
+        cfd_report = detect_violations(joined, cfd, collect_tuples=True)
         # Join + GROUP BY at the coordinator.
         check = model.check_time(
             model.check_ops(len(joined), n_queries=1 + len(sources))
         )
-        stages.append(base.stage(0.0, transfer, check))
-        plans[cfd.name] = {
+        return cfd_report, base.stage(0.0, transfer, check), stage_log, {
             "coordinator": coord_site.name,
             "shipped_from": {
                 cluster.sites[i].name: attrs for i, attrs in sources.items()
             },
         }
+
+    # Per-CFD plans are independent; run them concurrently when asked and
+    # merge in CFD order so the outcome matches a serial run exactly.
+    for cfd, (cfd_report, cfd_stage, stage_log, plan) in zip(
+        cfds, parallel_map(plan_cfd, cfds)
+    ):
+        report.merge(cfd_report)
+        stages.append(cfd_stage)
+        if stage_log is not None:
+            log.merge(stage_log)
+        plans[cfd.name] = plan
 
     return DetectionOutcome(
         algorithm="VERTICALDETECT",

@@ -50,6 +50,11 @@ class CostModel:
     packet_size: int = 32
     scan_rate: float = 150_000.0
     check_rate: float = 400_000.0
+    #: bytes per raw attribute value / per dictionary code on the wire;
+    #: only :meth:`payload_bytes` consumes these — the paper's transfer
+    #: model (and therefore every recorded response time) stays in tuples.
+    value_bytes: float = 8.0
+    code_bytes: float = 4.0
 
     def transfer_time(self, outgoing: Mapping[int, int]) -> float:
         """``(1/ct) · max_j out_j / p`` — sites send in parallel."""
@@ -70,6 +75,24 @@ class CostModel:
     def check_time(self, ops: float) -> float:
         """Convert GROUP-BY operations to seconds."""
         return ops / self.check_rate
+
+    def payload_bytes(self, log) -> float:
+        """Estimated bytes on the wire for one run's shipment log.
+
+        Dictionary-coded shipments (see
+        :mod:`repro.relational.shareddict`) charge :attr:`code_bytes` per
+        int code; uncoded ones charge :attr:`value_bytes` per raw cell.
+        Purely informational — the response-time model above follows the
+        paper and counts tuples, so coding changes this estimate without
+        touching any simulated timing.
+        """
+        total = 0.0
+        for event in log:
+            if event.n_codes is None:
+                total += event.n_cells * self.value_bytes
+            else:
+                total += event.n_codes * self.code_bytes
+        return total
 
 
 @dataclass

@@ -21,8 +21,13 @@ class ShipmentRecord:
 
     ``n_cells`` counts attribute values (tuples × shipped attributes), the
     finer-grained traffic measure behind the paper's "each tuple *attribute*
-    is shipped at most once" guarantee.  ``tag`` names the CFD/pattern the
-    shipment served.
+    is shipped at most once" guarantee.  ``n_codes`` counts the integers
+    actually on the wire when the shipment is dictionary-coded (see
+    :mod:`repro.relational.shareddict`): a coded projection row costs a
+    fixed couple of ints however wide it is, so ``n_codes < n_cells`` is
+    the shared dictionaries' saving.  ``None`` marks an uncoded shipment
+    (raw values; one "cell" per attribute).  ``tag`` names the CFD/pattern
+    the shipment served.
     """
 
     dest: int
@@ -30,6 +35,7 @@ class ShipmentRecord:
     n_tuples: int
     n_cells: int
     tag: str = ""
+    n_codes: int | None = None
 
 
 class ShipmentLog:
@@ -45,16 +51,30 @@ class ShipmentLog:
     # -- recording -------------------------------------------------------
 
     def ship(
-        self, dest: int, src: int, n_tuples: int, n_cells: int, tag: str = ""
+        self,
+        dest: int,
+        src: int,
+        n_tuples: int,
+        n_cells: int,
+        tag: str = "",
+        n_codes: int | None = None,
     ) -> None:
-        """Record shipping ``n_tuples`` rows to site ``dest`` from ``src``."""
+        """Record shipping ``n_tuples`` rows to site ``dest`` from ``src``.
+
+        ``n_codes`` marks a dictionary-coded shipment: the number of ints
+        on the wire instead of ``n_cells`` raw values (``None`` = uncoded).
+        """
         if dest == src:
             raise ValueError("a site does not ship tuples to itself")
         if n_tuples < 0 or n_cells < 0:
             raise ValueError("negative shipment size")
+        if n_codes is not None and n_codes < 0:
+            raise ValueError("negative shipment size")
         if n_tuples == 0:
             return
-        self.events.append(ShipmentRecord(dest, src, n_tuples, n_cells, tag))
+        self.events.append(
+            ShipmentRecord(dest, src, n_tuples, n_cells, tag, n_codes)
+        )
         key = (dest, src)
         self._matrix[key] = self._matrix.get(key, 0) + n_tuples
 
@@ -79,8 +99,16 @@ class ShipmentLog:
 
     @property
     def cells_shipped(self) -> int:
-        """Total attribute values shipped."""
+        """Total attribute values shipped (logical traffic, pre-coding)."""
         return sum(event.n_cells for event in self.events)
+
+    @property
+    def codes_shipped(self) -> int:
+        """Ints actually on the wire: ``n_codes`` where coded, else ``n_cells``."""
+        return sum(
+            event.n_cells if event.n_codes is None else event.n_codes
+            for event in self.events
+        )
 
     def matrix(self) -> Mapping[tuple[int, int], int]:
         """``(dest, src) -> |M(dest, src)|``."""

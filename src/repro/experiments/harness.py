@@ -117,11 +117,79 @@ def sweep(
 # -- detection engine benchmark ----------------------------------------------
 
 
+def _bench_parallel_detection(data, cfd, repeats: int, workers: int) -> dict:
+    """Time distributed fragment detection at workers ∈ {1, ``workers``}.
+
+    The workload is PATDETECTS over the Fig. 3c data partitioned across 4
+    simulated sites — the fragment-scan stage the
+    :mod:`repro.core.parallel` scheduler fans out.  Three legs: serial,
+    thread pool, and the fragment-resident process pool, each measured
+    cold (first detection against a fresh cluster; for processes this
+    includes placing the fragments into the workers) and warm (min over
+    ``repeats`` with every dictionary and columnar cache hot).  Each leg's
+    report and shipment totals are checked against the serial leg — the
+    scheduler's bit-identical contract — and recorded as
+    ``matches_serial``.
+
+    Speedups are hardware-honest: they record whatever the host gives
+    (``cpu_count`` is included so a single-core container's ≈1.0x is
+    readable as such; the thread legs additionally stay GIL-bound on the
+    pure-Python σ probes whatever the core count).
+    """
+    from ..detect import pat_detect_s
+    from ..partition import partition_uniform
+
+    def leg(n_workers: int, mode: str) -> tuple[dict, object]:
+        overrides = {"REPRO_WORKERS": str(n_workers), "REPRO_PARALLEL": mode}
+        previous = {name: os.environ.get(name) for name in overrides}
+        os.environ.update(overrides)
+        try:
+            cluster = partition_uniform(data, 4)
+            start = time.perf_counter()
+            outcome = pat_detect_s(cluster, cfd)
+            cold = time.perf_counter() - start
+            warm_times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                outcome = pat_detect_s(cluster, cfd)
+                warm_times.append(time.perf_counter() - start)
+        finally:
+            for name, value in previous.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+        return {"cold_seconds": cold, "warm_seconds": min(warm_times)}, outcome
+
+    serial_times, serial = leg(1, "off")
+    legs = {"1": serial_times}
+    matches = True
+    for mode in ("thread", "process"):
+        times, outcome = leg(workers, mode)
+        times["speedup_warm"] = serial_times["warm_seconds"] / times["warm_seconds"]
+        times["speedup_cold"] = serial_times["cold_seconds"] / times["cold_seconds"]
+        legs[f"{workers}_{mode}"] = times
+        matches = matches and (
+            outcome.report.violations == serial.report.violations
+            and outcome.tuples_shipped == serial.tuples_shipped
+        )
+    return {
+        "workload": "fig3c_single_cfd",
+        "algorithm": "PATDETECTS",
+        "sites": 4,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "legs": legs,
+        "matches_serial": matches,
+    }
+
+
 def bench_detection(
     out: str | Path | None = None,
     repeats: int = 3,
     fraction: float = 1.0,
     seed: int = 8,
+    workers: int = 4,
 ) -> dict:
     """Time centralized detection across all three engines on Fig. 3c/3i data.
 
@@ -140,6 +208,11 @@ def bench_detection(
     indexes.  Every engine's report is cross-checked against the reference
     (violations and tuple keys) so the benchmark doubles as an equivalence
     gate.
+
+    ``workers`` (default 4) appends the distributed ``parallel`` section —
+    fragment-level detection at workers ∈ {1, N} across serial/thread/
+    process legs (:func:`_bench_parallel_detection`); pass ``workers<=1``
+    to skip it.
 
     Returns the summary dict; when ``out`` is given it is also written
     there as JSON (``BENCH_detect.json``), giving future changes a
@@ -248,6 +321,10 @@ def bench_detection(
         summary["workloads"][name] = entry
 
     summary["speedup"] = summary["workloads"]["fig3c_single_cfd"]["speedup"]
+    if workers > 1:
+        summary["parallel"] = _bench_parallel_detection(
+            data, workloads["fig3c_single_cfd"][0], repeats, workers
+        )
     if out is not None:
         out = Path(out)
         out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

@@ -29,6 +29,13 @@ from .csvio import infer_column_types, load_csv, save_csv
 from .index import HashIndex
 from .relation import Relation
 from .schema import Schema, SchemaError
+from .shareddict import (
+    SharedColumn,
+    SharedComboDictionary,
+    SharedDictionary,
+    SharedPairDictionary,
+    shared_dict_on,
+)
 
 __all__ = [
     "And",
@@ -53,6 +60,11 @@ __all__ = [
     "KeyColumn",
     "column_store",
     "numpy_enabled",
+    "SharedColumn",
+    "SharedComboDictionary",
+    "SharedDictionary",
+    "SharedPairDictionary",
+    "shared_dict_on",
     "Schema",
     "SchemaError",
     "compatible_with_bindings",

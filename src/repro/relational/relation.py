@@ -30,11 +30,20 @@ def _sort_key(value: object) -> tuple:
 
 
 class Relation:
-    """A bag of tuples under a :class:`Schema`.
+    """A bag of tuples under a :class:`Schema` — the unit every detector eats.
 
-    The constructor does not copy ``rows`` unless asked; callers that mutate
-    should pass ``copy=True`` or treat relations as immutable (the library
-    treats them as immutable values throughout).
+    Rows are plain tuples positioned by ``schema.attributes``.  Relations
+    are treated as **immutable values** throughout the library; that
+    contract is what lets each relation lazily grow a cached columnar view
+    (:func:`repro.relational.column_store`) that ``group_by``, ``join``,
+    ``HashIndex``, the fused detection engines and the distributed
+    detectors' σ scans all share without invalidation — and what lets the
+    parallel scheduler hand fragments to threads or resident worker
+    processes without copies or locks.
+
+    The constructor validates and copies ``rows`` by default; pass
+    ``copy=False`` for rows you own and will not mutate (the operators
+    below do this for their freshly-built row lists).
     """
 
     __slots__ = ("schema", "rows", "_colstore")

@@ -1,0 +1,263 @@
+"""Cluster-scoped shared dictionaries: one value ↔ code table per cluster.
+
+Each fragment's :class:`~repro.relational.columnar.ColumnStore` dictionary-
+encodes *locally*: code 3 at site 1 and code 3 at site 2 generally decode
+to different values, so local codes cannot cross sites.  This module adds
+the cluster-wide layer: global interning tables shared by all fragments of
+one cluster, so that equal values (or value combinations) carry the *same*
+integer code at every site.  With that invariant, the distributed
+detectors ship int codes instead of value tuples, and the coordinator-side
+merge — grouping the received ``(X, A)`` projections and spotting groups
+with two distinct RHS combinations — runs entirely on code pairs, decoding
+only the handful of violating ``X`` values at the end.
+
+The dictionaries follow the federated-summary playbook: a fragment sends
+its *local dictionary* (the distinct combinations, a fraction of its rows)
+to the coordinator **once**; the coordinator interns them, in site order
+and local first-seen order, into the global table and keeps the resulting
+local-code → global-code translation.  Every later detection against the
+same cluster ships only codes.  Like the paper's ``lstat`` statistics
+exchange, the one-off dictionary shipment is accounted as control traffic,
+not tuple shipment; the per-row payload is what
+:attr:`~repro.distributed.network.ShipmentRecord.n_codes` counts.
+
+Three granularities, one idea:
+
+* :class:`SharedColumn` / :class:`SharedDictionary` — per-attribute global
+  tables.  :meth:`SharedDictionary.store_for` builds **cluster-aware
+  column stores**: fragments encode against the shared tables, so
+  ``fragment_a.column("CC").codes`` and ``fragment_b.column("CC").codes``
+  are directly comparable ints (the property suite asserts codes decode to
+  the same values on every fragment).
+* :class:`SharedPairDictionary` — per-variable-CFD ``(X, Y)`` projection
+  interner: each shipped row collapses to a single ``(x_code, y_code)``
+  pair regardless of attribute width.  Used by the horizontal detectors.
+* :class:`SharedComboDictionary` — whole-combination interner (one code
+  per distinct ``X ∪ A`` union row).  Used by CLUSTDETECT, whose
+  coordinators re-run several member CFDs and therefore need the full
+  combination back.
+
+All interning is deterministic (site order, then local first-seen order),
+so parallel and serial detection produce identical codes — and identical
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .columnar import ColumnStore
+from .relation import Relation
+
+
+class SharedColumn:
+    """One attribute's cluster-global dictionary: value ↔ code, append-only."""
+
+    __slots__ = ("attribute", "values", "code_of")
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        self.values: list[object] = []
+        self.code_of: dict[object, int] = {}
+
+    def intern(self, value: object) -> int:
+        """The global code of ``value``, assigning the next one if new."""
+        code = self.code_of.get(value)
+        if code is None:
+            code = len(self.values)
+            self.code_of[value] = code
+            self.values.append(value)
+        return code
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"SharedColumn({self.attribute!r}, {len(self.values)} values)"
+
+
+class SharedDictionary:
+    """Per-attribute global tables for all fragments of one cluster.
+
+    :meth:`store_for` returns a cluster-aware
+    :class:`~repro.relational.columnar.ColumnStore` whose columns encode
+    against these tables: the store's ``values`` list *is* the shared
+    (growing) global list, so a code obtained at any fragment decodes to
+    the same value at every other fragment of the cluster.
+    """
+
+    __slots__ = ("_columns", "_stores")
+
+    def __init__(self) -> None:
+        self._columns: dict[str, SharedColumn] = {}
+        #: id(relation) -> (relation, store); the strong reference keeps
+        #: the id stable for the cache's lifetime (see :meth:`store_for`)
+        self._stores: dict[int, tuple[Relation, ColumnStore]] = {}
+
+    def column(self, attribute: str) -> SharedColumn:
+        """The global table of ``attribute`` (created on first use)."""
+        shared = self._columns.get(attribute)
+        if shared is None:
+            shared = SharedColumn(attribute)
+            self._columns[attribute] = shared
+        return shared
+
+    def store_for(self, relation: Relation) -> ColumnStore:
+        """A cluster-aware column store of ``relation`` (cached per object).
+
+        Kept inside the dictionary — *not* in the relation's own
+        ``_colstore`` slot — so the same fragment can carry both a local
+        store (first-seen local codes) and a cluster store (global codes)
+        without the two colliding.  The cache entry holds the relation
+        itself: the id-keyed lookup is only sound while the keyed object
+        is alive (slotted relations cannot be weak-referenced), and a
+        cluster dictionary outliving its fragments would be meaningless
+        anyway — the interned codes describe exactly those fragments.
+        """
+        entry = self._stores.get(id(relation))
+        if entry is not None and entry[0] is relation:
+            return entry[1]
+        store = ColumnStore(relation, shared=self)
+        self._stores[id(relation)] = (relation, store)
+        return store
+
+    def __repr__(self) -> str:
+        return f"SharedDictionary({len(self._columns)} attributes)"
+
+
+class SharedPairDictionary:
+    """Global ``(X, Y)`` projection codes for one variable CFD.
+
+    A shipped projection row over ``X ∪ A`` becomes the pair
+    ``(x_code, y_code)``: ``x_code`` interns the ``X`` sub-tuple,
+    ``y_code`` the RHS sub-tuple.  The coordinator merge needs nothing
+    else — a σ bucket violates at ``x`` exactly when two pairs with the
+    same ``x_code`` carry different ``y_code``s — and only the violating
+    ``x_code``s are decoded (:attr:`x_values`).
+
+    :meth:`translate` interns one fragment's distinct combinations and
+    memoizes the local → global translation per site, implementing the
+    "dictionary ships once" protocol described in the module docstring.
+    """
+
+    __slots__ = ("lhs_width", "x_values", "x_code_of", "y_values", "y_code_of", "_site_pairs")
+
+    def __init__(self, lhs_width: int) -> None:
+        self.lhs_width = lhs_width
+        self.x_values: list[tuple] = []
+        self.x_code_of: dict[tuple, int] = {}
+        self.y_values: list[tuple] = []
+        self.y_code_of: dict[tuple, int] = {}
+        self._site_pairs: dict[object, list[tuple[int, int]]] = {}
+
+    def pairs_for(self, site_key: object) -> list[tuple[int, int]] | None:
+        """The memoized translation of one site, or ``None`` if not built."""
+        return self._site_pairs.get(site_key)
+
+    def translate(
+        self, site_key: object, distincts: Sequence[tuple]
+    ) -> list[tuple[int, int]]:
+        """Intern a fragment's distinct ``X ∪ A`` combinations, in order.
+
+        Returns (and memoizes) ``pairs`` with ``pairs[g]`` the global
+        ``(x_code, y_code)`` of the fragment's local combination ``g``.
+        Deterministic: callers intern sites in site order, and within one
+        site ``distincts`` comes in the fragment's first-seen order.
+        """
+        width = self.lhs_width
+        x_code_of, y_code_of = self.x_code_of, self.y_code_of
+        x_values, y_values = self.x_values, self.y_values
+        pairs: list[tuple[int, int]] = []
+        for combo in distincts:
+            x = combo[:width]
+            x_code = x_code_of.get(x)
+            if x_code is None:
+                x_code = len(x_values)
+                x_code_of[x] = x_code
+                x_values.append(x)
+            y = combo[width:]
+            y_code = y_code_of.get(y)
+            if y_code is None:
+                y_code = len(y_values)
+                y_code_of[y] = y_code
+                y_values.append(y)
+            pairs.append((x_code, y_code))
+        self._site_pairs[site_key] = pairs
+        return pairs
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedPairDictionary({len(self.x_values)} X, "
+            f"{len(self.y_values)} Y values, {len(self._site_pairs)} sites)"
+        )
+
+
+class SharedComboDictionary:
+    """Global codes for whole attribute-union combinations (CLUSTDETECT).
+
+    One code per distinct combination over the CFD cluster's attribute
+    union; :attr:`values` decodes.  Coordinators dedupe the received codes
+    and run the member CFDs' GROUP BY detection over the *distinct*
+    decoded combinations — conflict existence does not depend on
+    multiplicity, so the merge stays proportional to distinct combinations
+    while the shipment accounting keeps honest row counts.
+    """
+
+    __slots__ = ("values", "code_of", "_site_codes")
+
+    def __init__(self) -> None:
+        self.values: list[tuple] = []
+        self.code_of: dict[tuple, int] = {}
+        self._site_codes: dict[object, list[int]] = {}
+
+    def codes_for(self, site_key: object) -> list[int] | None:
+        return self._site_codes.get(site_key)
+
+    def translate(self, site_key: object, distincts: Sequence[tuple]) -> list[int]:
+        """Intern one fragment's distinct combinations; memoized per site."""
+        code_of, values = self.code_of, self.values
+        codes: list[int] = []
+        for combo in distincts:
+            code = code_of.get(combo)
+            if code is None:
+                code = len(values)
+                code_of[combo] = code
+                values.append(combo)
+            codes.append(code)
+        self._site_codes[site_key] = codes
+        return codes
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedComboDictionary({len(self.values)} combos, "
+            f"{len(self._site_codes)} sites)"
+        )
+
+
+def shared_dict_on(owner, key, factory):
+    """A cluster-cached shared dictionary: ``owner._shared_dicts[key]``.
+
+    Clusters are immutable, so the dictionaries (and the per-site
+    translations memoized inside them) stay valid for the owner's
+    lifetime; repeated detections against one cluster skip re-interning
+    entirely.  Unhashable keys (exotic pattern entries) and slotted owners
+    degrade gracefully to a fresh dictionary per call — correct, just not
+    memoized.
+    """
+    try:
+        cache = owner._shared_dicts
+    except AttributeError:
+        cache = {}
+        try:
+            owner._shared_dicts = cache
+        except AttributeError:  # slotted stand-in: no caching
+            return factory()
+    try:
+        shared = cache.get(key)
+    except TypeError:  # unhashable key: no caching
+        return factory()
+    if shared is None:
+        shared = factory()
+        cache[key] = shared
+    return shared

@@ -1,0 +1,220 @@
+"""Parallel scheduler conformance: workers > 1 is bit-identical to serial.
+
+``REPRO_WORKERS=4`` must never change an answer — not the violations, not
+the tuple keys, not the shipment totals, not the simulated times — across
+all three centralized engines (the module opts into the engine matrix via
+the ``detection_engine`` fixture) and every distributed detector.  The
+process mode gets its own (small, single) leg since worker processes are
+expensive to spawn; thread mode runs under hypothesis like the rest of the
+property suites.
+"""
+
+import os
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    CFD,
+    PatternTuple,
+    WILDCARD,
+    detect_violations,
+    parallel_map,
+    resolve_mode,
+    resolve_workers,
+)
+from repro.detect import (
+    clust_detect,
+    ctr_detect,
+    pat_detect_s,
+    seq_detect,
+    vertical_detect,
+)
+from repro.partition import partition_uniform
+from repro.relational import Relation, Schema
+
+ATTRS = ("a", "b", "c", "d")
+SCHEMA = Schema("R", ("id",) + ATTRS, key=("id",))
+VALUES = [0, 1, 2]
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+rows = st.lists(
+    st.tuples(*[st.sampled_from(VALUES) for _ in ATTRS]),
+    min_size=0,
+    max_size=24,
+)
+
+
+@st.composite
+def relations(draw):
+    body = draw(rows)
+    return Relation(SCHEMA, [(i,) + r for i, r in enumerate(body)])
+
+
+@st.composite
+def pattern_entries(draw):
+    if draw(st.booleans()):
+        return WILDCARD
+    return draw(st.sampled_from(VALUES))
+
+
+@st.composite
+def cfds(draw):
+    lhs_size = draw(st.integers(1, 3))
+    attrs = draw(
+        st.permutations(ATTRS).map(lambda p: list(p[: lhs_size + 1]))
+    )
+    lhs, rhs = attrs[:-1], [attrs[-1]]
+    tableau = [
+        PatternTuple(
+            [draw(pattern_entries()) for _ in lhs],
+            [draw(pattern_entries()) for _ in rhs],
+        )
+        for _ in range(draw(st.integers(1, 3)))
+    ]
+    return CFD(lhs, rhs, tableau, name=f"cfd{draw(st.integers(0, 10 ** 6))}")
+
+
+def _with_workers(monkeypatch_env, workers, mode="thread"):
+    monkeypatch_env.setenv("REPRO_WORKERS", str(workers))
+    monkeypatch_env.setenv("REPRO_PARALLEL", mode)
+
+
+# -- resolution ---------------------------------------------------------------
+
+
+def test_resolve_workers_and_mode(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_PARALLEL", raising=False)
+    assert resolve_workers() == 1  # serial default
+    assert resolve_workers(3) == 3
+    assert resolve_workers(False) == 1
+    assert resolve_workers(0) == (os.cpu_count() or 1)
+    assert resolve_mode() == "thread"
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    assert resolve_workers() == 4
+    assert resolve_workers(2) == 2  # explicit argument wins
+    monkeypatch.setenv("REPRO_PARALLEL", "off")
+    assert resolve_mode() == "off"
+    monkeypatch.setenv("REPRO_PARALLEL", "bogus")
+    with pytest.raises(ValueError):
+        resolve_mode()
+    monkeypatch.setenv("REPRO_WORKERS", "many")
+    with pytest.raises(ValueError):
+        resolve_workers()
+
+
+def test_parallel_map_preserves_order(monkeypatch):
+    _with_workers(monkeypatch, 4)
+    items = list(range(50))
+    assert parallel_map(lambda x: x * x, items) == [x * x for x in items]
+
+
+# -- centralized engines: the workers leg of the conformance matrix -----------
+
+
+@pytest.mark.usefixtures("detection_engine")
+@SETTINGS
+@given(relations(), st.lists(cfds(), min_size=1, max_size=3))
+def test_parallel_centralized_equals_serial(relation, sigma):
+    """workers=4 ≡ serial on violations AND tuple keys, per engine.
+
+    Explicit ``parallel=`` arguments override any ambient ``REPRO_WORKERS``
+    (the CI workers=4 leg), so both sides are pinned whatever the
+    environment.
+    """
+    serial = detect_violations(relation, sigma, parallel=False)
+    parallel = detect_violations(relation, sigma, parallel=4)
+    assert parallel.violations == serial.violations
+    assert parallel.tuple_keys == serial.tuple_keys
+
+
+# -- distributed detectors ----------------------------------------------------
+
+
+@SETTINGS
+@given(relations(), st.lists(cfds(), min_size=1, max_size=2))
+def test_parallel_distributed_equals_serial(relation, sigma):
+    """Every horizontal algorithm: workers=4 threads ≡ serial, fully."""
+    cfd = sigma[0]
+    previous = {
+        name: os.environ.get(name)
+        for name in ("REPRO_WORKERS", "REPRO_PARALLEL")
+    }
+    try:
+        os.environ["REPRO_WORKERS"] = "1"
+        serial_cluster = partition_uniform(relation, 3)
+        serial = [
+            pat_detect_s(serial_cluster, cfd),
+            ctr_detect(serial_cluster, cfd),
+            seq_detect(serial_cluster, sigma, single="s"),
+            clust_detect(serial_cluster, sigma, strategy="s"),
+        ]
+        os.environ["REPRO_WORKERS"] = "4"
+        os.environ["REPRO_PARALLEL"] = "thread"
+        parallel_cluster = partition_uniform(relation, 3)
+        parallel = [
+            pat_detect_s(parallel_cluster, cfd),
+            ctr_detect(parallel_cluster, cfd),
+            seq_detect(parallel_cluster, sigma, single="s"),
+            clust_detect(parallel_cluster, sigma, strategy="s"),
+        ]
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    for a, b in zip(serial, parallel):
+        assert b.report.violations == a.report.violations, a.algorithm
+        assert b.report.tuple_keys == a.report.tuple_keys, a.algorithm
+        assert b.tuples_shipped == a.tuples_shipped, a.algorithm
+        assert b.shipments.codes_shipped == a.shipments.codes_shipped
+        assert b.response_time == pytest.approx(a.response_time)
+
+
+def test_parallel_process_pool_equals_serial(monkeypatch):
+    """One (deliberately small) fragment-resident process-pool leg."""
+    relation = Relation(
+        SCHEMA, [(i, i % 3, i % 2, (i * 7) % 5, i % 2) for i in range(60)]
+    )
+    cfd = CFD(
+        ["a", "b"],
+        ["c"],
+        [PatternTuple([WILDCARD, WILDCARD], [WILDCARD])],
+        name="phi",
+    )
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    serial = pat_detect_s(partition_uniform(relation, 3), cfd)
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL", "process")
+    cluster = partition_uniform(relation, 3)
+    outcome = pat_detect_s(cluster, cfd)
+    again = pat_detect_s(cluster, cfd)  # warm pool, cached dictionaries
+    for run in (outcome, again):
+        assert run.report.violations == serial.report.violations
+        assert run.report.tuple_keys == serial.report.tuple_keys
+        assert run.tuples_shipped == serial.tuples_shipped
+
+
+def test_vertical_parallel_equals_serial(monkeypatch):
+    from repro.partition import vertical_partition
+
+    relation = Relation(
+        SCHEMA, [(i, i % 3, i % 2, (i * 3) % 4, i % 2) for i in range(40)]
+    )
+    sigma = [
+        CFD(["a"], ["b"], name="phi1"),
+        CFD(["b", "c"], ["d"], name="phi2"),
+    ]
+    sets = [("id", "a", "b"), ("id", "c", "d")]
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    serial = vertical_detect(vertical_partition(relation, sets), sigma)
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    monkeypatch.setenv("REPRO_PARALLEL", "thread")
+    parallel = vertical_detect(vertical_partition(relation, sets), sigma)
+    assert parallel.report.violations == serial.report.violations
+    assert parallel.report.tuple_keys == serial.report.tuple_keys
+    assert parallel.tuples_shipped == serial.tuples_shipped
