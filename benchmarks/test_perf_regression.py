@@ -33,6 +33,11 @@ SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_SPEEDUP_FLOOR", "1.8"))
 NUMPY_VS_FUSED_FLOOR = float(
     os.environ.get("REPRO_BENCH_NUMPY_FLOOR", "1.3")
 )
+#: floor for incremental maintenance vs full recompute at the 1% batch
+#: size; the recorded steady-state target is >= 10x (see docs/benchmarks.md)
+INCREMENTAL_FLOOR = float(
+    os.environ.get("REPRO_BENCH_INCREMENTAL_FLOOR", "3.0")
+)
 
 
 def test_engine_speedups_and_equivalence():
@@ -47,6 +52,23 @@ def test_engine_speedups_and_equivalence():
     assert parallel is not None and parallel["matches_serial"], (
         "parallel fragment detection diverged from serial"
     )
+
+    # incremental maintenance gates on equivalence always and on a
+    # conservative timing floor at the 1% batch size
+    incremental = summary["incremental"]
+    assert incremental["matches_full_recompute"], (
+        "incremental maintenance diverged from full recompute: "
+        f"{incremental['legs']}"
+    )
+    assert incremental["legs"]["0.01"]["speedup"] >= INCREMENTAL_FLOOR, (
+        "incremental speedup at the 1% batch regressed to "
+        f"{incremental['legs']['0.01']['speedup']:.2f}x "
+        f"(floor {INCREMENTAL_FLOOR}x)"
+    )
+
+    # provenance must be present so recorded trajectories self-describe
+    provenance = summary["provenance"]
+    assert provenance["python"] and "repro_knobs" in provenance
 
     for name, entry in summary["workloads"].items():
         assert entry["matches_reference"], f"{name}: fused != reference"
@@ -84,6 +106,11 @@ def test_engine_speedups_and_equivalence():
             )
         return text
 
+    incremental_line = "incremental: " + ", ".join(
+        f"{float(name):.1%}={leg['incremental_seconds'] * 1000:.1f}ms "
+        f"({leg['speedup']:.1f}x)"
+        for name, leg in incremental["legs"].items()
+    )
     legs = parallel["legs"]
     parallel_line = (
         f"parallel (4 sites, {parallel['cpu_count']} CPUs): "
@@ -103,6 +130,8 @@ def test_engine_speedups_and_equivalence():
             line(name, entry)
             for name, entry in summary["workloads"].items()
         )
+        + "\n"
+        + incremental_line
         + "\n"
         + parallel_line
     )

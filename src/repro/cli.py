@@ -11,7 +11,11 @@ Commands
 ``detect``
     Distributed detection: partition the CSV across simulated sites and
     run one of the Section IV algorithms, reporting violations, tuples
-    shipped and the simulated response time.
+    shipped and the simulated response time.  ``--updates FRAC`` keeps
+    the session alive afterwards: a synthetic batch of ``FRAC·|D|``
+    updated rows hits the largest site and is absorbed incrementally —
+    only the coded delta of the affected (X, A) combinations ships
+    (:mod:`repro.detect.incremental`).
 
 ``sql``
     Print the SQL detection queries of [2] for a CFD (runnable on any SQL
@@ -22,8 +26,9 @@ Commands
 
 ``bench``
     Time the detection engines — the per-normal-form reference plan vs the
-    fused columnar engine (pure-Python and numpy folds), plus the parallel
-    fragment-detection legs — on the Fig. 3c/3i workloads.  The
+    fused columnar engine (pure-Python and numpy folds), the incremental
+    maintenance legs (update batches vs full recompute), plus the
+    parallel fragment-detection legs — on the Fig. 3c/3i workloads.  The
     machine-readable perf trajectory (``BENCH_detect.json``) is written
     only when ``REPRO_BENCH=1``; otherwise a one-line warning says the
     recording was skipped.
@@ -31,7 +36,8 @@ Commands
 Environment knobs honoured by every command: ``REPRO_ENGINE`` (detection
 backend; unknown values abort with exit code 2), ``REPRO_WORKERS`` /
 ``REPRO_PARALLEL`` (parallel scheduler), ``REPRO_NUMPY`` (array backend
-opt-out), ``REPRO_SCALE`` (dataset scale) — see the README's table.
+opt-out), ``REPRO_INCREMENTAL`` (structural store sharing of delta
+relations), ``REPRO_SCALE`` (dataset scale) — see the README's table.
 
 CFDs are given in the paper notation accepted by
 :func:`repro.core.parse_cfd`, e.g. ``"([CC=44, zip] -> [street])"``.
@@ -113,6 +119,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, metavar="N",
         help="run the per-fragment scans on N workers (overrides "
         "REPRO_WORKERS; REPRO_PARALLEL picks threads or processes)",
+    )
+    detect.add_argument(
+        "--updates", type=float, default=None, metavar="FRAC",
+        help="after the initial run, apply a synthetic update batch of "
+        "|ΔD| = FRAC·|D| rows (half deletes, half mutated inserts) to the "
+        "largest site and absorb it incrementally — only the coded delta "
+        "ships (algorithms ctr, pat-s, pat-rt)",
     )
 
     sql = commands.add_parser("sql", help="print the detection SQL for a CFD")
@@ -199,6 +212,9 @@ def _run_detect(args: argparse.Namespace) -> int:
         cluster = partition_uniform(relation, args.sites)
     print(f"{cluster!r}")
 
+    if args.updates is not None:
+        return _run_incremental_detect(args, cluster, cfds)
+
     if args.algorithm in {"ctr", "pat-s", "pat-rt"}:
         single = {"ctr": ctr_detect, "pat-s": pat_detect_s, "pat-rt": pat_detect_rt}[
             args.algorithm
@@ -228,6 +244,90 @@ def _merge(a, b):
     a.shipments.merge(b.shipments)
     a.cost.stages.extend(b.cost.stages)
     return a
+
+
+def _run_incremental_detect(args: argparse.Namespace, cluster, cfds) -> int:
+    """``detect --updates``: absorb a synthetic batch through a delta session.
+
+    One :class:`~repro.detect.incremental.IncrementalHorizontalDetector`
+    per CFD runs the initial one-shot detection, then the largest site
+    takes a batch of ``|ΔD| = FRAC·|D|`` rows — half (seeded-random)
+    deletions, half re-inserted with one mutated attribute — and the
+    session absorbs it by shipping only the coded delta.
+    """
+    import random
+
+    from .detect import IncrementalHorizontalDetector
+
+    if args.algorithm not in ("ctr", "pat-s", "pat-rt"):
+        print(
+            f"error: --updates supports algorithms ctr, pat-s and pat-rt, "
+            f"not {args.algorithm!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0 < args.updates <= 1:
+        print(
+            "error: --updates expects a batch fraction in (0, 1]",
+            file=sys.stderr,
+        )
+        return 2
+
+    schema = cluster.schema
+    key_pos = schema.key_positions()
+    # corrupt an attribute the CFDs actually watch (the first CFD's RHS)
+    # so the synthetic batch genuinely moves violations both ways
+    mutate_attr = next(
+        (a for a in cfds[0].rhs if a in schema),
+        schema.attributes[-1],
+    )
+    mutate_pos = schema.position(mutate_attr)
+    if mutate_pos in key_pos:
+        non_key = [p for p in range(len(schema)) if p not in key_pos]
+        # an all-key schema has nothing else to corrupt; the fresh key
+        # values below already make such inserts distinct rows
+        mutate_pos = non_key[0] if non_key else mutate_pos
+    # largest site, ties to the highest index — the max-stat strategies
+    # break ties low, so the updated site is usually not its own
+    # coordinator and the coded delta actually crosses the wire
+    site = max(
+        range(cluster.n_sites),
+        key=lambda i: (len(cluster.sites[i].fragment), i),
+    )
+    fragment = cluster.sites[site].fragment
+    batch = max(2, int(cluster.total_tuples() * args.updates))
+    rng = random.Random(8)
+    victims = rng.sample(fragment.rows, min(len(fragment.rows), batch // 2))
+    doomed = [tuple(row[p] for p in key_pos) for row in victims]
+    inserted = []
+    for i, row in enumerate(victims):
+        row = list(row)
+        for offset, p in enumerate(key_pos):
+            row[p] = f"u{i}.{offset}"
+        row[mutate_pos] = f"{row[mutate_pos]}~"
+        inserted.append(tuple(row))
+
+    exit_code = 0
+    for cfd in cfds:
+        detector = IncrementalHorizontalDetector(cluster, cfd, args.algorithm)
+        initial = detector.detect()
+        print(f"{cfd.name}: initial {initial.report.summary().splitlines()[0] if initial.report else 'no violations'}")
+        print(
+            f"  initial run: {initial.tuples_shipped} tuples shipped "
+            f"({initial.shipments.codes_shipped} codes), "
+            f"response {initial.response_time:.3f}s"
+        )
+        update = detector.update(site, inserted=inserted, deleted=doomed)
+        print(
+            f"  update |ΔD|={len(victims) + len(inserted)} rows at site "
+            f"{cluster.sites[site].name}: +{len(update.delta.added)} / "
+            f"-{len(update.delta.removed)} violations, "
+            f"{update.shipments.codes_shipped} delta codes shipped, "
+            f"response {update.response_time:.3f}s"
+        )
+        if update.report:
+            exit_code = 1
+    return exit_code
 
 
 def _cmd_sql(args: argparse.Namespace) -> int:
@@ -296,6 +396,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
     if not summary["numpy"]:
         print("  (fused-numpy tier skipped: numpy unavailable or disabled)")
+    incremental = summary.get("incremental")
+    if incremental:
+        line = "  incremental maintenance vs full recompute:"
+        for fraction, leg in incremental["legs"].items():
+            line += (
+                f" {float(fraction):.1%} batch "
+                f"{leg['incremental_seconds'] * 1000:.1f}ms "
+                f"({leg['speedup']:.1f}x);"
+            )
+        print(line.rstrip(";"))
+        print(
+            "  incremental matches full recompute: "
+            f"{incremental['matches_full_recompute']}"
+        )
     parallel = summary.get("parallel")
     if parallel:
         legs = parallel["legs"]
@@ -320,11 +434,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
     if record:
         print(f"[saved to {args.out}]")
-    ok = all(
-        entry["matches_reference"]
-        and entry.get("fused_numpy_matches_reference", True)
-        for entry in summary["workloads"].values()
-    ) and (parallel is None or parallel["matches_serial"])
+    ok = (
+        all(
+            entry["matches_reference"]
+            and entry.get("fused_numpy_matches_reference", True)
+            for entry in summary["workloads"].values()
+        )
+        and (parallel is None or parallel["matches_serial"])
+        and (incremental is None or incremental["matches_full_recompute"])
+    )
     return 0 if ok else 1
 
 

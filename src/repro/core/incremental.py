@@ -1,0 +1,573 @@
+"""Incremental violation detection: maintain ``Vioπ(Σ, D)`` across updates.
+
+The paper's second headline contribution, next to one-shot distributed
+detection, is *incremental* detection: when ``D`` receives a batch of
+inserted/deleted tuples, the violations of Σ should be maintained by
+inspecting only the delta and the affected σ groups — never by rescanning
+``D``.  This module is the centralized half of that claim (the
+distributed half lives in :mod:`repro.detect.incremental`):
+
+* a :class:`ViolationDelta` — the violations and violating tuple keys a
+  batch *added* and *removed*;
+* an :class:`IncrementalDetector`, which wraps a compiled
+  :class:`~repro.core.fused.FusedDetector` and caches per-normal-form
+  state between updates:
+
+  - **constant forms** keep nothing but the compiled plan: a single tuple
+    witnesses (or stops witnessing) a constant violation on its own, so a
+    batch folds in O(|ΔD|) — inserted rows count hits in, deleted rows
+    count them back out (:class:`ConstantFolds`);
+  - **variable forms** keep, per σ-matched ``X`` group, the multiset of
+    RHS combinations and of member tuple keys
+    (:class:`VariableGroupState`).  A batch touches only the groups its
+    rows fall into; a group flips between clean and conflicting exactly
+    when its count of distinct RHS combinations crosses two.
+
+  Both feed shared :class:`TransitionCounter`\\ s — multisets of
+  violations/keys whose zero crossings *are* the :class:`ViolationDelta`
+  (the same violation witnessed by two forms, or the same key by two
+  rows, only disappears when the last witness does).
+
+Engine semantics follow the rest of the library: ``reference`` recomputes
+the full report per update and diffs it — the executable spec the
+property suites compare against; ``fused`` and ``fused-numpy`` run true
+delta folds, with the numpy engine vectorizing the constant-form code
+tests over the batch.  Updates arrive either as
+:class:`~repro.relational.delta.DeltaRelation` versions (``apply``) or as
+explicit row batches (``update``, which builds the versions itself).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+from ..relational import Relation, column_store, numpy_enabled
+from .cfd import CFD
+from .detection import ENGINES, detect_violations_reference
+from .fused import (
+    FusedDetector,
+    _compile_constant,
+    _constant_hits_numpy,
+    _constant_hits_python,
+    _project_rows,
+)
+from .normalize import ConstantCFD, VariableCFD, pattern_index
+from .violations import Violation, ViolationReport
+
+
+class ViolationDelta:
+    """What one update batch changed: violations/keys added and removed.
+
+    Both sides are plain :class:`ViolationReport`\\ s, so delta consumers
+    (dashboards, downstream repair queues) reuse the ordinary report API.
+    """
+
+    __slots__ = ("added", "removed")
+
+    def __init__(
+        self,
+        added: ViolationReport | None = None,
+        removed: ViolationReport | None = None,
+    ) -> None:
+        self.added = added if added is not None else ViolationReport()
+        self.removed = removed if removed is not None else ViolationReport()
+
+    def __bool__(self) -> bool:  # truthiness = "something changed"
+        return bool(
+            self.added.violations
+            or self.removed.violations
+            or self.added.tuple_keys
+            or self.removed.tuple_keys
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ViolationDelta(+{len(self.added)} / -{len(self.removed)} Vioπ, "
+            f"+{len(self.added.tuple_keys)} / "
+            f"-{len(self.removed.tuple_keys)} keys)"
+        )
+
+
+class TransitionCounter:
+    """A multiset that captures zero crossings per update batch.
+
+    Counts are witness counts — how many (form, row) or (form, group)
+    facts currently assert an item.  ``begin`` opens a batch; every
+    ``add`` snapshots the item's pre-batch positivity the first time the
+    batch touches it; ``commit`` reports the items whose positivity
+    actually changed (an item bumped up and back down within one batch
+    appears in neither list).
+    """
+
+    __slots__ = ("counts", "_baseline")
+
+    def __init__(self) -> None:
+        self.counts: dict = {}
+        self._baseline: dict | None = None
+
+    def begin(self) -> None:
+        self._baseline = {}
+
+    def add(self, item, n: int = 1) -> None:
+        count = self.counts.get(item, 0)
+        if self._baseline is not None and item not in self._baseline:
+            self._baseline[item] = count > 0
+        count += n
+        if count > 0:
+            self.counts[item] = count
+        elif count == 0:
+            self.counts.pop(item, None)
+        else:
+            raise ValueError(
+                f"witness count of {item!r} fell below zero: the update "
+                "removed rows that were never inserted"
+            )
+
+    def commit(self) -> tuple[list, list]:
+        """Close the batch; return (newly positive, newly gone) items."""
+        added: list = []
+        removed: list = []
+        for item, was_positive in self._baseline.items():
+            is_positive = item in self.counts
+            if is_positive and not was_positive:
+                added.append(item)
+            elif was_positive and not is_positive:
+                removed.append(item)
+        self._baseline = None
+        return added, removed
+
+    def positive(self):
+        """All items with a positive count (counts are never kept at 0)."""
+        return self.counts.keys()
+
+
+def commit_counters(
+    violations: TransitionCounter, keys: TransitionCounter
+) -> ViolationDelta:
+    """Close both counters' batches into one :class:`ViolationDelta`."""
+    v_added, v_removed = violations.commit()
+    k_added, k_removed = keys.commit()
+    return ViolationDelta(
+        added=ViolationReport(v_added, k_added),
+        removed=ViolationReport(v_removed, k_removed),
+    )
+
+
+def counters_report(
+    violations: TransitionCounter, keys: TransitionCounter
+) -> ViolationReport:
+    """The counters' current positive entries as a fresh report copy."""
+    return ViolationReport(violations.positive(), keys.positive())
+
+
+# -- constant normal forms ----------------------------------------------------
+
+
+class ConstantFolds:
+    """Delta folds for a set of constant normal forms.
+
+    Stateless between batches (a constant violation is a per-row fact):
+    folding a batch compiles each form against the *batch's own* columnar
+    store — O(|ΔD|), reusing the fused engine's plan compiler and both
+    fold implementations — and pushes ``sign``-ed witness counts into the
+    shared counters.
+    """
+
+    __slots__ = ("constants", "collect_tuples")
+
+    def __init__(
+        self, constants: Sequence[ConstantCFD], collect_tuples: bool = True
+    ) -> None:
+        self.constants = list(constants)
+        self.collect_tuples = collect_tuples
+
+    def fold(
+        self,
+        relation: Relation,
+        sign: int,
+        violations: TransitionCounter,
+        keys: TransitionCounter,
+        vectorize: bool = False,
+    ) -> None:
+        """Fold every row of ``relation`` (a batch) with weight ``sign``."""
+        rows = relation.rows
+        if not rows or not self.constants:
+            return
+        store = column_store(relation)
+        schema = relation.schema
+        key_pos = schema.key_positions()
+        for constant in self.constants:
+            plan = _compile_constant(store, constant)
+            if plan is None:
+                continue
+            if vectorize:
+                hits = _constant_hits_numpy(*plan).tolist()
+            else:
+                hits = _constant_hits_python(*plan)
+            if not hits:
+                continue
+            report_pos = schema.positions(constant.report_lhs)
+            for i in hits:
+                row = rows[i]
+                violations.add(
+                    Violation(
+                        cfd=constant.source,
+                        lhs_attributes=constant.report_lhs,
+                        lhs_values=tuple(row[p] for p in report_pos),
+                    ),
+                    sign,
+                )
+                if self.collect_tuples:
+                    keys.add(tuple(row[p] for p in key_pos), sign)
+
+
+# -- variable normal forms ----------------------------------------------------
+
+
+class _Group:
+    """One σ-matched ``X`` group's live state."""
+
+    __slots__ = ("y_counts", "key_counts", "conflicting")
+
+    def __init__(self) -> None:
+        self.y_counts: dict[tuple, int] = {}
+        self.key_counts: dict[tuple, int] = {}
+        self.conflicting = False
+
+
+def _bump(counts: dict, key, n: int) -> None:
+    count = counts.get(key, 0) + n
+    if count > 0:
+        counts[key] = count
+    elif count == 0:
+        del counts[key]
+    else:
+        raise ValueError("deleted a row that is not in the group")
+
+
+class VariableGroupState:
+    """Cached GROUP-BY state of one variable normal form.
+
+    ``groups[x]`` exists for every σ-matched ``X`` combination with at
+    least one row and holds the multiset of RHS combinations and member
+    keys.  A batch touches only the groups of its own rows; conflict
+    status is maintained per row so a group's member keys enter/leave the
+    shared key counter exactly when the group flips.
+    """
+
+    __slots__ = ("variable", "collect_tuples", "groups", "_match_cache", "_index")
+
+    #: σ-match memo bound — one entry per distinct ``X`` ever seen, so a
+    #: session under high-cardinality churn must not grow it forever;
+    #: clearing at the cap just re-probes the (cheap, memoized) σ trie.
+    MATCH_CACHE_CAP = 65536
+
+    def __init__(self, variable: VariableCFD, collect_tuples: bool = True) -> None:
+        self.variable = variable
+        self.collect_tuples = collect_tuples
+        self.groups: dict[tuple, _Group] = {}
+        self._index = pattern_index(variable.patterns)
+        self._match_cache: dict[tuple, bool] = {}
+
+    def _violation(self, x: tuple) -> Violation:
+        return Violation(
+            cfd=self.variable.source,
+            lhs_attributes=self.variable.lhs,
+            lhs_values=x,
+        )
+
+    def fold(
+        self,
+        schema,
+        rows: Sequence[tuple],
+        sign: int,
+        violations: TransitionCounter,
+        keys: TransitionCounter,
+    ) -> None:
+        """Fold a batch's rows into the group states, row by row.
+
+        Projections run through C-speed ``itemgetter`` maps and σ is
+        probed once per *distinct* ``X`` (memoized across batches), so the
+        per-row residue is a handful of dictionary bumps — the whole fold
+        is proportional to the batch, never to ``D``.
+        """
+        if not rows:
+            return
+        ids = range(len(rows))
+        xs = _project_rows(rows, ids, schema.positions(self.variable.lhs))
+        ys = _project_rows(rows, ids, schema.positions(self.variable.rhs))
+        row_keys = _project_rows(rows, ids, schema.key_positions())
+        match_cache = self._match_cache
+        if len(match_cache) > self.MATCH_CACHE_CAP:
+            match_cache.clear()
+        matches_any = self._index.matches_any
+        handle = self._insert if sign > 0 else self._delete
+        for x, y, key in zip(xs, ys, row_keys):
+            hit = match_cache.get(x)
+            if hit is None:
+                hit = match_cache[x] = matches_any(x)
+            if hit:
+                handle(x, y, key, violations, keys)
+
+    def _insert(self, x, y, key, violations, keys) -> None:
+        group = self.groups.get(x)
+        if group is None:
+            group = self.groups[x] = _Group()
+        _bump(group.y_counts, y, 1)
+        _bump(group.key_counts, key, 1)
+        if group.conflicting:
+            if self.collect_tuples:
+                keys.add(key, 1)
+        elif len(group.y_counts) >= 2:
+            group.conflicting = True
+            violations.add(self._violation(x), 1)
+            if self.collect_tuples:
+                for member, count in group.key_counts.items():
+                    keys.add(member, count)
+
+    def _delete(self, x, y, key, violations, keys) -> None:
+        group = self.groups.get(x)
+        if group is None:
+            raise ValueError(
+                f"deleted a row of X group {x!r} that is not in the state"
+            )
+        if group.conflicting and self.collect_tuples:
+            keys.add(key, -1)
+        _bump(group.y_counts, y, -1)
+        _bump(group.key_counts, key, -1)
+        if group.conflicting and len(group.y_counts) < 2:
+            group.conflicting = False
+            violations.add(self._violation(x), -1)
+            if self.collect_tuples:
+                for member, count in group.key_counts.items():
+                    keys.add(member, -count)
+        if not group.y_counts:
+            del self.groups[x]
+
+
+# -- the detector -------------------------------------------------------------
+
+
+class IncrementalDetector:
+    """``Vioπ(Σ, D)`` maintained across insert/delete batches.
+
+    Compile once, :meth:`attach` to a relation (one full fold building
+    the cached state), then :meth:`apply` successive
+    :class:`~repro.relational.delta.DeltaRelation` versions — or
+    :meth:`update` with explicit batches — each in time proportional to
+    the delta and the σ groups it touches.  :attr:`report` is always the
+    full current report; every ``apply``/``update`` additionally returns
+    the :class:`ViolationDelta` of that batch.
+
+    ``engine`` follows :func:`~repro.core.detection.detect_violations`:
+    ``reference`` (full recompute + diff per update — the executable
+    spec), ``fused``, ``fused-numpy``, or ``auto``/``None`` (the
+    ``REPRO_ENGINE`` environment, then numpy availability, decide —
+    resolved at :meth:`attach` time, when the state layout is fixed).
+    """
+
+    def __init__(
+        self,
+        cfds: CFD | Iterable[CFD],
+        collect_tuples: bool = True,
+        engine: str | None = None,
+    ) -> None:
+        self._fused = FusedDetector(cfds)
+        self.cfds = self._fused.cfds
+        self.collect_tuples = collect_tuples
+        self._requested_engine = engine
+        self.engine: str | None = None
+        self.relation: Relation | None = None
+        self._violations = TransitionCounter()
+        self._keys = TransitionCounter()
+        self._constants = ConstantFolds(self._fused._constants, collect_tuples)
+        self._variables: list[VariableGroupState] = []
+        self._reference_report: ViolationReport | None = None
+
+    # -- engine resolution ------------------------------------------------
+
+    def _resolve_engine(self) -> str:
+        engine = self._requested_engine
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE", "auto")
+        if engine == "auto":
+            return "fused-numpy" if numpy_enabled() else "fused"
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown detection engine {engine!r}; "
+                f"use one of {', '.join(ENGINES)} (or 'auto')"
+            )
+        if engine == "fused-numpy" and not numpy_enabled():
+            raise RuntimeError(
+                "the fused-numpy engine needs numpy (install the 'fast' "
+                "extra); numpy is not importable or was disabled via "
+                "REPRO_NUMPY=0"
+            )
+        return engine
+
+    @property
+    def _vectorize(self) -> bool:
+        return self.engine == "fused-numpy"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def attach(self, relation: Relation) -> ViolationReport:
+        """Build (or rebuild) the cached state with one full fold of ``D``."""
+        self.engine = self._resolve_engine()
+        self.relation = relation
+        if self.engine == "reference":
+            self._reference_report = detect_violations_reference(
+                relation, self.cfds, self.collect_tuples
+            )
+            return self.report
+        self._violations = TransitionCounter()
+        self._keys = TransitionCounter()
+        self._variables = [
+            VariableGroupState(variable, self.collect_tuples)
+            for variable, _index in self._fused._variables
+        ]
+        self._fold(relation, 1)
+        return self.report
+
+    def _fold(self, batch: Relation, sign: int) -> None:
+        self._constants.fold(
+            batch, sign, self._violations, self._keys, self._vectorize
+        )
+        for state in self._variables:
+            state.fold(
+                batch.schema, batch.rows, sign, self._violations, self._keys
+            )
+
+    def apply(self, relation: Relation) -> ViolationDelta:
+        """Advance to ``relation``, folding only its recorded delta.
+
+        ``relation`` must be a :class:`~repro.relational.delta.DeltaRelation`
+        (or a chain of them) rooted at the currently attached version —
+        anything else raises, because the provenance chain is the only
+        thing that makes O(|ΔD|) maintenance sound.
+        """
+        if self.relation is None:
+            raise ValueError("attach() a relation before applying updates")
+        chain: list[Relation] = []
+        version = relation
+        while version is not self.relation:
+            parent = getattr(version, "delta_parent", None)
+            if parent is None:
+                raise ValueError(
+                    "apply() needs a DeltaRelation chained from the "
+                    "attached version; got an unrelated relation "
+                    "(use attach() to rebuild from scratch)"
+                )
+            chain.append(version)
+            version = parent
+        chain.reverse()
+        if self.engine == "reference":
+            self.relation = relation
+            return self._reference_rediff()
+        self._violations.begin()
+        self._keys.begin()
+        for version in chain:
+            if version.delta_deleted:
+                self._fold(
+                    Relation(
+                        version.schema, list(version.delta_deleted), copy=False
+                    ),
+                    -1,
+                )
+            if version.delta_inserted:
+                self._fold(
+                    Relation(
+                        version.schema, list(version.delta_inserted), copy=False
+                    ),
+                    1,
+                )
+        self.relation = relation
+        return self._commit()
+
+    def update(
+        self,
+        inserted: Iterable[Sequence[object]] = (),
+        deleted=(),
+    ) -> ViolationDelta:
+        """Convenience: build the delta versions and :meth:`apply` them.
+
+        ``deleted`` (keys or a predicate, applied first) then
+        ``inserted`` — each step produces a
+        :class:`~repro.relational.delta.DeltaRelation`; the new current
+        version is :attr:`relation` afterwards.  The versions minted here
+        are owned by the detector, so their provenance is pruned once
+        folded (:func:`~repro.relational.delta.prune_delta_history`) —
+        session memory stays bounded however many batches arrive.  Use
+        :meth:`apply` directly to keep ownership of the chain.
+        """
+        from ..relational.delta import prune_delta_history
+
+        if self.relation is None:
+            raise ValueError("attach() a relation before applying updates")
+        version = self.relation
+        is_predicate = callable(deleted) or hasattr(deleted, "evaluate")
+        if not is_predicate:
+            deleted = list(deleted)
+        if is_predicate or deleted:
+            version = version.delete(deleted)
+        inserted = list(inserted)
+        if inserted:
+            version = version.insert(inserted)
+        if version is self.relation:
+            return ViolationDelta()
+        delta = self.apply(version)
+        # prune oldest-first so each step can still derive its key array
+        # from the (already materialized) link below it
+        prune_delta_history(version.delta_parent)
+        prune_delta_history(version)
+        return delta
+
+    # -- results ----------------------------------------------------------
+
+    def _commit(self) -> ViolationDelta:
+        return commit_counters(self._violations, self._keys)
+
+    def _reference_rediff(self) -> ViolationDelta:
+        previous = self._reference_report
+        current = detect_violations_reference(
+            self.relation, self.cfds, self.collect_tuples
+        )
+        self._reference_report = current
+        return ViolationDelta(
+            added=ViolationReport(
+                current.violations - previous.violations,
+                current.tuple_keys - previous.tuple_keys,
+            ),
+            removed=ViolationReport(
+                previous.violations - current.violations,
+                previous.tuple_keys - current.tuple_keys,
+            ),
+        )
+
+    @property
+    def report(self) -> ViolationReport:
+        """The full current report (a fresh copy, safe to merge/mutate)."""
+        if self.engine == "reference":
+            source = self._reference_report or ViolationReport()
+            return ViolationReport(source.violations, source.tuple_keys)
+        return counters_report(self._violations, self._keys)
+
+    def __repr__(self) -> str:
+        n = len(self.relation) if self.relation is not None else 0
+        return (
+            f"IncrementalDetector({len(self.cfds)} CFDs, engine="
+            f"{self.engine or 'unresolved'}, {n} tuples attached)"
+        )
+
+
+def incremental_detect(
+    relation: Relation,
+    cfds: CFD | Iterable[CFD],
+    collect_tuples: bool = True,
+    engine: str | None = None,
+) -> IncrementalDetector:
+    """Attach a fresh :class:`IncrementalDetector` to ``relation``."""
+    detector = IncrementalDetector(cfds, collect_tuples, engine)
+    detector.attach(relation)
+    return detector

@@ -19,6 +19,7 @@ attributes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -120,12 +121,44 @@ def sort_patterns_by_generality(
     )
 
 
+#: guards the LRU reorder/evict mutations below — the thread scheduler
+#: calls these memos from workers, and a hit must never make the entry
+#: momentarily invisible to a concurrent reader (which would recompute
+#: exactly what the memo exists to remember).  The critical sections are
+#: a few dict operations, far from any hot per-row path.
+_MEMO_LOCK = threading.Lock()
+
+
+def _memo_get(memo: dict, key):
+    """LRU probe: a hit is re-inserted so it moves to the young end."""
+    with _MEMO_LOCK:
+        cached = memo.pop(key, None)
+        if cached is not None:
+            memo[key] = cached
+    return cached
+
+
+def _memo_put(memo: dict, key, value, cap: int) -> None:
+    """LRU insert: evict oldest-first at the cap, never the whole memo.
+
+    Wholesale clearing caused a thundering herd — every concurrently hot
+    entry re-computed at once the moment the property suites pushed the
+    memo over the cap.  Python dicts iterate in insertion order, and
+    :func:`_memo_get` reinserts on hit, so the first key is always the
+    least recently used.
+    """
+    with _MEMO_LOCK:
+        while len(memo) >= cap:
+            del memo[next(iter(memo))]
+        memo[key] = value
+
+
 #: value-keyed memo of :func:`normalize` — CFDs are immutable values and
 #: every detection run (and every site of a distributed run) re-normalizes
 #: the same Σ, so the split is worth remembering.  Keyed on the name too:
 #: ``CFD.__eq__`` deliberately ignores it, but the normal forms carry it
-#: as their ``source``.  Bounded: cleared when it would outgrow the cap
-#: (property-based suites mint thousands of CFDs).
+#: as their ``source``.  Bounded LRU: the oldest entry is evicted at the
+#: cap (property-based suites mint thousands of CFDs).
 _NORMALIZE_MEMO: dict[tuple[str, CFD], NormalizedCFD] = {}
 _NORMALIZE_MEMO_CAP = 512
 
@@ -137,13 +170,11 @@ def normalize(cfd: CFD) -> NormalizedCFD:
     original CFD (the standard equivalence of [2], pinned by tests).
     """
     key = (cfd.name, cfd)
-    cached = _NORMALIZE_MEMO.get(key)
+    cached = _memo_get(_NORMALIZE_MEMO, key)
     if cached is not None:
         return cached
     normalized = _normalize_uncached(cfd)
-    if len(_NORMALIZE_MEMO) >= _NORMALIZE_MEMO_CAP:
-        _NORMALIZE_MEMO.clear()
-    _NORMALIZE_MEMO[key] = normalized
+    _memo_put(_NORMALIZE_MEMO, key, normalized, _NORMALIZE_MEMO_CAP)
     return normalized
 
 
@@ -259,9 +290,10 @@ class PatternIndex:
         return self.first_match(values) is not None
 
 
-#: value-keyed memo of :func:`pattern_index` (same rationale and bounding
-#: as the :func:`normalize` memo: one trie per distinct tableau, shared by
-#: every site, worker and repeat detection that partitions with it).
+#: value-keyed memo of :func:`pattern_index` (same rationale and LRU
+#: bounding as the :func:`normalize` memo: one trie per distinct tableau,
+#: shared by every site, worker and repeat detection that partitions with
+#: it).
 _INDEX_MEMO: dict[tuple, PatternIndex] = {}
 _INDEX_MEMO_CAP = 512
 
@@ -273,11 +305,9 @@ def pattern_index(patterns: tuple[tuple[object, ...], ...]) -> PatternIndex:
     function of them; the memo also lets the parallel scheduler's worker
     processes rebuild each trie once and reuse it across work orders.
     """
-    cached = _INDEX_MEMO.get(patterns)
+    cached = _memo_get(_INDEX_MEMO, patterns)
     if cached is not None:
         return cached
     index = PatternIndex(patterns)
-    if len(_INDEX_MEMO) >= _INDEX_MEMO_CAP:
-        _INDEX_MEMO.clear()
-    _INDEX_MEMO[patterns] = index
+    _memo_put(_INDEX_MEMO, patterns, index, _INDEX_MEMO_CAP)
     return index

@@ -3,6 +3,14 @@
 from .clust import CFDCluster, cluster_cfds, clust_detect
 from .ctr import ctr_detect
 from .hybrid import hybrid_detect
+from .incremental import (
+    IncrementalHorizontalDetector,
+    IncrementalUpdate,
+    incremental_ctr,
+    incremental_pat_rt,
+    incremental_pat_s,
+    scan_delta_summary,
+)
 from .replicated import replicated_pat_detect
 from .local import (
     applicable_patterns,
@@ -35,6 +43,12 @@ ALGORITHMS = {
 __all__ = [
     "ALGORITHMS",
     "CFDCluster",
+    "IncrementalHorizontalDetector",
+    "IncrementalUpdate",
+    "incremental_ctr",
+    "incremental_pat_rt",
+    "incremental_pat_s",
+    "scan_delta_summary",
     "cluster_cfds",
     "clust_detect",
     "ctr_detect",

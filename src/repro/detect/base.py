@@ -188,10 +188,16 @@ def partition_fragment_summary(
     lhs_width = len(variable.lhs)
     first_match = index.first_match
     for g, combo in enumerate(key.values):
+        occ = occupancy[g]
+        if not occ:
+            # phantom group: a delete-derived store may keep dictionary
+            # entries no surviving row references (repro.relational.delta);
+            # shipping their codes would fabricate conflicts
+            continue
         ordinal = first_match(combo[:lhs_width])
         if ordinal is None:
             continue
-        counts[ordinal] += occupancy[g]
+        counts[ordinal] += occ
         bucket_codes[ordinal].append(g)
     return counts, bucket_codes, key.values if need_values else None
 

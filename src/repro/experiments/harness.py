@@ -117,6 +117,139 @@ def sweep(
 # -- detection engine benchmark ----------------------------------------------
 
 
+def _bench_provenance() -> dict:
+    """Where and how a benchmark record was captured.
+
+    Trajectory entries are only comparable like-for-like; recording the
+    git sha, timestamp, interpreter/numpy versions and every active
+    ``REPRO_*`` knob makes a record self-describing, so a future reader
+    can tell a real regression from a knob or host change.
+    """
+    import platform
+    import subprocess
+    from datetime import datetime, timezone
+
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "git_sha": sha,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "numpy_version": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "repro_knobs": {
+            name: value
+            for name, value in sorted(os.environ.items())
+            if name.startswith("REPRO_")
+        },
+    }
+
+
+def _bench_incremental(data, cfds, repeats: int) -> dict:
+    """Incremental maintenance vs full recompute at several batch sizes.
+
+    A batch of fraction ``f`` means ``|ΔD| = f·|D|`` updated tuples —
+    half (seeded-random) deletions, half mutated insertions.  Each leg
+    times
+    :meth:`IncrementalDetector.update` absorbing the batch (steady state:
+    each timed forward batch is reverted by an untimed inverse batch)
+    against a **full recompute** — the fused engine on a fresh relation
+    over the final rows, columnar caches cold, which is exactly what a
+    non-incremental deployment pays per update.  Every leg cross-checks
+    the maintained report against the recompute (violations *and* tuple
+    keys), recorded as ``matches_full_recompute``.
+    """
+    import random
+
+    from ..core import FusedDetector, IncrementalDetector
+    from ..relational import Relation
+
+    rng = random.Random(11)
+    schema = data.schema
+    key_position = schema.key_positions()[0]
+    max_id = len(data) * 10
+    detector = FusedDetector(cfds)
+    legs: dict[str, dict] = {}
+    all_match = True
+    for fraction in (0.001, 0.01, 0.1):
+        batch = max(2, int(len(data) * fraction))
+        victims = rng.sample(data.rows, batch // 2)
+        doomed_keys = [row[key_position] for row in victims]
+        # replacements keep the victims' attribute values but take fresh
+        # ids, and half get a corrupted street so the batch genuinely
+        # moves violations in both directions
+        street = schema.position("street") if "street" in schema else 1
+        inserted = []
+        for i, row in enumerate(victims):
+            row = list(row)
+            row[key_position] = max_id + i
+            if i % 2:
+                row[street] = f"delta street {i}"
+            inserted.append(tuple(row))
+        inserted_keys = [row[key_position] for row in inserted]
+        max_id += batch
+
+        incremental = IncrementalDetector(cfds)
+        incremental.attach(Relation(schema, data.rows, copy=False))
+        forward_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            incremental.update(inserted=inserted, deleted=doomed_keys)
+            forward_times.append(time.perf_counter() - start)
+            # revert (untimed) so every timed batch hits the same state
+            incremental.update(inserted=victims, deleted=inserted_keys)
+        start = time.perf_counter()
+        delta = incremental.update(inserted=inserted, deleted=doomed_keys)
+        forward_times.append(time.perf_counter() - start)
+        incremental_seconds = min(forward_times)
+
+        final_rows = incremental.relation.rows
+        recompute_times = []
+        for _ in range(repeats):
+            fresh = Relation(schema, final_rows, copy=False)
+            start = time.perf_counter()
+            full_report = detector.detect(fresh)
+            recompute_times.append(time.perf_counter() - start)
+        full_seconds = min(recompute_times)
+
+        maintained = incremental.report
+        matches = (
+            maintained.violations == full_report.violations
+            and maintained.tuple_keys == full_report.tuple_keys
+        )
+        all_match = all_match and matches
+        legs[str(fraction)] = {
+            "batch_rows": batch,
+            "incremental_seconds": incremental_seconds,
+            "full_recompute_seconds": full_seconds,
+            "speedup": full_seconds / incremental_seconds,
+            "violations_added": len(delta.added),
+            "violations_removed": len(delta.removed),
+            "matches_full_recompute": matches,
+        }
+    return {
+        "workload": "fig3c_single_cfd",
+        "engine": "auto",
+        "repeats": repeats,
+        "legs": legs,
+        "matches_full_recompute": all_match,
+    }
+
+
 def _bench_parallel_detection(data, cfd, repeats: int, workers: int) -> dict:
     """Time distributed fragment detection at workers ∈ {1, ``workers``}.
 
@@ -164,10 +297,14 @@ def _bench_parallel_detection(data, cfd, repeats: int, workers: int) -> dict:
     serial_times, serial = leg(1, "off")
     legs = {"1": serial_times}
     matches = True
+    multicore = (os.cpu_count() or 1) > 1
     for mode in ("thread", "process"):
         times, outcome = leg(workers, mode)
         times["speedup_warm"] = serial_times["warm_seconds"] / times["warm_seconds"]
         times["speedup_cold"] = serial_times["cold_seconds"] / times["cold_seconds"]
+        # a single-core host cannot exhibit pool speedups; flag such legs
+        # so the recorded trajectory stays comparable across machines
+        times["representative"] = multicore
         legs[f"{workers}_{mode}"] = times
         matches = matches and (
             outcome.report.violations == serial.report.violations
@@ -321,6 +458,10 @@ def bench_detection(
         summary["workloads"][name] = entry
 
     summary["speedup"] = summary["workloads"]["fig3c_single_cfd"]["speedup"]
+    summary["provenance"] = _bench_provenance()
+    summary["incremental"] = _bench_incremental(
+        data, workloads["fig3c_single_cfd"], repeats
+    )
     if workers > 1:
         summary["parallel"] = _bench_parallel_detection(
             data, workloads["fig3c_single_cfd"][0], repeats, workers

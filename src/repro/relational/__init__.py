@@ -26,6 +26,12 @@ from .predicate import (
 )
 from .columnar import Column, ColumnStore, KeyColumn, column_store, numpy_enabled
 from .csvio import infer_column_types, load_csv, save_csv
+from .delta import (
+    DeltaRelation,
+    DerivedColumnStore,
+    incremental_enabled,
+    prune_delta_history,
+)
 from .index import HashIndex
 from .relation import Relation
 from .schema import Schema, SchemaError
@@ -57,9 +63,13 @@ __all__ = [
     "HashIndex",
     "Column",
     "ColumnStore",
+    "DeltaRelation",
+    "DerivedColumnStore",
     "KeyColumn",
     "column_store",
+    "incremental_enabled",
     "numpy_enabled",
+    "prune_delta_history",
     "SharedColumn",
     "SharedComboDictionary",
     "SharedDictionary",

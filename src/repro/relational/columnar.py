@@ -396,7 +396,10 @@ class ColumnStore:
         buckets: list[list[int]] = [[] for _ in key.values]
         for i, group in enumerate(key.codes):
             buckets[group].append(i)
-        index = {key.values[g]: ids for g, ids in enumerate(buckets)}
+        # skip empty buckets: fresh stores never produce them, but a
+        # delete-derived store may keep stale dictionary entries whose
+        # groups no surviving row references (see repro.relational.delta)
+        index = {key.values[g]: ids for g, ids in enumerate(buckets) if ids}
         self._group_indexes[attributes] = index
         return index
 

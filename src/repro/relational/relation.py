@@ -193,6 +193,36 @@ class Relation:
         rows = self.rows
         return {key: [rows[i] for i in ids] for key, ids in index.items()}
 
+    # -- updates (delta versions) ----------------------------------------
+
+    def insert(self, rows: Iterable[Sequence[object]]) -> "Relation":
+        """A new relation version with ``rows`` appended.
+
+        Relations stay immutable: the result is a
+        :class:`~repro.relational.delta.DeltaRelation` that records the
+        inserted rows as provenance and shares this relation's columnar
+        caches structurally (dictionary-append encoding — see
+        :mod:`repro.relational.delta`), so deriving and re-detecting cost
+        O(|ΔD|)-ish instead of a full re-encode.
+        """
+        from .delta import insert_rows
+
+        return insert_rows(self, rows)
+
+    def delete(self, keys_or_predicate) -> "Relation":
+        """A new relation version with the matching rows removed.
+
+        ``keys_or_predicate`` is an iterable of key values (projections on
+        ``schema.key``; bare values accepted for single-attribute keys) or
+        any predicate callable of ``(row, schema)``.  The result is a
+        :class:`~repro.relational.delta.DeltaRelation` carrying the
+        deleted rows as provenance and a tombstone mask that derived
+        columnar caches filter through.
+        """
+        from .delta import delete_rows
+
+        return delete_rows(self, keys_or_predicate)
+
     def sorted_by(self, attributes: Sequence[str]) -> "Relation":
         """Rows sorted lexicographically by ``attributes``, type-aware.
 

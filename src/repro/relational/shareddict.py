@@ -50,6 +50,17 @@ from .columnar import ColumnStore
 from .relation import Relation
 
 
+def _intern(code_of: dict, values: list, value) -> int:
+    """Append-only get-or-assign: the one interning primitive every
+    shared table here builds on."""
+    code = code_of.get(value)
+    if code is None:
+        code = len(values)
+        code_of[value] = code
+        values.append(value)
+    return code
+
+
 class SharedColumn:
     """One attribute's cluster-global dictionary: value ↔ code, append-only."""
 
@@ -62,12 +73,7 @@ class SharedColumn:
 
     def intern(self, value: object) -> int:
         """The global code of ``value``, assigning the next one if new."""
-        code = self.code_of.get(value)
-        if code is None:
-            code = len(self.values)
-            self.code_of[value] = code
-            self.values.append(value)
-        return code
+        return _intern(self.code_of, self.values, value)
 
     @property
     def n_distinct(self) -> int:
@@ -118,9 +124,36 @@ class SharedDictionary:
         entry = self._stores.get(id(relation))
         if entry is not None and entry[0] is relation:
             return entry[1]
-        store = ColumnStore(relation, shared=self)
+        store = self._derived_store(relation)
+        if store is None:
+            store = ColumnStore(relation, shared=self)
         self._stores[id(relation)] = (relation, store)
         return store
+
+    def _derived_store(self, relation):
+        """A structurally shared store for a delta version, when possible.
+
+        When ``relation`` is a :class:`~repro.relational.delta.DeltaRelation`
+        whose parent already has a cluster-aware store here, the child's
+        store derives from it: inserted values intern into the global
+        (append-only) tables, deletions filter codes through the tombstone
+        mask — so cluster codes stay stable across relation versions.
+        """
+        from .delta import DerivedColumnStore, incremental_enabled
+
+        parent = getattr(relation, "delta_parent", None)
+        if parent is None or not incremental_enabled():
+            return None
+        entry = self._stores.get(id(parent))
+        if entry is None or entry[0] is not parent:
+            return None
+        return DerivedColumnStore(
+            relation,
+            entry[1],
+            inserted=relation.delta_inserted,
+            doomed=relation.delta_doomed,
+            shared=self,
+        )
 
     def __repr__(self) -> str:
         return f"SharedDictionary({len(self._columns)} attributes)"
@@ -154,6 +187,19 @@ class SharedPairDictionary:
     def pairs_for(self, site_key: object) -> list[tuple[int, int]] | None:
         """The memoized translation of one site, or ``None`` if not built."""
         return self._site_pairs.get(site_key)
+
+    def intern_x(self, x: tuple) -> int:
+        """The global code of one ``X`` projection (assigned if new).
+
+        The append-only primitive behind incremental detection: a delta
+        row's combination interns through the same tables the initial
+        run's dictionaries populated, so pre-update codes never move.
+        """
+        return _intern(self.x_code_of, self.x_values, x)
+
+    def intern_y(self, y: tuple) -> int:
+        """The global code of one RHS projection (assigned if new)."""
+        return _intern(self.y_code_of, self.y_values, y)
 
     def translate(
         self, site_key: object, distincts: Sequence[tuple]

@@ -152,3 +152,44 @@ def test_combine_breakdowns_concatenates():
     combined = combine_breakdowns([a, b])
     assert len(combined.stages) == 2
     assert combined.scan_time == 3.0
+
+
+# -- CostModel.payload_bytes --------------------------------------------------
+
+
+def test_payload_bytes_empty_log_is_zero():
+    assert CostModel().payload_bytes(ShipmentLog()) == 0.0
+
+
+def test_payload_bytes_uncoded_charges_value_bytes_per_cell():
+    model = CostModel(value_bytes=8.0, code_bytes=4.0)
+    log = ShipmentLog()
+    log.ship(0, 1, 5, 20)  # 5 tuples, 20 raw cells, uncoded
+    assert model.payload_bytes(log) == 20 * 8.0
+
+
+def test_payload_bytes_codes_only_charges_code_bytes():
+    model = CostModel(value_bytes=8.0, code_bytes=4.0)
+    log = ShipmentLog()
+    log.ship(0, 1, 5, 20, n_codes=10)
+    assert model.payload_bytes(log) == 10 * 4.0
+
+
+def test_payload_bytes_mixed_cells_and_codes():
+    model = CostModel(value_bytes=8.0, code_bytes=4.0)
+    log = ShipmentLog()
+    log.ship(0, 1, 5, 20)              # raw: 160 bytes
+    log.ship(0, 2, 5, 20, n_codes=10)  # coded: 40 bytes
+    assert model.payload_bytes(log) == 160.0 + 40.0
+    assert log.codes_shipped == 20 + 10
+
+
+def test_payload_bytes_counts_incremental_delta_shipments():
+    """Delta shipments (3 ints per changed pair) show the coded saving."""
+    model = CostModel(value_bytes=8.0, code_bytes=4.0)
+    full = ShipmentLog()
+    full.ship(0, 1, 1000, 4000, n_codes=2 * 1000, tag="phi#p0")
+    delta = ShipmentLog()
+    delta.ship(0, 1, 10, 40, n_codes=3 * 10, tag="phi#p0Δ")
+    assert model.payload_bytes(delta) == 30 * 4.0
+    assert model.payload_bytes(delta) < model.payload_bytes(full) / 50

@@ -138,3 +138,53 @@ def test_pattern_index_scales_past_tableau_size():
     index = PatternIndex(patterns)
     assert index.first_match((499, "x")) == 499
     assert index.first_match((1000, "x")) == 500
+
+
+# -- memo eviction (LRU, not wholesale clearing) ------------------------------
+
+
+def _mint_cfd(i):
+    return CFD(("a",), ("b",), [PatternTuple((i,), (WILDCARD,))], name=f"m{i}")
+
+
+def test_normalize_memo_evicts_oldest_first_not_wholesale():
+    from repro.core import normalize as normalize_module_func
+    from repro.core.normalize import _NORMALIZE_MEMO, _NORMALIZE_MEMO_CAP
+
+    _NORMALIZE_MEMO.clear()
+    minted = [_mint_cfd(i) for i in range(_NORMALIZE_MEMO_CAP)]
+    for cfd in minted:
+        normalize(cfd)
+    assert len(_NORMALIZE_MEMO) == _NORMALIZE_MEMO_CAP
+    # one more insert evicts exactly the oldest entry, never the lot
+    normalize(_mint_cfd(_NORMALIZE_MEMO_CAP))
+    assert len(_NORMALIZE_MEMO) == _NORMALIZE_MEMO_CAP
+    assert ("m0", minted[0]) not in _NORMALIZE_MEMO
+    assert ("m1", minted[1]) in _NORMALIZE_MEMO
+
+
+def test_normalize_memo_hit_refreshes_lru_position():
+    from repro.core.normalize import _NORMALIZE_MEMO, _NORMALIZE_MEMO_CAP
+
+    _NORMALIZE_MEMO.clear()
+    minted = [_mint_cfd(i) for i in range(_NORMALIZE_MEMO_CAP)]
+    for cfd in minted:
+        normalize(cfd)
+    normalize(minted[0])  # hit: m0 moves to the young end
+    normalize(_mint_cfd(_NORMALIZE_MEMO_CAP))  # evicts m1, not m0
+    assert ("m0", minted[0]) in _NORMALIZE_MEMO
+    assert ("m1", minted[1]) not in _NORMALIZE_MEMO
+
+
+def test_pattern_index_memo_evicts_oldest_first():
+    from repro.core import pattern_index
+    from repro.core.normalize import _INDEX_MEMO, _INDEX_MEMO_CAP
+
+    _INDEX_MEMO.clear()
+    tableaux = [((i, WILDCARD),) for i in range(_INDEX_MEMO_CAP + 1)]
+    kept = [pattern_index(t) for t in tableaux]
+    assert len(_INDEX_MEMO) == _INDEX_MEMO_CAP
+    assert tableaux[0] not in _INDEX_MEMO
+    assert tableaux[1] in _INDEX_MEMO
+    # hits return the cached instance
+    assert pattern_index(tableaux[-1]) is kept[-1]
