@@ -38,6 +38,11 @@ NUMPY_VS_FUSED_FLOOR = float(
 INCREMENTAL_FLOOR = float(
     os.environ.get("REPRO_BENCH_INCREMENTAL_FLOOR", "3.0")
 )
+#: floor for the 10% batch — the crossover leg the vectorized delta folds
+#: push past recompute; the recorded steady-state target is >= 5x
+INCREMENTAL_10_FLOOR = float(
+    os.environ.get("REPRO_BENCH_INCREMENTAL_10_FLOOR", "2.0")
+)
 
 
 def test_engine_speedups_and_equivalence():
@@ -53,8 +58,8 @@ def test_engine_speedups_and_equivalence():
         "parallel fragment detection diverged from serial"
     )
 
-    # incremental maintenance gates on equivalence always and on a
-    # conservative timing floor at the 1% batch size
+    # incremental maintenance gates on equivalence always and on
+    # conservative timing floors at the 1% and 10% batch sizes
     incremental = summary["incremental"]
     assert incremental["matches_full_recompute"], (
         "incremental maintenance diverged from full recompute: "
@@ -65,6 +70,25 @@ def test_engine_speedups_and_equivalence():
         f"{incremental['legs']['0.01']['speedup']:.2f}x "
         f"(floor {INCREMENTAL_FLOOR}x)"
     )
+    assert incremental["legs"]["0.1"]["speedup"] >= INCREMENTAL_10_FLOOR, (
+        "incremental speedup at the 10% batch regressed to "
+        f"{incremental['legs']['0.1']['speedup']:.2f}x "
+        f"(floor {INCREMENTAL_10_FLOOR}x)"
+    )
+    # the pure-insert / pure-delete kinds and the resident clust /
+    # vertical / hybrid session legs gate on equivalence (their timing
+    # depends on deployment shape, so no floors beyond the matches flags)
+    for kind, leg in incremental["kinds"].items():
+        assert leg["matches_full_recompute"], (
+            f"incremental {kind} batch diverged from full recompute"
+        )
+    sessions = incremental["sessions"]
+    assert sessions["matches_full_recompute"], sessions
+    for name in ("clust", "vertical", "hybrid"):
+        assert sessions[name]["matches_full_recompute"], (
+            f"incremental {name} session diverged from a fresh one-shot "
+            f"run: {sessions[name]}"
+        )
 
     # provenance must be present so recorded trajectories self-describe
     provenance = summary["provenance"]
@@ -110,6 +134,14 @@ def test_engine_speedups_and_equivalence():
         f"{float(name):.1%}={leg['incremental_seconds'] * 1000:.1f}ms "
         f"({leg['speedup']:.1f}x)"
         for name, leg in incremental["legs"].items()
+    )
+    incremental_line += "; kinds: " + ", ".join(
+        f"{kind}={leg['speedup']:.1f}x"
+        for kind, leg in incremental["kinds"].items()
+    )
+    incremental_line += "; sessions: " + ", ".join(
+        f"{name}={sessions[name]['speedup']:.1f}x"
+        for name in ("clust", "vertical", "hybrid")
     )
     legs = parallel["legs"]
     parallel_line = (

@@ -15,7 +15,10 @@ Commands
     the session alive afterwards: a synthetic batch of ``FRAC·|D|``
     updated rows hits the largest site and is absorbed incrementally —
     only the coded delta of the affected (X, A) combinations ships
-    (:mod:`repro.detect.incremental`).
+    (:mod:`repro.detect.incremental`; ``clust`` runs a resident
+    CLUSTDETECT session over the whole Σ).  ``--update-kind`` picks the
+    batch composition (``insert`` / ``delete`` / ``mixed``) so the
+    tombstone path is exercisable, not just appends.
 
 ``sql``
     Print the SQL detection queries of [2] for a CFD (runnable on any SQL
@@ -123,9 +126,17 @@ def _build_parser() -> argparse.ArgumentParser:
     detect.add_argument(
         "--updates", type=float, default=None, metavar="FRAC",
         help="after the initial run, apply a synthetic update batch of "
-        "|ΔD| = FRAC·|D| rows (half deletes, half mutated inserts) to the "
-        "largest site and absorb it incrementally — only the coded delta "
-        "ships (algorithms ctr, pat-s, pat-rt)",
+        "|ΔD| = FRAC·|D| rows to the largest site and absorb it "
+        "incrementally — only the coded delta ships (algorithms ctr, "
+        "pat-s, pat-rt, clust)",
+    )
+    detect.add_argument(
+        "--update-kind",
+        choices=["insert", "delete", "mixed"],
+        default="mixed",
+        help="composition of the --updates batch: pure inserts, pure "
+        "deletes (exercising the tombstone path), or half deletes / half "
+        "mutated re-inserts (default)",
     )
 
     sql = commands.add_parser("sql", help="print the detection SQL for a CFD")
@@ -246,32 +257,16 @@ def _merge(a, b):
     return a
 
 
-def _run_incremental_detect(args: argparse.Namespace, cluster, cfds) -> int:
-    """``detect --updates``: absorb a synthetic batch through a delta session.
+def _synthetic_update_batch(cluster, cfds, fraction: float, kind: str):
+    """The seeded synthetic batch ``detect --updates`` absorbs.
 
-    One :class:`~repro.detect.incremental.IncrementalHorizontalDetector`
-    per CFD runs the initial one-shot detection, then the largest site
-    takes a batch of ``|ΔD| = FRAC·|D|`` rows — half (seeded-random)
-    deletions, half re-inserted with one mutated attribute — and the
-    session absorbs it by shipping only the coded delta.
+    ``kind`` picks the composition: ``mixed`` (half seeded-random
+    deletions, half re-inserted with one mutated attribute), ``insert``
+    (all-new mutated rows under fresh keys) or ``delete`` (pure
+    deletions — the tombstone path).  Returns ``(site, inserted,
+    deleted_keys)``.
     """
     import random
-
-    from .detect import IncrementalHorizontalDetector
-
-    if args.algorithm not in ("ctr", "pat-s", "pat-rt"):
-        print(
-            f"error: --updates supports algorithms ctr, pat-s and pat-rt, "
-            f"not {args.algorithm!r}",
-            file=sys.stderr,
-        )
-        return 2
-    if not 0 < args.updates <= 1:
-        print(
-            "error: --updates expects a batch fraction in (0, 1]",
-            file=sys.stderr,
-        )
-        return 2
 
     schema = cluster.schema
     key_pos = schema.key_positions()
@@ -295,9 +290,10 @@ def _run_incremental_detect(args: argparse.Namespace, cluster, cfds) -> int:
         key=lambda i: (len(cluster.sites[i].fragment), i),
     )
     fragment = cluster.sites[site].fragment
-    batch = max(2, int(cluster.total_tuples() * args.updates))
+    batch = max(2, int(cluster.total_tuples() * fraction))
     rng = random.Random(8)
-    victims = rng.sample(fragment.rows, min(len(fragment.rows), batch // 2))
+    n_victims = batch if kind in ("insert", "delete") else batch // 2
+    victims = rng.sample(fragment.rows, min(len(fragment.rows), n_victims))
     doomed = [tuple(row[p] for p in key_pos) for row in victims]
     inserted = []
     for i, row in enumerate(victims):
@@ -306,12 +302,61 @@ def _run_incremental_detect(args: argparse.Namespace, cluster, cfds) -> int:
             row[p] = f"u{i}.{offset}"
         row[mutate_pos] = f"{row[mutate_pos]}~"
         inserted.append(tuple(row))
+    if kind == "insert":
+        return site, inserted, []
+    if kind == "delete":
+        return site, [], doomed
+    return site, inserted, doomed
+
+
+def _run_incremental_detect(args: argparse.Namespace, cluster, cfds) -> int:
+    """``detect --updates``: absorb a synthetic batch through a delta session.
+
+    For the single-CFD algorithms one
+    :class:`~repro.detect.incremental.IncrementalHorizontalDetector` per
+    CFD runs the initial one-shot detection; ``clust`` runs one
+    :class:`~repro.detect.clust.IncrementalClustDetector` session over
+    the whole set Σ.  Then the largest site takes a batch of
+    ``|ΔD| = FRAC·|D|`` rows (composition via ``--update-kind``) and the
+    session absorbs it by shipping only the coded delta.
+    """
+    from .detect import IncrementalClustDetector, IncrementalHorizontalDetector
+
+    if args.algorithm not in ("ctr", "pat-s", "pat-rt", "clust"):
+        print(
+            f"error: --updates supports algorithms ctr, pat-s, pat-rt and "
+            f"clust, not {args.algorithm!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not 0 < args.updates <= 1:
+        print(
+            "error: --updates expects a batch fraction in (0, 1]",
+            file=sys.stderr,
+        )
+        return 2
+
+    site, inserted, doomed = _synthetic_update_batch(
+        cluster, cfds, args.updates, args.update_kind
+    )
+    delta_rows = len(inserted) + len(doomed)
+
+    if args.algorithm == "clust":
+        sessions = [(None, IncrementalClustDetector(cluster, cfds))]
+    else:
+        sessions = [
+            (cfd, IncrementalHorizontalDetector(cluster, cfd, args.algorithm))
+            for cfd in cfds
+        ]
 
     exit_code = 0
-    for cfd in cfds:
-        detector = IncrementalHorizontalDetector(cluster, cfd, args.algorithm)
+    for cfd, detector in sessions:
+        label = cfd.name if cfd is not None else "Σ (clustered)"
         initial = detector.detect()
-        print(f"{cfd.name}: initial {initial.report.summary().splitlines()[0] if initial.report else 'no violations'}")
+        print(
+            f"{label}: initial "
+            f"{initial.report.summary().splitlines()[0] if initial.report else 'no violations'}"
+        )
         print(
             f"  initial run: {initial.tuples_shipped} tuples shipped "
             f"({initial.shipments.codes_shipped} codes), "
@@ -319,7 +364,7 @@ def _run_incremental_detect(args: argparse.Namespace, cluster, cfds) -> int:
         )
         update = detector.update(site, inserted=inserted, deleted=doomed)
         print(
-            f"  update |ΔD|={len(victims) + len(inserted)} rows at site "
+            f"  update |ΔD|={delta_rows} rows ({args.update_kind}) at site "
             f"{cluster.sites[site].name}: +{len(update.delta.added)} / "
             f"-{len(update.delta.removed)} violations, "
             f"{update.shipments.codes_shipped} delta codes shipped, "
@@ -406,6 +451,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"({leg['speedup']:.1f}x);"
             )
         print(line.rstrip(";"))
+        kinds = incremental.get("kinds")
+        if kinds:
+            print(
+                "  incremental update kinds: "
+                + ", ".join(
+                    f"{kind} {leg['speedup']:.1f}x" for kind, leg in kinds.items()
+                )
+            )
+        sessions = incremental.get("sessions")
+        if sessions:
+            print(
+                "  incremental sessions vs one-shot re-detection: "
+                + ", ".join(
+                    f"{name} {sessions[name]['speedup']:.1f}x"
+                    for name in ("clust", "vertical", "hybrid")
+                    if name in sessions
+                )
+            )
         print(
             "  incremental matches full recompute: "
             f"{incremental['matches_full_recompute']}"
@@ -442,6 +505,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         and (parallel is None or parallel["matches_serial"])
         and (incremental is None or incremental["matches_full_recompute"])
+        and (
+            incremental is None
+            or "sessions" not in incremental
+            or incremental["sessions"]["matches_full_recompute"]
+        )
     )
     return 0 if ok else 1
 

@@ -316,6 +316,24 @@ def _variable_conflicts_numpy(x_key, y_key, matched):
     return _np.nonzero(conflict)[0].tolist()
 
 
+def group_segments(codes):
+    """Segment an ``int`` code array into per-group contiguous runs.
+
+    The shared kernel behind the vectorized delta folds: one stable
+    argsort brings equal codes together, then the run boundaries fall out
+    of a single vectorized comparison.  Returns ``(order, starts, ends)``
+    — ``order[starts[k]:ends[k]]`` are the original positions of the
+    ``k``-th distinct code, and because codes are first-seen ordinals
+    everywhere in this library, segments come back in first-seen order,
+    exactly like a row-at-a-time fold would visit the groups.
+    """
+    order = _np.argsort(codes, kind="stable")
+    ordered = codes[order]
+    bounds = _np.nonzero(ordered[1:] != ordered[:-1])[0] + 1
+    edges = bounds.tolist()
+    return order, [0, *edges], [*edges, len(ordered)]
+
+
 def _collect_keys_vectorized(
     report: ViolationReport,
     store: ColumnStore,

@@ -31,8 +31,12 @@ distributed half lives in :mod:`repro.detect.incremental`):
 Engine semantics follow the rest of the library: ``reference`` recomputes
 the full report per update and diffs it — the executable spec the
 property suites compare against; ``fused`` and ``fused-numpy`` run true
-delta folds, with the numpy engine vectorizing the constant-form code
-tests over the batch.  Updates arrive either as
+delta folds.  The numpy engine vectorizes both form kinds over the
+batch: constant-form code tests become boolean masks, and the
+variable-form fold encodes the batch once through its columnar key
+columns and scatters signed counts per distinct ``(x_code, y_code)``
+combination instead of flipping multisets row by row
+(:meth:`VariableGroupState.fold`).  Updates arrive either as
 :class:`~repro.relational.delta.DeltaRelation` versions (``apply``) or as
 explicit row batches (``update``, which builds the versions itself).
 """
@@ -40,6 +44,8 @@ explicit row batches (``update``, which builds the versions itself).
 from __future__ import annotations
 
 import os
+from collections import Counter
+from operator import itemgetter
 from typing import Iterable, Sequence
 
 from ..relational import Relation, column_store, numpy_enabled
@@ -50,7 +56,9 @@ from .fused import (
     _compile_constant,
     _constant_hits_numpy,
     _constant_hits_python,
+    _np,
     _project_rows,
+    group_segments,
 )
 from .normalize import ConstantCFD, VariableCFD, pattern_index
 from .violations import Violation, ViolationReport
@@ -61,19 +69,56 @@ class ViolationDelta:
 
     Both sides are plain :class:`ViolationReport`\\ s, so delta consumers
     (dashboards, downstream repair queues) reuse the ordinary report API.
+    Deltas built by the counters (:func:`commit_counters`) materialize
+    those reports lazily — a session absorbing batches in a tight loop
+    never pays for delta reports nobody reads.
     """
 
-    __slots__ = ("added", "removed")
+    __slots__ = ("_added", "_removed", "_raw", "_wrap")
 
     def __init__(
         self,
         added: ViolationReport | None = None,
         removed: ViolationReport | None = None,
     ) -> None:
-        self.added = added if added is not None else ViolationReport()
-        self.removed = removed if removed is not None else ViolationReport()
+        self._added = added if added is not None else ViolationReport()
+        self._removed = removed if removed is not None else ViolationReport()
+        self._raw = None
+        self._wrap = False
+
+    @classmethod
+    def deferred(cls, v_added, k_added, v_removed, k_removed, wrap_keys):
+        """A delta over raw counter output, materialized on first access."""
+        delta = cls.__new__(cls)
+        delta._added = None
+        delta._removed = None
+        delta._raw = (v_added, k_added, v_removed, k_removed)
+        delta._wrap = wrap_keys
+        return delta
+
+    def _materialize(self) -> None:
+        v_added, k_added, v_removed, k_removed = self._raw
+        self._added = ViolationReport(v_added, _wrap(k_added, self._wrap))
+        self._removed = ViolationReport(
+            v_removed, _wrap(k_removed, self._wrap)
+        )
+        self._raw = None
+
+    @property
+    def added(self) -> ViolationReport:
+        if self._added is None:
+            self._materialize()
+        return self._added
+
+    @property
+    def removed(self) -> ViolationReport:
+        if self._removed is None:
+            self._materialize()
+        return self._removed
 
     def __bool__(self) -> bool:  # truthiness = "something changed"
+        if self._raw is not None:
+            return any(self._raw)
         return bool(
             self.added.violations
             or self.removed.violations
@@ -94,47 +139,99 @@ class TransitionCounter:
 
     Counts are witness counts — how many (form, row) or (form, group)
     facts currently assert an item.  ``begin`` opens a batch; every
-    ``add`` snapshots the item's pre-batch positivity the first time the
-    batch touches it; ``commit`` reports the items whose positivity
-    actually changed (an item bumped up and back down within one batch
-    appears in neither list).
+    ``add`` toggles the item in a *crossing set* whenever its positivity
+    flips, so an item's membership after the batch records whether it
+    crossed zero an odd number of times — which is exactly "its
+    positivity changed".  ``commit`` splits the set by current sign (an
+    item bumped up and back down within one batch appears in neither
+    list).  Tracking only actual crossings keeps both ``add`` and
+    ``commit`` proportional to what changed, not to what was touched —
+    the property the vectorized delta folds lean on.
     """
 
-    __slots__ = ("counts", "_baseline")
+    __slots__ = ("counts", "_went_up", "_went_down")
 
     def __init__(self) -> None:
-        self.counts: dict = {}
-        self._baseline: dict | None = None
+        self.counts: Counter = Counter()
+        self._went_up: set | None = None
+        self._went_down: set | None = None
 
     def begin(self) -> None:
-        self._baseline = {}
+        self._went_up = set()
+        self._went_down = set()
+
+    def _cross(self, item, up: bool) -> None:
+        if up:
+            if item in self._went_down:
+                self._went_down.discard(item)
+            else:
+                self._went_up.add(item)
+        else:
+            if item in self._went_up:
+                self._went_up.discard(item)
+            else:
+                self._went_down.add(item)
 
     def add(self, item, n: int = 1) -> None:
         count = self.counts.get(item, 0)
-        if self._baseline is not None and item not in self._baseline:
-            self._baseline[item] = count > 0
-        count += n
-        if count > 0:
-            self.counts[item] = count
-        elif count == 0:
+        new = count + n
+        if new > 0:
+            self.counts[item] = new
+        elif new == 0:
             self.counts.pop(item, None)
         else:
             raise ValueError(
                 f"witness count of {item!r} fell below zero: the update "
                 "removed rows that were never inserted"
             )
+        if self._went_up is not None and (count > 0) != (new > 0):
+            self._cross(item, new > 0)
+
+    def add_bulk(self, items: Iterable, sign: int) -> None:
+        """Bulk single-sign :meth:`add` — the per-row hot path of the
+        vectorized folds, built from C-level primitives.
+
+        ``sign > 0``: the crossers are exactly the items absent before
+        the bulk (one set comprehension), the counting is one
+        :meth:`Counter.update`, and the crossing sets advance with whole-
+        set arithmetic.  ``sign < 0`` mirrors it with
+        :meth:`Counter.subtract` plus a per-distinct sweep that purges
+        zeros (the counts dict never stores non-positive entries) and
+        spots underflows.
+        """
+        counts = self.counts
+        if sign > 0:
+            crossers = {item for item in items if item not in counts}
+            counts.update(items)
+        else:
+            counts.subtract(items)
+            distinct = set(items)
+            if min(map(counts.__getitem__, distinct), default=1) < 0:
+                bad = next(k for k in distinct if counts[k] < 0)
+                raise ValueError(
+                    f"witness count of {bad!r} fell below zero: the "
+                    "update removed rows that were never inserted"
+                )
+            crossers = {item for item in distinct if not counts[item]}
+            for item in crossers:
+                del counts[item]
+        if self._went_up is None or not crossers:
+            return
+        if sign > 0:
+            returning = crossers & self._went_down
+            self._went_down -= returning
+            self._went_up |= crossers - returning
+        else:
+            returning = crossers & self._went_up
+            self._went_up -= returning
+            self._went_down |= crossers - returning
 
     def commit(self) -> tuple[list, list]:
         """Close the batch; return (newly positive, newly gone) items."""
-        added: list = []
-        removed: list = []
-        for item, was_positive in self._baseline.items():
-            is_positive = item in self.counts
-            if is_positive and not was_positive:
-                added.append(item)
-            elif was_positive and not is_positive:
-                removed.append(item)
-        self._baseline = None
+        added = list(self._went_up)
+        removed = list(self._went_down)
+        self._went_up = None
+        self._went_down = None
         return added, removed
 
     def positive(self):
@@ -142,23 +239,61 @@ class TransitionCounter:
         return self.counts.keys()
 
 
+def _project_keys(rows: Sequence[tuple], ids, key_pos: tuple[int, ...]):
+    """Key projections of the given rows — *raw* values for
+    single-attribute keys.
+
+    The key counters run hottest of all the incremental state (every
+    violating-row event hashes a key), so for the overwhelmingly common
+    single-attribute key they carry the bare value instead of a 1-tuple —
+    no per-row tuple allocation, cheaper hashing.  The report boundary
+    (:func:`commit_counters` / :func:`counters_report` with
+    ``wrap_keys=True``) restores the tuple form the
+    :class:`ViolationReport` contract requires.
+    """
+    if len(key_pos) == 1:
+        return map(itemgetter(key_pos[0]), map(rows.__getitem__, ids))
+    return _project_rows(rows, ids, key_pos)
+
+
+def _wrap(keys_iterable, wrap_keys: bool):
+    if wrap_keys:
+        return [(key,) for key in keys_iterable]
+    return keys_iterable
+
+
 def commit_counters(
-    violations: TransitionCounter, keys: TransitionCounter
+    violations: TransitionCounter,
+    keys: TransitionCounter,
+    wrap_keys: bool = False,
 ) -> ViolationDelta:
-    """Close both counters' batches into one :class:`ViolationDelta`."""
+    """Close both counters' batches into one :class:`ViolationDelta`.
+
+    ``wrap_keys`` restores 1-tuple form for key items the folds carried
+    raw (single-attribute keys, see :func:`_project_keys`).  The delta's
+    reports materialize lazily; the key crossing sets transfer by
+    reference, so closing a batch is O(|violation crossings|), not
+    O(|key crossings|).
+    """
     v_added, v_removed = violations.commit()
-    k_added, k_removed = keys.commit()
-    return ViolationDelta(
-        added=ViolationReport(v_added, k_added),
-        removed=ViolationReport(v_removed, k_removed),
+    k_added = keys._went_up
+    k_removed = keys._went_down
+    keys._went_up = None
+    keys._went_down = None
+    return ViolationDelta.deferred(
+        v_added, k_added, v_removed, k_removed, wrap_keys
     )
 
 
 def counters_report(
-    violations: TransitionCounter, keys: TransitionCounter
+    violations: TransitionCounter,
+    keys: TransitionCounter,
+    wrap_keys: bool = False,
 ) -> ViolationReport:
     """The counters' current positive entries as a fresh report copy."""
-    return ViolationReport(violations.positive(), keys.positive())
+    return ViolationReport(
+        violations.positive(), _wrap(keys.positive(), wrap_keys)
+    )
 
 
 # -- constant normal forms ----------------------------------------------------
@@ -208,18 +343,19 @@ class ConstantFolds:
             if not hits:
                 continue
             report_pos = schema.positions(constant.report_lhs)
-            for i in hits:
-                row = rows[i]
+            for values in _project_rows(rows, hits, report_pos):
                 violations.add(
                     Violation(
                         cfd=constant.source,
                         lhs_attributes=constant.report_lhs,
-                        lhs_values=tuple(row[p] for p in report_pos),
+                        lhs_values=values,
                     ),
                     sign,
                 )
-                if self.collect_tuples:
-                    keys.add(tuple(row[p] for p in key_pos), sign)
+            if self.collect_tuples:
+                keys.add_bulk(
+                    list(_project_keys(rows, hits, key_pos)), sign
+                )
 
 
 # -- variable normal forms ----------------------------------------------------
@@ -246,6 +382,46 @@ def _bump(counts: dict, key, n: int) -> None:
         raise ValueError("deleted a row that is not in the group")
 
 
+class _CodeGroup:
+    """One σ-matched ``X`` group in the vectorized (code-indexed) state.
+
+    ``y_counts`` maps RHS *codes* to row counts.  Member keys are kept as
+    a compacted multiset plus two append-only event logs (``adds`` /
+    ``dels``) — the per-row residue of a batch is then a C-level
+    ``list.extend``, and the logs fold into the multiset only when a
+    conflict flip actually needs the membership (or the logs outgrow it).
+    """
+
+    __slots__ = ("y_counts", "key_counts", "adds", "dels", "conflicting")
+
+    def __init__(self) -> None:
+        self.y_counts: dict[int, int] = {}
+        self.key_counts: dict = {}
+        self.adds: list = []
+        self.dels: list = []
+        self.conflicting = False
+
+    def membership(self) -> dict:
+        """The compacted member-key multiset (folds the event logs in)."""
+        if self.adds or self.dels:
+            counter = Counter(self.key_counts)
+            counter.update(self.adds)
+            if self.dels:
+                counter.subtract(self.dels)
+            cleaned: dict = {}
+            for key, count in counter.items():
+                if count > 0:
+                    cleaned[key] = count
+                elif count < 0:
+                    raise ValueError(
+                        "deleted a row that is not in the group"
+                    )
+            self.key_counts = cleaned
+            self.adds = []
+            self.dels = []
+        return self.key_counts
+
+
 class VariableGroupState:
     """Cached GROUP-BY state of one variable normal form.
 
@@ -256,7 +432,20 @@ class VariableGroupState:
     shared key counter exactly when the group flips.
     """
 
-    __slots__ = ("variable", "collect_tuples", "groups", "_match_cache", "_index")
+    __slots__ = (
+        "variable",
+        "collect_tuples",
+        "groups",
+        "_match_cache",
+        "_index",
+        "_x_code_of",
+        "_x_values",
+        "_x_matched",
+        "_x_matched_np",
+        "_y_code_of",
+        "_y_values",
+        "_code_groups",
+    )
 
     #: σ-match memo bound — one entry per distinct ``X`` ever seen, so a
     #: session under high-cardinality churn must not grow it forever;
@@ -269,6 +458,19 @@ class VariableGroupState:
         self.groups: dict[tuple, _Group] = {}
         self._index = pattern_index(variable.patterns)
         self._match_cache: dict[tuple, bool] = {}
+        # code-indexed state of the vectorized fold (engine fused-numpy):
+        # append-only session dictionaries interning every distinct X / Y
+        # projection ever seen, the σ verdict per X code, and the group
+        # table keyed by (int) X code.  The list fold and the vectorized
+        # fold never share a session (the engine is fixed at attach), so
+        # only one of the two layouts is ever populated.
+        self._x_code_of: dict[tuple, int] = {}
+        self._x_values: list[tuple] = []
+        self._x_matched: list[bool] = []
+        self._x_matched_np = None
+        self._y_code_of: dict = {}
+        self._y_values: list = []
+        self._code_groups: dict[int, _CodeGroup] = {}
 
     def _violation(self, x: tuple) -> Violation:
         return Violation(
@@ -277,27 +479,50 @@ class VariableGroupState:
             lhs_values=x,
         )
 
+    def _code_violation(self, code: int) -> Violation:
+        """The violation of one interned ``X`` code (single-attribute
+        projections intern raw, so wrap them back here)."""
+        x = self._x_values[code]
+        if len(self.variable.lhs) == 1:
+            x = (x,)
+        return self._violation(x)
+
     def fold(
         self,
-        schema,
-        rows: Sequence[tuple],
+        batch: Relation,
         sign: int,
         violations: TransitionCounter,
         keys: TransitionCounter,
+        vectorize: bool = False,
     ) -> None:
-        """Fold a batch's rows into the group states, row by row.
+        """Fold one update batch into the group states.
 
-        Projections run through C-speed ``itemgetter`` maps and σ is
-        probed once per *distinct* ``X`` (memoized across batches), so the
-        per-row residue is a handful of dictionary bumps — the whole fold
-        is proportional to the batch, never to ``D``.
+        Two implementations of the same fold, selected by ``vectorize``
+        exactly like the one-shot engine's folds:
+
+        * the **list fold** (engine ``fused``) walks the batch row by
+          row — projections through C-speed ``itemgetter`` maps, σ probed
+          once per *distinct* ``X`` (memoized across batches), then a
+          handful of dictionary bumps per row;
+        * the **vectorized fold** (engine ``fused-numpy``) hands the
+          batch to :meth:`fold_signed` as a single-sign stream.
+
+        Either way the fold is proportional to the batch (and the state
+        it touches), never to ``D``.
         """
-        if not rows:
+        if not batch.rows:
             return
+        if vectorize:
+            self.fold_signed(
+                batch.schema, [(batch.rows, sign)], violations, keys
+            )
+            return
+        schema = batch.schema
+        rows = batch.rows
         ids = range(len(rows))
         xs = _project_rows(rows, ids, schema.positions(self.variable.lhs))
         ys = _project_rows(rows, ids, schema.positions(self.variable.rhs))
-        row_keys = _project_rows(rows, ids, schema.key_positions())
+        row_keys = _project_keys(rows, ids, schema.key_positions())
         match_cache = self._match_cache
         if len(match_cache) > self.MATCH_CACHE_CAP:
             match_cache.clear()
@@ -309,6 +534,254 @@ class VariableGroupState:
                 hit = match_cache[x] = matches_any(x)
             if hit:
                 handle(x, y, key, violations, keys)
+
+    def _intern_projections(self, batches, positions, code_of, values):
+        """Code every batch row's projection through a session dictionary.
+
+        The probe runs as one C-level ``map(dict.get)`` per batch
+        (single-attribute projections probe the *raw* value — no tuple
+        allocation); projections never seen before fall into the (rare,
+        steady-state empty) miss loop, which appends them to the
+        append-only decode list — codes assigned once stay valid for the
+        session's lifetime, which is what lets the group table key by int
+        code.  Returns the flat code list across all batches, aligned
+        with the concatenated row stream, plus the freshly assigned codes.
+        """
+        single = len(positions) == 1
+        getter = itemgetter(positions[0]) if single else None
+        codes: list = []
+        fresh: list[int] = []
+        for rows, _sign in batches:
+            if single:
+                projected = map(getter, rows)
+            else:
+                projected = _project_rows(rows, range(len(rows)), positions)
+            offset = len(codes)
+            codes.extend(map(code_of.get, projected))
+            if None in codes[offset:]:
+                # miss loop: re-project lazily only for the gap rows
+                gap = [
+                    i
+                    for i in range(offset, len(codes))
+                    if codes[i] is None
+                ]
+                if single:
+                    gap_values = (rows[i - offset][positions[0]] for i in gap)
+                else:
+                    gap_values = _project_rows(
+                        rows, [i - offset for i in gap], positions
+                    )
+                for i, value in zip(gap, gap_values):
+                    code = code_of.get(value)
+                    if code is None:
+                        code = len(values)
+                        code_of[value] = code
+                        values.append(value)
+                        fresh.append(code)
+                    codes[i] = code
+        return codes, fresh
+
+    def fold_signed(
+        self,
+        schema,
+        batches: Sequence[tuple[Sequence[tuple], int]],
+        violations: TransitionCounter,
+        keys: TransitionCounter,
+    ) -> None:
+        """The vectorized delta fold: signed row streams → group tables.
+
+        ``batches`` is a list of ``(rows, ±1)`` — typically one delete
+        stream and one insert stream of the same update.  The whole
+        stream is coded **once** through the state's append-only session
+        dictionaries (one C-level ``dict.get`` map per projection — no
+        per-batch columnar re-encode), σ is answered from the per-code
+        verdict array, and one sort-based reduce over the mixed-radix
+        ``(x_code, y_code)`` combination collapses the stream to a *net*
+        signed count per distinct touched combination — a delete and a
+        re-insert of the same combination cancel before they ever reach
+        the group table.  The remaining Python work is per distinct
+        touched group (conflict transitions from the aggregated counts)
+        plus the member-key bookkeeping of those groups, which cannot
+        compress below the rows because every row carries its own key.
+
+        Folding a multi-step chain in one call is sound because multiset
+        arithmetic commutes and the counters only observe the batch's
+        endpoints; the one behavioural difference from replaying the
+        steps is that an *invalid* delete cancelled by a matching insert
+        in the same batch is no longer detected (the net is zero).
+        """
+        if _np is None:
+            raise RuntimeError("the vectorized delta fold needs numpy")
+        batches = [(rows, sign) for rows, sign in batches if rows]
+        if not batches:
+            return
+        x_single = len(self.variable.lhs) == 1
+        x_codes, fresh = self._intern_projections(
+            batches,
+            schema.positions(self.variable.lhs),
+            self._x_code_of,
+            self._x_values,
+        )
+        matched_list = self._x_matched
+        if fresh:
+            matches_any = self._index.matches_any
+            x_values = self._x_values
+            matched_list.extend(
+                matches_any((x_values[code],) if x_single else x_values[code])
+                for code in fresh
+            )
+            self._x_matched_np = None
+        y_codes, _fresh_y = self._intern_projections(
+            batches,
+            schema.positions(self.variable.rhs),
+            self._y_code_of,
+            self._y_values,
+        )
+
+        x_arr = _np.asarray(x_codes, dtype=_np.int64)
+        if self._x_matched_np is None:
+            self._x_matched_np = _np.asarray(matched_list, dtype=bool)
+        matched = self._x_matched_np[x_arr]
+        total = len(x_codes)
+        if not matched.any():
+            return
+        signs = _np.empty(total, dtype=_np.int8)
+        at = 0
+        for rows, sign in batches:
+            signs[at:at + len(rows)] = sign
+            at += len(rows)
+        if matched.all():
+            sel = None
+            xs = x_arr
+            sgns = signs
+        else:
+            sel = _np.nonzero(matched)[0]
+            xs = x_arr[sel]
+            sgns = signs[sel]
+        ys = _np.asarray(y_codes, dtype=_np.int64)
+        if sel is not None:
+            ys = ys[sel]
+
+        # net signed count per distinct (x, y): one sparse sort-based
+        # reduce (never a dense x × y table)
+        n_y = len(self._y_values)
+        pair_codes, inverse = _np.unique(
+            xs * n_y + ys, return_inverse=True
+        )
+        net = _np.bincount(inverse, weights=sgns).astype(_np.int64)
+        pair_x = (pair_codes // n_y).tolist()
+        pair_y = (pair_codes % n_y).tolist()
+        net_counts = net.tolist()
+
+        groups = self._code_groups
+
+        # phase A — net (x, y) counts into the y tables; conflict flips
+        # are *not* evaluated yet (phase B reads the pre-batch flags)
+        touched: list[tuple[int, _CodeGroup]] = []
+        n_pairs = len(pair_x)
+        at = 0
+        while at < n_pairs:
+            gx = pair_x[at]
+            group = groups.get(gx)
+            if group is None:
+                group = groups[gx] = _CodeGroup()
+            touched.append((gx, group))
+            y_counts = group.y_counts
+            while at < n_pairs and pair_x[at] == gx:
+                count = net_counts[at]
+                if count:
+                    try:
+                        _bump(y_counts, pair_y[at], count)
+                    except ValueError:
+                        raise ValueError(
+                            "deleted a row of X group "
+                            f"{self._x_values[gx]!r} that is not in the "
+                            "state"
+                        ) from None
+                at += 1
+
+        # phase B — member-key streams, one per sign, C-level extends
+        # into each touched group's event log; rows of a group that was
+        # conflicting before the batch also count into the key counter
+        # (a flip later settles the difference in phase C)
+        collect = self.collect_tuples
+        key_pos = schema.key_positions()
+        stream_base = (
+            _np.arange(total, dtype=_np.int64) if sel is None else sel
+        )
+        all_rows: Sequence[tuple]
+        if len(batches) == 1:
+            all_rows = batches[0][0]
+        else:
+            all_rows = []
+            for rows, _sign in batches:
+                all_rows.extend(rows)
+        # the insert stream folds first: a valid chain can insert a row
+        # and delete it again within one batch, and running deletes last
+        # means they always subtract from maximal counts — no transient
+        # underflow on the key counter, and compaction at any point sees
+        # every add the pending dels could refer to
+        for sign in (1, -1):
+            sign_sel = _np.nonzero(sgns == sign)[0]
+            if not len(sign_sel):
+                continue
+            order, starts, ends = group_segments(xs[sign_sel])
+            ordered = sign_sel[order]
+            first_codes = xs[ordered[
+                _np.asarray(starts, dtype=_np.int64)
+            ]].tolist()
+            stream_keys = list(
+                _project_keys(all_rows, stream_base[ordered].tolist(), key_pos)
+            )
+            conflict_keys: list = []
+            for gx, s, e in zip(first_codes, starts, ends):
+                group = groups.get(gx)
+                if group is None:
+                    group = groups[gx] = _CodeGroup()
+                seg = stream_keys[s:e]
+                if sign > 0:
+                    group.adds.extend(seg)
+                else:
+                    group.dels.extend(seg)
+                if collect and group.conflicting:
+                    conflict_keys.extend(seg)
+                if len(group.adds) + len(group.dels) > (
+                    32 + 2 * len(group.key_counts)
+                ):
+                    group.membership()  # amortized compaction
+            if conflict_keys:
+                keys.add_bulk(conflict_keys, sign)
+
+        # phase C — settle conflict flips from the post-batch y tables
+        for gx, group in touched:
+            was = group.conflicting
+            now = len(group.y_counts) >= 2
+            if now != was:
+                group.conflicting = now
+                violations.add(self._code_violation(gx), 1 if now else -1)
+                if collect:
+                    membership = group.membership()
+                    if sum(membership.values()) == len(membership):
+                        # all counts are 1 (row keys are usually unique)
+                        keys.add_bulk(
+                            list(membership), 1 if now else -1
+                        )
+                    else:
+                        ones = [
+                            k for k, c in membership.items() if c == 1
+                        ]
+                        keys.add_bulk(ones, 1 if now else -1)
+                        for member, count in membership.items():
+                            if count != 1:
+                                keys.add(
+                                    member, count if now else -count
+                                )
+            elif len(group.adds) + len(group.dels) > (
+                32 + 2 * len(group.key_counts)
+            ):
+                group.membership()  # keep pure-delete sessions bounded
+            if not group.y_counts:
+                del groups[gx]
 
     def _insert(self, x, y, key, violations, keys) -> None:
         group = self.groups.get(x)
@@ -360,6 +833,15 @@ class IncrementalDetector:
     full current report; every ``apply``/``update`` additionally returns
     the :class:`ViolationDelta` of that batch.
 
+    Alongside the fold state the session keeps a **keyed row store** —
+    key projection → resident row(s), a DBMS-style heap + primary index.
+    A :meth:`update` batch of keys and rows mutates the store in
+    O(|ΔD|): no delta-relation version, no O(|D|) row-list copy, no
+    tombstone mask.  :attr:`relation` stays available as a lazily
+    materialized (and cached) snapshot; predicate deletes and explicit
+    :meth:`apply` chains still run through delta-relation versions, which
+    the store absorbs at O(|ΔD|) per step.
+
     ``engine`` follows :func:`~repro.core.detection.detect_violations`:
     ``reference`` (full recompute + diff per update — the executable
     spec), ``fused``, ``fused-numpy``, or ``auto``/``None`` (the
@@ -378,12 +860,73 @@ class IncrementalDetector:
         self.collect_tuples = collect_tuples
         self._requested_engine = engine
         self.engine: str | None = None
-        self.relation: Relation | None = None
+        self._relation: Relation | None = None
+        #: key projection -> row tuple, or a list of rows for bag
+        #: duplicates; ``None`` until attach()
+        self._store: dict | None = None
+        self.schema = None
+        self._wrap_keys = False
         self._violations = TransitionCounter()
         self._keys = TransitionCounter()
         self._constants = ConstantFolds(self._fused._constants, collect_tuples)
         self._variables: list[VariableGroupState] = []
         self._reference_report: ViolationReport | None = None
+
+    @property
+    def relation(self) -> Relation | None:
+        """The current relation version (materialized lazily after
+        store-level updates; the object is cached until the next update,
+        so :meth:`apply` chains can anchor on it)."""
+        if self._relation is None and self._store is not None:
+            rows: list = []
+            for entry in self._store.values():
+                if type(entry) is list:
+                    rows.extend(entry)
+                else:
+                    rows.append(entry)
+            self._relation = Relation(self.schema, rows, copy=False)
+        return self._relation
+
+    @relation.setter
+    def relation(self, value: Relation | None) -> None:
+        self._relation = value
+
+    # -- the keyed row store ----------------------------------------------
+
+    def _build_store(self, relation: Relation) -> None:
+        key_pos = relation.schema.key_positions()
+        store: dict = {}
+        for key, row in zip(
+            _project_keys(relation.rows, range(len(relation.rows)), key_pos),
+            relation.rows,
+        ):
+            entry = store.get(key)
+            if entry is None:
+                store[key] = row
+            elif type(entry) is list:
+                entry.append(row)
+            else:
+                store[key] = [entry, row]
+        self._store = store
+
+    def _store_add(self, key: tuple, row: tuple) -> None:
+        entry = self._store.get(key)
+        if entry is None:
+            self._store[key] = row
+        elif type(entry) is list:
+            entry.append(row)
+        else:
+            self._store[key] = [entry, row]
+
+    def _store_remove_row(self, key: tuple, row: tuple) -> None:
+        """Remove one specific resident row (delta-version sync path)."""
+        entry = self._store.get(key)
+        if type(entry) is list:
+            entry.remove(row)
+            if len(entry) == 1:
+                self._store[key] = entry[0]
+        elif entry is not None:
+            del self._store[key]
 
     # -- engine resolution ------------------------------------------------
 
@@ -416,6 +959,11 @@ class IncrementalDetector:
         """Build (or rebuild) the cached state with one full fold of ``D``."""
         self.engine = self._resolve_engine()
         self.relation = relation
+        self.schema = relation.schema
+        # single-attribute keys travel raw through the folds and the key
+        # counters (no per-row 1-tuple); the report boundary re-wraps them
+        self._wrap_keys = len(relation.schema.key_positions()) == 1
+        self._build_store(relation)
         if self.engine == "reference":
             self._reference_report = detect_violations_reference(
                 relation, self.cfds, self.collect_tuples
@@ -436,8 +984,36 @@ class IncrementalDetector:
         )
         for state in self._variables:
             state.fold(
-                batch.schema, batch.rows, sign, self._violations, self._keys
+                batch, sign, self._violations, self._keys, self._vectorize
             )
+
+    def _fold_batches(
+        self, schema, batches: list[tuple[list, int]]
+    ) -> None:
+        """Fold one update's signed row streams through every form state.
+
+        Under the vectorized engine the whole list reaches each variable
+        state's :meth:`VariableGroupState.fold_signed` in one fused call
+        (a deleted and re-inserted combination cancels before it costs
+        anything); the list engine folds per stream.
+        """
+        if self._vectorize:
+            if self._constants.constants:
+                for rows, sign in batches:
+                    self._constants.fold(
+                        Relation(schema, rows, copy=False),
+                        sign,
+                        self._violations,
+                        self._keys,
+                        True,
+                    )
+            for state in self._variables:
+                state.fold_signed(
+                    schema, batches, self._violations, self._keys
+                )
+        else:
+            for rows, sign in batches:
+                self._fold(Relation(schema, rows, copy=False), sign)
 
     def apply(self, relation: Relation) -> ViolationDelta:
         """Advance to ``relation``, folding only its recorded delta.
@@ -462,26 +1038,30 @@ class IncrementalDetector:
             chain.append(version)
             version = parent
         chain.reverse()
+        schema = relation.schema
+        key_pos = schema.key_positions()
+        batches: list[tuple[list, int]] = []
+        for version in chain:
+            if version.delta_deleted:
+                rows = list(version.delta_deleted)
+                batches.append((rows, -1))
+                for key, row in zip(
+                    _project_keys(rows, range(len(rows)), key_pos), rows
+                ):
+                    self._store_remove_row(key, row)
+            if version.delta_inserted:
+                rows = list(version.delta_inserted)
+                batches.append((rows, 1))
+                for key, row in zip(
+                    _project_keys(rows, range(len(rows)), key_pos), rows
+                ):
+                    self._store_add(key, row)
         if self.engine == "reference":
             self.relation = relation
             return self._reference_rediff()
         self._violations.begin()
         self._keys.begin()
-        for version in chain:
-            if version.delta_deleted:
-                self._fold(
-                    Relation(
-                        version.schema, list(version.delta_deleted), copy=False
-                    ),
-                    -1,
-                )
-            if version.delta_inserted:
-                self._fold(
-                    Relation(
-                        version.schema, list(version.delta_inserted), copy=False
-                    ),
-                    1,
-                )
+        self._fold_batches(schema, batches)
         self.relation = relation
         return self._commit()
 
@@ -490,27 +1070,107 @@ class IncrementalDetector:
         inserted: Iterable[Sequence[object]] = (),
         deleted=(),
     ) -> ViolationDelta:
-        """Convenience: build the delta versions and :meth:`apply` them.
+        """Absorb one explicit batch: ``deleted`` first, then ``inserted``.
 
-        ``deleted`` (keys or a predicate, applied first) then
-        ``inserted`` — each step produces a
-        :class:`~repro.relational.delta.DeltaRelation`; the new current
-        version is :attr:`relation` afterwards.  The versions minted here
-        are owned by the detector, so their provenance is pruned once
-        folded (:func:`~repro.relational.delta.prune_delta_history`) —
-        session memory stays bounded however many batches arrive.  Use
-        :meth:`apply` directly to keep ownership of the chain.
+        With ``deleted`` an iterable of keys (bare values accepted for
+        single-attribute keys; unknown keys are no-ops, matching
+        :meth:`Relation.delete`), the batch goes straight through the
+        session's keyed row store — O(|ΔD|) dictionary operations, no
+        relation version, no O(|D|) row-list copy.  A predicate
+        ``deleted`` needs a scan of ``D``, so that path still mints
+        :class:`~repro.relational.delta.DeltaRelation` versions and
+        :meth:`apply`\\ s them (their provenance is pruned afterwards, so
+        session memory stays bounded either way).
         """
+        if self._store is None:
+            raise ValueError("attach() a relation before applying updates")
+        if callable(deleted) or hasattr(deleted, "evaluate"):
+            return self._update_via_versions(inserted, deleted)
+        from itertools import repeat
+
+        from ..relational.schema import SchemaError
+
+        schema = self.schema
+        key_pos = schema.key_positions()
+        width = len(schema)
+        key_width = len(key_pos)
+        batch = [tuple(row) for row in inserted]
+        if set(map(len, batch)) - {width}:
+            bad = next(row for row in batch if len(row) != width)
+            raise SchemaError(
+                f"row of width {len(bad)} does not fit schema "
+                f"{schema.name!r} of width {width}: {bad!r}"
+            )
+        doomed = deleted if type(deleted) is list else list(deleted)
+        if key_width == 1:
+            # raw store keys: unwrap 1-tuples, keep bare values
+            if tuple in set(map(type, doomed)):
+                doomed = [
+                    key[0] if type(key) is tuple and len(key) == 1 else key
+                    for key in doomed
+                ]
+                if any(type(key) is tuple for key in doomed):
+                    bad = next(k for k in doomed if type(k) is tuple)
+                    raise SchemaError(
+                        f"key {bad!r} does not fit key attributes "
+                        f"{schema.key}"
+                    )
+        else:
+            doomed = [
+                key if isinstance(key, tuple) else (key,) for key in doomed
+            ]
+            if set(map(len, doomed)) - {key_width}:
+                bad = next(k for k in doomed if len(k) != key_width)
+                raise SchemaError(
+                    f"key {bad!r} does not fit key attributes {schema.key}"
+                )
+        if not doomed and not batch:
+            return ViolationDelta()
+
+        store = self._store
+        removed: list[tuple] = []
+        if doomed:
+            # unknown keys are no-ops, like Relation.delete
+            entries = map(store.pop, doomed, repeat(None))
+            removed = [entry for entry in entries if entry is not None]
+            if list in set(map(type, removed)):
+                flat: list[tuple] = []
+                for entry in removed:
+                    if type(entry) is list:
+                        flat.extend(entry)
+                    else:
+                        flat.append(entry)
+                removed = flat
+        if batch:
+            fresh_keys = list(
+                _project_keys(batch, range(len(batch)), key_pos)
+            )
+            if len(set(fresh_keys)) == len(fresh_keys) and store.keys(
+            ).isdisjoint(fresh_keys):
+                store.update(zip(fresh_keys, batch))  # the C fast path
+            else:
+                for key, row in zip(fresh_keys, batch):
+                    self._store_add(key, row)
+        self._relation = None  # invalidate the cached snapshot
+
+        if self.engine == "reference":
+            return self._reference_rediff()
+        self._violations.begin()
+        self._keys.begin()
+        batches: list[tuple[list, int]] = []
+        if removed:
+            batches.append((removed, -1))
+        if batch:
+            batches.append((batch, 1))
+        self._fold_batches(schema, batches)
+        return self._commit()
+
+    def _update_via_versions(self, inserted, deleted) -> ViolationDelta:
+        """The predicate-delete path: delta versions, then :meth:`apply`."""
         from ..relational.delta import prune_delta_history
 
-        if self.relation is None:
-            raise ValueError("attach() a relation before applying updates")
         version = self.relation
-        is_predicate = callable(deleted) or hasattr(deleted, "evaluate")
-        if not is_predicate:
-            deleted = list(deleted)
-        if is_predicate or deleted:
-            version = version.delete(deleted)
+        version = version.delete(deleted)
         inserted = list(inserted)
         if inserted:
             version = version.insert(inserted)
@@ -526,7 +1186,7 @@ class IncrementalDetector:
     # -- results ----------------------------------------------------------
 
     def _commit(self) -> ViolationDelta:
-        return commit_counters(self._violations, self._keys)
+        return commit_counters(self._violations, self._keys, self._wrap_keys)
 
     def _reference_rediff(self) -> ViolationDelta:
         previous = self._reference_report
@@ -551,7 +1211,7 @@ class IncrementalDetector:
         if self.engine == "reference":
             source = self._reference_report or ViolationReport()
             return ViolationReport(source.violations, source.tuple_keys)
-        return counters_report(self._violations, self._keys)
+        return counters_report(self._violations, self._keys, self._wrap_keys)
 
     def __repr__(self) -> str:
         n = len(self.relation) if self.relation is not None else 0

@@ -23,13 +23,16 @@ Two execution modes:
   interleave usefully with them; pure-Python-only workloads stay
   GIL-bound, which the benchmark records honestly.
 * **processes** (opt-in via ``REPRO_PARALLEL=process``) — a
-  :class:`FragmentPool` of worker *processes* that hold the cluster's
-  fragments **resident**, like the sites of the paper's testbed hold their
-  data.  Placement (pickling the fragments into the workers) happens once
-  per pool; afterwards only small work orders go out and compact
-  dictionary-coded summaries come back (see
+  :class:`FragmentPool` of per-site worker *processes* with **fixed
+  fragment → worker routing**: each fragment is placed into exactly one
+  long-lived worker (with one worker per fragment, a worker *is* one of
+  the paper's sites) and every work order for it travels to that worker
+  over a dedicated pipe.  Placement (pickling a fragment into its
+  worker) happens once per pool; afterwards only small work orders go
+  out and compact dictionary-coded summaries come back (see
   :mod:`repro.relational.shareddict`), so warm detections scale with the
-  slowest fragment instead of the sum of fragments.
+  slowest fragment instead of the sum of fragments — and no worker ever
+  pays memory or placement cost for another site's data.
 
 Configuration
 -------------
@@ -51,7 +54,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 #: accepted ``REPRO_PARALLEL`` values.
@@ -132,83 +135,157 @@ def parallel_map(
 
 # -- fragment-resident worker processes ---------------------------------------
 
-#: worker-process state: the fragments installed by the pool initializer.
-_RESIDENT: list | None = None
 
+def _site_worker(connection, payload: bytes) -> None:
+    """One site process: unpack the *assigned* fragments, serve work orders.
 
-def _install_fragments(payload: bytes) -> None:
-    """Pool initializer: unpack ``(schema, rows)`` pairs into live relations.
-
-    Runs once per worker process.  Every worker holds every fragment (the
-    executor API cannot route a task to a chosen worker), so each rebuilds
-    its own :class:`~repro.relational.Relation` — and, lazily, its own
-    columnar caches, which then persist across work orders exactly like a
-    site's local indexes.
+    The worker holds only the fragments routed to it (true
+    site-residency, like one machine of the paper's testbed) and rebuilds
+    their columnar caches lazily, persisting them across work orders
+    exactly like a site's local indexes.  The command loop reads
+    ``(seq, fn, index, args)`` tuples off the pipe and answers
+    ``(seq, ok, result-or-error)``; ``None`` shuts the site down.
     """
-    global _RESIDENT
     from ..relational import Relation
 
-    _RESIDENT = [
-        Relation(schema, rows, copy=False)
-        for schema, rows in pickle.loads(payload)
-    ]
-
-
-def _run_resident(fn: Callable, index: int, args: tuple):
-    """Task shim executed in a worker: apply ``fn`` to a resident fragment."""
-    if _RESIDENT is None:  # pragma: no cover - initializer always ran
-        raise RuntimeError("fragment pool worker has no resident fragments")
-    return fn(_RESIDENT[index], *args)
+    fragments = {
+        index: Relation(schema, rows, copy=False)
+        for index, (schema, rows) in pickle.loads(payload).items()
+    }
+    while True:
+        try:
+            message = connection.recv()
+        except EOFError:  # parent went away: shut down quietly
+            break
+        if message is None:
+            break
+        seq, fn, index, args = message
+        try:
+            result = (seq, True, fn(fragments[index], *args))
+        except BaseException as error:  # ship the failure, do not die
+            try:
+                pickle.dumps(error)
+            except Exception:
+                error = RuntimeError(repr(error))
+            result = (seq, False, error)
+        connection.send(result)
+    connection.close()
 
 
 class FragmentPool:
-    """A process pool whose workers hold one cluster's fragments resident.
+    """Per-site worker processes with **fixed fragment → worker routing**.
 
-    Mirrors the paper's deployment: data is *placed* once (the pickling in
-    the initializer — the expensive, cold step) and every subsequent
-    detection ships only work orders out and compact summaries back.  Build
-    through :func:`fragment_pool`, which caches one pool per cluster and
-    caps the number of live pools.
+    Mirrors the paper's deployment one step further than an executor
+    pool: each fragment is *placed* into exactly one long-lived worker
+    process (fragment ``i`` lives at worker ``i mod n`` — with one worker
+    per fragment, a worker *is* a site), and every work order for that
+    fragment is routed to its resident worker over a dedicated pipe.  No
+    worker ever holds — or pays the placement cost for — another site's
+    data, and a fragment's columnar caches warm exactly once, at its own
+    site.  Results return in task order whatever the completion order.
+    Build through :func:`fragment_pool`, which caches one pool per
+    cluster and caps the number of live pools.
     """
 
-    __slots__ = ("workers", "_executor")
+    __slots__ = ("workers", "_connections", "_processes")
 
     def __init__(self, fragments: Sequence, workers: int) -> None:
         import multiprocessing
 
+        n_workers = max(1, min(workers, len(fragments)))
         self.workers = workers
-        payload = pickle.dumps(
-            [(fragment.schema, fragment.rows) for fragment in fragments],
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
         try:
             # fork is cheapest and keeps worker start-up off the placement
             # cost; non-POSIX platforms fall back to spawn
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             context = multiprocessing.get_context("spawn")
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=context,
-            initializer=_install_fragments,
-            initargs=(payload,),
-        )
+        self._connections = []
+        self._processes = []
+        for w in range(n_workers):
+            placed = {
+                index: (fragment.schema, fragment.rows)
+                for index, fragment in enumerate(fragments)
+                if index % n_workers == w
+            }
+            payload = pickle.dumps(placed, protocol=pickle.HIGHEST_PROTOCOL)
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_site_worker,
+                args=(child_end, payload),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+
+    def _worker_of(self, index: int) -> int:
+        """The fixed worker holding fragment ``index``."""
+        return index % len(self._connections)
 
     def run(self, fn: Callable, tasks: Sequence[tuple[int, tuple]]) -> list:
         """Run ``fn(fragment_i, *args)`` for each ``(i, args)`` task, ordered.
 
-        ``fn`` must be a module-level function (it crosses the process
-        boundary by qualified name) and its arguments and results must
-        pickle.
+        Each task goes to its fragment's resident worker; tasks for
+        distinct workers execute concurrently, tasks for one worker in
+        FIFO order with **one order in flight per worker**: the next
+        order for a worker goes out only after its previous result came
+        back.  A worker processes serially anyway, so this costs one
+        pipe round-trip of latency — and it keeps both pipe directions
+        from filling at once, which is how an eager send-everything loop
+        deadlocks on large payloads (the parent blocked sending order 2
+        into a full OS buffer while the worker blocks sending order 1's
+        result to a parent that is not reading).  ``fn`` must be a
+        module-level function (it crosses the process boundary by
+        qualified name) and its arguments and results must pickle.
         """
-        futures = [
-            self._executor.submit(_run_resident, fn, index, args)
-            for index, args in tasks
-        ]
-        return [future.result() for future in futures]
+        from collections import deque
+        from multiprocessing.connection import wait
+
+        queues: dict[int, deque] = {}
+        for seq, (index, args) in enumerate(tasks):
+            queues.setdefault(self._worker_of(index), deque()).append(
+                (seq, index, args)
+            )
+        outstanding: dict = {}  # connection -> its worker index
+        for worker, queue in queues.items():
+            seq, index, args = queue.popleft()
+            connection = self._connections[worker]
+            # the worker is parked in recv(), so even an order larger
+            # than the pipe buffer streams straight through
+            connection.send((seq, fn, index, args))
+            outstanding[connection] = worker
+        results: dict[int, object] = {}
+        failure = None
+        while outstanding:
+            for connection in wait(list(outstanding)):
+                seq, ok, value = connection.recv()
+                worker = outstanding.pop(connection)
+                if ok:
+                    results[seq] = value
+                elif failure is None:
+                    failure = value
+                queue = queues[worker]
+                if queue:
+                    seq, index, args = queue.popleft()
+                    connection.send((seq, fn, index, args))
+                    outstanding[connection] = worker
+        if failure is not None:
+            raise failure
+        return [results[seq] for seq in range(len(tasks))]
 
     def close(self) -> None:
-        self._executor.shutdown(wait=False, cancel_futures=True)
+        for connection in self._connections:
+            try:
+                connection.send(None)
+                connection.close()
+            except (BrokenPipeError, OSError):  # worker already gone
+                pass
+        for process in self._processes:
+            process.join(timeout=1)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
 
 
 #: live pools in creation order, for LRU eviction and atexit cleanup.

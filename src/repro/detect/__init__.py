@@ -1,11 +1,19 @@
 """Distributed CFD violation detection algorithms (Sections IV–V)."""
 
-from .clust import CFDCluster, cluster_cfds, clust_detect
+from .clust import (
+    CFDCluster,
+    IncrementalClustDetector,
+    cluster_cfds,
+    clust_detect,
+    incremental_clust,
+    scan_clust_delta_summary,
+)
 from .ctr import ctr_detect
-from .hybrid import hybrid_detect
+from .hybrid import IncrementalHybridDetector, hybrid_detect, incremental_hybrid
 from .incremental import (
     IncrementalHorizontalDetector,
     IncrementalUpdate,
+    apply_fragment_updates,
     incremental_ctr,
     incremental_pat_rt,
     incremental_pat_s,
@@ -32,7 +40,12 @@ from .pat import (
     select_random,
 )
 from .seq import seq_detect
-from .vertical import locally_checkable_vertical, vertical_detect
+from .vertical import (
+    IncrementalVerticalDetector,
+    incremental_vertical,
+    locally_checkable_vertical,
+    vertical_detect,
+)
 
 ALGORITHMS = {
     "CTRDETECT": ctr_detect,
@@ -43,12 +56,20 @@ ALGORITHMS = {
 __all__ = [
     "ALGORITHMS",
     "CFDCluster",
+    "IncrementalClustDetector",
     "IncrementalHorizontalDetector",
+    "IncrementalHybridDetector",
     "IncrementalUpdate",
+    "IncrementalVerticalDetector",
+    "apply_fragment_updates",
+    "incremental_clust",
     "incremental_ctr",
+    "incremental_hybrid",
     "incremental_pat_rt",
     "incremental_pat_s",
+    "incremental_vertical",
     "scan_delta_summary",
+    "scan_clust_delta_summary",
     "cluster_cfds",
     "clust_detect",
     "ctr_detect",

@@ -28,7 +28,7 @@ pair is co-located (the Lemma 6 argument, applied per member).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from ..core import (
     CFD,
@@ -41,12 +41,21 @@ from ..core import (
     pattern_index,
     sort_patterns_by_generality,
 )
+from ..core.fused import _resolve_vectorize
+from ..core.incremental import (
+    ConstantFolds,
+    TransitionCounter,
+    VariableGroupState,
+    commit_counters,
+    counters_report,
+)
 from ..core.parallel import map_fragments
-from ..distributed import Cluster, DetectionOutcome, ShipmentLog
+from ..distributed import Cluster, CostBreakdown, DetectionOutcome, ShipmentLog
 from ..relational import (
     Relation,
     SharedComboDictionary,
     column_store,
+    compatible_with_bindings,
     shared_dict_on,
 )
 from . import base
@@ -182,6 +191,17 @@ def cluster_fragment_summary(
     return counts, bucket_codes, member_counts, key.values if need_values else None
 
 
+def _resolve_strategy(cluster: Cluster, strategy: str | Strategy) -> Strategy:
+    """Coordinator-selection strategy: ``"s"``, ``"rt"`` or a callable."""
+    if isinstance(strategy, str):
+        if strategy == "s":
+            return select_max_stat
+        if strategy == "rt":
+            return make_select_min_response(cluster)
+        raise ValueError(f"unknown strategy {strategy!r}; use 's' or 'rt'")
+    return strategy
+
+
 def clust_detect(
     cluster: Cluster,
     cfds: Iterable[CFD],
@@ -194,15 +214,7 @@ def clust_detect(
     in the single-CFD algorithms.
     """
     cfds = list(cfds)
-    if isinstance(strategy, str):
-        if strategy == "s":
-            pick: Strategy = select_max_stat
-        elif strategy == "rt":
-            pick = make_select_min_response(cluster)
-        else:
-            raise ValueError(f"unknown strategy {strategy!r}; use 's' or 'rt'")
-    else:
-        pick = strategy
+    pick = _resolve_strategy(cluster, strategy)
 
     report = ViolationReport()
     log = ShipmentLog()
@@ -330,3 +342,477 @@ def clust_detect(
             "coordinators": chosen,
         },
     )
+
+
+# -- incremental sessions ------------------------------------------------------
+
+
+def scan_clust_delta_summary(
+    fragment: Relation, group: CFDCluster, inserted, deleted
+):
+    """One site's scan of its *delta rows* for one CFD cluster.
+
+    The incremental counterpart of :func:`cluster_fragment_summary`: for
+    each projected pattern returns the signed ``combination → ±count``
+    summary (cancelled combinations dropped), the row-event count and the
+    signed row-count change.  ``fragment`` supplies only the schema — the
+    scan never touches resident rows, which keeps the update cost
+    independent of ``|D_i|``.  Module-level and self-contained so the
+    parallel scheduler can run it in a fragment-resident worker process.
+    """
+    schema = fragment.schema
+    n_buckets = len(group.projected)
+    combo_deltas: list[dict] = [{} for _ in range(n_buckets)]
+    row_events = [0] * n_buckets
+    net_rows = [0] * n_buckets
+    if not inserted and not deleted:
+        return combo_deltas, row_events, net_rows
+    projected_index = pattern_index(group.projected)
+    attr_pos = schema.positions(group.attributes)
+    combo_pos = {attr: i for i, attr in enumerate(group.attributes)}
+    member_data = [
+        (
+            tuple(combo_pos[a] for a in member.lhs),
+            pattern_index(member.patterns),
+        )
+        for member in group.members
+    ]
+    shared_positions = tuple(combo_pos[a] for a in group.shared)
+    match_cache: dict[tuple, int | None] = {}
+    for sign, rows in ((-1, deleted), (1, inserted)):
+        for row in rows:
+            combo = tuple(row[p] for p in attr_pos)
+            ordinal = match_cache.get(combo, -1)
+            if ordinal == -1:
+                if any(
+                    index.matches_any(tuple(combo[p] for p in positions))
+                    for positions, index in member_data
+                ):
+                    ordinal = projected_index.first_match(
+                        tuple(combo[p] for p in shared_positions)
+                    )
+                else:
+                    ordinal = None
+                match_cache[combo] = ordinal
+            if ordinal is None:
+                continue
+            deltas = combo_deltas[ordinal]
+            count = deltas.get(combo, 0) + sign
+            if count:
+                deltas[combo] = count
+            else:
+                del deltas[combo]
+            row_events[ordinal] += 1
+            net_rows[ordinal] += sign
+    return combo_deltas, row_events, net_rows
+
+
+class _ClusterGroupState:
+    """One CFD cluster's resident coordinator state."""
+
+    __slots__ = (
+        "group",
+        "shared",
+        "coordinators",
+        "combo_counts",
+        "member_states",
+        "bucket_rows",
+        "schema",
+    )
+
+    def __init__(self, group, shared, coordinators, schema) -> None:
+        self.group = group
+        self.shared = shared
+        self.coordinators = list(coordinators)
+        #: per projected pattern: global combo code -> resident row count
+        self.combo_counts: list[dict[int, int]] = [
+            {} for _ in group.projected
+        ]
+        #: per projected pattern, per member CFD: the GROUP-BY state over
+        #: the bucket's *distinct* combinations (conflict existence is
+        #: multiplicity-free, exactly like the one-shot coordinator)
+        self.member_states: list[list[VariableGroupState]] = [
+            [
+                VariableGroupState(member, collect_tuples=False)
+                for member in group.members
+            ]
+            for _ in group.projected
+        ]
+        self.bucket_rows = [0] * len(group.projected)
+        self.schema = schema
+
+    def patch(
+        self,
+        ordinal: int,
+        deltas: Mapping[tuple, int],
+        violations: TransitionCounter,
+        keys: TransitionCounter,
+    ) -> None:
+        """Apply one site's signed combination counts to one bucket."""
+        counts = self.combo_counts[ordinal]
+        intern = self.shared.intern
+        entered: list[tuple] = []
+        left: list[tuple] = []
+        for combo, count in deltas.items():
+            code = intern(combo)
+            new = counts.get(code, 0) + count
+            if new > 0:
+                counts[code] = new
+                if new == count:
+                    entered.append(combo)
+            elif new == 0:
+                del counts[code]
+                left.append(combo)
+            else:
+                raise ValueError(
+                    "coordinator state underflow: a site deleted rows it "
+                    "never reported"
+                )
+        for sign, combos in ((-1, left), (1, entered)):
+            if not combos:
+                continue
+            batch = Relation(self.schema, combos, copy=False)
+            for state in self.member_states[ordinal]:
+                state.fold(batch, sign, violations, keys)
+
+
+class IncrementalClustDetector:
+    """A resident CLUSTDETECT session over one cluster and CFD set Σ.
+
+    :meth:`detect` runs the one-shot LHS-overlap algorithm once and keeps
+    every coordinator's per-combination counts *and* per-member GROUP-BY
+    states resident; :meth:`update` / :meth:`apply_updates` then absorb
+    insert/delete batches in O(|ΔD|): each updated site σ-scans only its
+    delta, new combinations intern append-only into the cluster's
+    :class:`~repro.relational.shareddict.SharedComboDictionary` (codes
+    from the initial run never move), and the coordinators receive signed
+    ``(combo_code, count)`` pairs — a combination's conflict contribution
+    changes exactly when its resident count crosses zero, which is when
+    it enters or leaves the distinct working set the member CFDs group
+    over.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cfds: Iterable[CFD],
+        strategy: str | Strategy = "s",
+    ) -> None:
+        self.cluster = cluster
+        self.cfds = [cfds] if isinstance(cfds, CFD) else list(cfds)
+        self._pick = _resolve_strategy(cluster, strategy)
+        self.fragments: list[Relation] = [
+            site.fragment for site in cluster.sites
+        ]
+        self._wrap_keys = len(cluster.schema.key_positions()) == 1
+        self._violations = TransitionCounter()
+        self._keys = TransitionCounter()
+        variables: list[VariableCFD] = []
+        constants = []
+        for cfd in self.cfds:
+            normalized = normalize(cfd)
+            constants.extend(normalized.constants)
+            variables.extend(normalized.variables)
+        self._constants = [
+            ConstantFolds(
+                [
+                    constant
+                    for constant in constants
+                    if site.predicate is None
+                    or compatible_with_bindings(
+                        site.predicate, constant.condition()
+                    )
+                ]
+            )
+            for site in cluster.sites
+        ]
+        self._groups = cluster_cfds(variables, cluster.schema.attributes)
+        self._states: list[_ClusterGroupState] = []
+        self._log = ShipmentLog()
+        self._cost = CostBreakdown()
+        self._detected = False
+
+    # -- initial run ------------------------------------------------------
+
+    def detect(self) -> DetectionOutcome:
+        """The full one-shot run; builds the resident coordinator state.
+
+        One run per session, like the horizontal sessions: re-running
+        would fold stale rows on top of live counters.
+        """
+        if self._detected:
+            raise ValueError(
+                "detect() already ran for this session; updates are "
+                "absorbed via update()/apply_updates() — build a new "
+                "IncrementalClustDetector to re-detect from scratch"
+            )
+        cluster = self.cluster
+        model = cluster.cost_model
+        chosen: dict[str, list[int]] = {}
+
+        for site, folds in zip(cluster.sites, self._constants):
+            batch = site.fragment
+            folds.fold(
+                batch,
+                1,
+                self._violations,
+                self._keys,
+                _resolve_vectorize(None, batch),
+            )
+
+        for group in self._groups:
+            shared: SharedComboDictionary = shared_dict_on(
+                cluster,
+                ("combo",) + tuple(group.members),
+                SharedComboDictionary,
+            )
+            fragments = [site.fragment for site in cluster.sites]
+            tasks = [
+                (i, (group, shared.codes_for(i) is None))
+                for i in range(len(fragments))
+            ]
+            summaries = map_fragments(
+                cluster, fragments, cluster_fragment_summary, tasks
+            )
+            site_results = []
+            for i, (counts, bucket_codes, member_counts, values) in enumerate(
+                summaries
+            ):
+                codes = shared.codes_for(i)
+                if codes is None:
+                    codes = shared.translate(i, values)
+                site_results.append(
+                    (counts, bucket_codes, codes, member_counts)
+                )
+            scan = max(
+                (
+                    model.scan_time(len(site.fragment))
+                    for site in cluster.sites
+                ),
+                default=0.0,
+            )
+            base.exchange_statistics(cluster, self._log)
+
+            lstat = [counts for counts, _codes, _pairs, _mc in site_results]
+            coordinators = self._pick(cluster, lstat)
+            chosen[group.name] = list(coordinators)
+
+            schema = cluster.schema.project(group.attributes)
+            state = _ClusterGroupState(group, shared, coordinators, schema)
+            width = len(group.attributes)
+            stage_log = ShipmentLog()
+            total_counts = [
+                [0] * len(group.members) for _ in group.projected
+            ]
+            for site, (counts, bucket_codes, codes, member_counts) in zip(
+                cluster.sites, site_results
+            ):
+                occupancy = base.group_occupancy(
+                    site.fragment, group.attributes
+                )
+                for ordinal, count in enumerate(counts):
+                    if not count:
+                        continue
+                    dest = coordinators[ordinal]
+                    if dest != site.index:
+                        stage_log.ship(
+                            dest,
+                            site.index,
+                            count,
+                            count * width,
+                            tag=f"{group.name}#p{ordinal}",
+                            n_codes=count,
+                        )
+                    state.bucket_rows[ordinal] += count
+                    bucket = state.combo_counts[ordinal]
+                    for g in bucket_codes[ordinal]:
+                        code = codes[g]
+                        bucket[code] = bucket.get(code, 0) + occupancy[g]
+                    for m in range(len(group.members)):
+                        total_counts[ordinal][m] += member_counts[ordinal][m]
+            transfer = model.transfer_time(stage_log.outgoing_by_source())
+            self._log.merge(stage_log)
+
+            decode = shared.values
+            ops_per_site: dict[int, float] = {}
+            for ordinal, rows in enumerate(state.bucket_rows):
+                if not rows:
+                    continue
+                batch = Relation(
+                    schema,
+                    [decode[code] for code in state.combo_counts[ordinal]],
+                    copy=False,
+                )
+                for member_state in state.member_states[ordinal]:
+                    member_state.fold(
+                        batch, 1, self._violations, self._keys
+                    )
+                site_index = coordinators[ordinal]
+                ops = float(rows)
+                for m in range(len(group.members)):
+                    ops += model.check_ops(total_counts[ordinal][m])
+                ops_per_site[site_index] = (
+                    ops_per_site.get(site_index, 0.0) + ops
+                )
+            check = max(
+                (model.check_time(ops) for ops in ops_per_site.values()),
+                default=0.0,
+            )
+            self._cost.stages.append(base.stage(scan, transfer, check))
+            self._states.append(state)
+
+        self._detected = True
+        return DetectionOutcome(
+            algorithm="CLUSTDETECT+Δ",
+            report=self.report,
+            shipments=self._log,
+            cost=self._cost,
+            details={
+                "clusters": [group.name for group in self._groups],
+                "coordinators": chosen,
+                "incremental": True,
+            },
+        )
+
+    # -- updates ----------------------------------------------------------
+
+    def update(self, site: int, inserted=(), deleted=()):
+        """Absorb one site's batch (see :meth:`apply_updates`)."""
+        return self.apply_updates({site: (inserted, deleted)})
+
+    def apply_updates(self, updates: Mapping[int, tuple]):
+        """Absorb insert/delete batches at several sites in one round.
+
+        Mirrors
+        :meth:`~repro.detect.incremental.IncrementalHorizontalDetector.apply_updates`:
+        only the deltas are scanned (through the parallel scheduler),
+        shipped — as signed ``(combo_code, count)`` pairs, recorded with
+        ``n_codes = 2·|changed combinations|`` — and folded into the
+        resident per-member GROUP-BY states.
+        """
+        from .incremental import IncrementalUpdate, apply_fragment_updates
+
+        if not self._detected:
+            raise ValueError("run detect() before applying updates")
+        cluster = self.cluster
+        model = cluster.cost_model
+        self._violations.begin()
+        self._keys.begin()
+        update_log = ShipmentLog()
+
+        batches = apply_fragment_updates(self.fragments, updates)
+        if not batches:
+            return IncrementalUpdate(
+                self._commit(), self.report, update_log, base.stage(0, 0, 0)
+            )
+
+        # constants: fold each site's delta locally (Proposition 5)
+        for index, inserted, removed in batches:
+            folds = self._constants[index]
+            for sign, rows in ((-1, removed), (1, inserted)):
+                if rows:
+                    batch = Relation(cluster.schema, rows, copy=False)
+                    folds.fold(
+                        batch,
+                        sign,
+                        self._violations,
+                        self._keys,
+                        _resolve_vectorize(None, batch),
+                    )
+
+        # clusters: σ-scan the deltas through the scheduler, site-parallel
+        received_events: dict[int, int] = {}
+        site_fragments = [site.fragment for site in cluster.sites]
+        for state in self._states:
+            tasks = [
+                (index, (state.group, inserted, removed))
+                for index, inserted, removed in batches
+            ]
+            results = map_fragments(
+                cluster, site_fragments, scan_clust_delta_summary, tasks
+            )
+            for (index, _args), (combo_deltas, row_events, net_rows) in zip(
+                tasks, results
+            ):
+                for ordinal, deltas in enumerate(combo_deltas):
+                    if not deltas:
+                        continue
+                    coordinator = state.coordinators[ordinal]
+                    if coordinator != index:
+                        update_log.ship(
+                            coordinator,
+                            index,
+                            row_events[ordinal],
+                            row_events[ordinal] * len(state.group.attributes),
+                            tag=f"{state.group.name}#p{ordinal}Δ",
+                            n_codes=2 * len(deltas),
+                        )
+                    received_events[coordinator] = (
+                        received_events.get(coordinator, 0)
+                        + row_events[ordinal]
+                    )
+                    state.patch(
+                        ordinal, deltas, self._violations, self._keys
+                    )
+                    state.bucket_rows[ordinal] += net_rows[ordinal]
+
+        scan = max(
+            (
+                model.scan_time(len(inserted) + len(removed))
+                for _index, inserted, removed in batches
+            ),
+            default=0.0,
+        )
+        transfer = model.transfer_time(update_log.outgoing_by_source())
+        check = max(
+            (
+                model.check_time(model.check_ops(events))
+                for events in received_events.values()
+            ),
+            default=0.0,
+        )
+        stage = base.stage(scan, transfer, check)
+        self._cost.stages.append(stage)
+        self._log.merge(update_log)
+        return IncrementalUpdate(self._commit(), self.report, update_log, stage)
+
+    # -- results ----------------------------------------------------------
+
+    def _commit(self):
+        return commit_counters(self._violations, self._keys, self._wrap_keys)
+
+    @property
+    def report(self) -> ViolationReport:
+        """The full current report (fresh copy)."""
+        return counters_report(self._violations, self._keys, self._wrap_keys)
+
+    @property
+    def shipments(self) -> ShipmentLog:
+        """Cumulative traffic: the initial run plus every absorbed batch."""
+        return self._log
+
+    def outcome(self) -> DetectionOutcome:
+        """The session as a :class:`DetectionOutcome` (cumulative)."""
+        return DetectionOutcome(
+            algorithm="CLUSTDETECT+Δ",
+            report=self.report,
+            shipments=self._log,
+            cost=self._cost,
+            details={"incremental": True},
+        )
+
+    def __repr__(self) -> str:
+        total = sum(len(fragment) for fragment in self.fragments)
+        return (
+            f"IncrementalClustDetector({len(self.cfds)} CFDs, "
+            f"{len(self.fragments)} sites, {total} tuples)"
+        )
+
+
+def incremental_clust(
+    cluster: Cluster, cfds: Iterable[CFD], strategy: str | Strategy = "s"
+) -> IncrementalClustDetector:
+    """An attached incremental CLUSTDETECT session (initial run included)."""
+    detector = IncrementalClustDetector(cluster, cfds, strategy)
+    detector.detect()
+    return detector

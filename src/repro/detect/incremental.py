@@ -65,6 +65,48 @@ from .ctr import _pick_central_coordinator
 from .pat import make_select_min_response, select_max_stat
 
 
+def apply_fragment_updates(
+    fragments: list[Relation], updates: Mapping[int, tuple]
+) -> list[tuple[int, list, list]]:
+    """Advance per-site fragment versions by one round of update batches.
+
+    ``updates`` maps site index to ``(inserted_rows, deleted)`` with
+    ``deleted`` an iterable of keys or a predicate (the
+    :meth:`Relation.delete` contract).  Each updated entry of
+    ``fragments`` is replaced by its new
+    :class:`~repro.relational.delta.DeltaRelation` version with the
+    consumed provenance pruned, so a long session holds one live row list
+    per site.  Returns ``(site, inserted_rows, removed_rows)`` for every
+    site whose fragment actually changed — the delta streams every
+    resident session folds.  Shared by the horizontal, CLUSTDETECT and
+    hybrid sessions.
+    """
+    batches: list[tuple[int, list, list]] = []
+    for index in sorted(updates):
+        inserted, deleted = updates[index]
+        version = fragments[index]
+        is_predicate = callable(deleted) or hasattr(deleted, "evaluate")
+        if not is_predicate:
+            deleted = list(deleted)
+        if is_predicate or deleted:
+            version = version.delete(deleted)
+            removed = list(getattr(version, "delta_deleted", ()))
+        else:
+            removed = []
+        inserted = [tuple(row) for row in inserted]
+        if inserted:
+            version = version.insert(inserted)
+        if version is fragments[index]:
+            continue
+        # sever consumed provenance so a long session holds one live
+        # row list per site, not one per absorbed batch
+        prune_delta_history(version.delta_parent)
+        prune_delta_history(version)
+        fragments[index] = version
+        batches.append((index, inserted, removed))
+    return batches
+
+
 def _select_central(cluster: Cluster, lstat: Sequence[Sequence[int]]) -> list[int]:
     """CTRDETECT as a per-pattern strategy: one coordinator for every bucket."""
     site_totals = [sum(per_site) for per_site in lstat]
@@ -246,6 +288,9 @@ class IncrementalHorizontalDetector:
         self.fragments: list[Relation] = [
             site.fragment for site in cluster.sites
         ]
+        # the constant folds carry single-attribute keys raw; the report
+        # boundary wraps them back into the 1-tuple contract
+        self._wrap_keys = len(cluster.schema.key_positions()) == 1
         self._violations = TransitionCounter()
         self._keys = TransitionCounter()
         self._constants: list[ConstantFolds] = [
@@ -391,29 +436,7 @@ class IncrementalHorizontalDetector:
         self._keys.begin()
         update_log = ShipmentLog()
 
-        batches: list[tuple[int, list, list]] = []
-        for index in sorted(updates):
-            inserted, deleted = updates[index]
-            version = self.fragments[index]
-            is_predicate = callable(deleted) or hasattr(deleted, "evaluate")
-            if not is_predicate:
-                deleted = list(deleted)
-            if is_predicate or deleted:
-                version = version.delete(deleted)
-                removed = list(version.delta_deleted)
-            else:
-                removed = []
-            inserted = [tuple(row) for row in inserted]
-            if inserted:
-                version = version.insert(inserted)
-            if version is self.fragments[index]:
-                continue
-            # sever consumed provenance so a long session holds one live
-            # row list per site, not one per absorbed batch
-            prune_delta_history(version.delta_parent)
-            prune_delta_history(version)
-            self.fragments[index] = version
-            batches.append((index, inserted, removed))
+        batches = apply_fragment_updates(self.fragments, updates)
 
         if not batches:
             return IncrementalUpdate(
@@ -505,12 +528,12 @@ class IncrementalHorizontalDetector:
     # -- results ----------------------------------------------------------
 
     def _commit(self) -> ViolationDelta:
-        return commit_counters(self._violations, self._keys)
+        return commit_counters(self._violations, self._keys, self._wrap_keys)
 
     @property
     def report(self) -> ViolationReport:
         """The full current report (fresh copy)."""
-        return counters_report(self._violations, self._keys)
+        return counters_report(self._violations, self._keys, self._wrap_keys)
 
     @property
     def shipments(self) -> ShipmentLog:

@@ -172,6 +172,11 @@ def _bench_incremental(data, cfds, repeats: int) -> dict:
     non-incremental deployment pays per update.  Every leg cross-checks
     the maintained report against the recompute (violations *and* tuple
     keys), recorded as ``matches_full_recompute``.
+
+    Two extra ``kinds`` legs at the 1% batch record a **pure-insert** and
+    a **pure-delete** batch, so the tombstone path — derived stores
+    filtering codes through a mask, key-array compaction — shows up in
+    the recorded trajectory, not just the append path.
     """
     import random
 
@@ -183,26 +188,34 @@ def _bench_incremental(data, cfds, repeats: int) -> dict:
     key_position = schema.key_positions()[0]
     max_id = len(data) * 10
     detector = FusedDetector(cfds)
-    legs: dict[str, dict] = {}
-    all_match = True
-    for fraction in (0.001, 0.01, 0.1):
+    street = schema.position("street") if "street" in schema else 1
+
+    def make_batch(fraction: float, kind: str, start_id: int):
         batch = max(2, int(len(data) * fraction))
-        victims = rng.sample(data.rows, batch // 2)
+        n_victims = batch if kind in ("insert", "delete") else batch // 2
+        victims = rng.sample(data.rows, n_victims)
         doomed_keys = [row[key_position] for row in victims]
         # replacements keep the victims' attribute values but take fresh
         # ids, and half get a corrupted street so the batch genuinely
         # moves violations in both directions
-        street = schema.position("street") if "street" in schema else 1
         inserted = []
         for i, row in enumerate(victims):
             row = list(row)
-            row[key_position] = max_id + i
+            row[key_position] = start_id + i
             if i % 2:
                 row[street] = f"delta street {i}"
             inserted.append(tuple(row))
-        inserted_keys = [row[key_position] for row in inserted]
-        max_id += batch
+        if kind == "insert":
+            return batch, victims, inserted, []
+        if kind == "delete":
+            return batch, victims, [], doomed_keys
+        return batch, victims, inserted, doomed_keys
 
+    def measure(fraction: float, kind: str, start_id: int) -> dict:
+        batch, victims, inserted, doomed_keys = make_batch(
+            fraction, kind, start_id
+        )
+        inserted_keys = [row[key_position] for row in inserted]
         incremental = IncrementalDetector(cfds)
         incremental.attach(Relation(schema, data.rows, copy=False))
         forward_times = []
@@ -211,7 +224,8 @@ def _bench_incremental(data, cfds, repeats: int) -> dict:
             incremental.update(inserted=inserted, deleted=doomed_keys)
             forward_times.append(time.perf_counter() - start)
             # revert (untimed) so every timed batch hits the same state
-            incremental.update(inserted=victims, deleted=inserted_keys)
+            revert_victims = victims if doomed_keys else []
+            incremental.update(inserted=revert_victims, deleted=inserted_keys)
         start = time.perf_counter()
         delta = incremental.update(inserted=inserted, deleted=doomed_keys)
         forward_times.append(time.perf_counter() - start)
@@ -231,9 +245,9 @@ def _bench_incremental(data, cfds, repeats: int) -> dict:
             maintained.violations == full_report.violations
             and maintained.tuple_keys == full_report.tuple_keys
         )
-        all_match = all_match and matches
-        legs[str(fraction)] = {
+        return {
             "batch_rows": batch,
+            "kind": kind,
             "incremental_seconds": incremental_seconds,
             "full_recompute_seconds": full_seconds,
             "speedup": full_seconds / incremental_seconds,
@@ -241,13 +255,208 @@ def _bench_incremental(data, cfds, repeats: int) -> dict:
             "violations_removed": len(delta.removed),
             "matches_full_recompute": matches,
         }
+
+    legs: dict[str, dict] = {}
+    all_match = True
+    for fraction in (0.001, 0.01, 0.1):
+        leg = measure(fraction, "mixed", max_id)
+        max_id += len(data)
+        del leg["kind"]
+        legs[str(fraction)] = leg
+        all_match = all_match and leg["matches_full_recompute"]
+    kinds: dict[str, dict] = {}
+    for kind in ("insert", "delete"):
+        leg = measure(0.01, kind, max_id)
+        max_id += len(data)
+        kinds[kind] = leg
+        all_match = all_match and leg["matches_full_recompute"]
     return {
         "workload": "fig3c_single_cfd",
         "engine": "auto",
         "repeats": repeats,
         "legs": legs,
+        "kinds": kinds,
         "matches_full_recompute": all_match,
     }
+
+
+def _bench_incremental_sessions(data, repeats: int) -> dict:
+    """Resident distributed sessions vs one-shot re-detection, per kind.
+
+    One leg per session family — CLUSTDETECT over the overlapping Σ,
+    vertical (the street CFD spans two fragments, so the coordinator
+    keeps joined state), and hybrid (CC regions × vertical fragments) —
+    each absorbing a 1% mixed batch and cross-checked against a fresh
+    one-shot run over the updated deployment (``matches_full_recompute``,
+    gated in the perf job).  The recompute side rebuilds its cluster from
+    the session's updated fragments with cold caches, which is what a
+    non-resident deployment pays per update round.
+    """
+    import random
+
+    from ..datagen import cust_overlapping_cfds
+    from ..detect import (
+        IncrementalClustDetector,
+        IncrementalHybridDetector,
+        IncrementalVerticalDetector,
+        clust_detect,
+        hybrid_detect,
+        vertical_detect,
+    )
+    from ..distributed import Cluster, HybridCluster
+    from ..partition import partition_uniform, vertical_partition
+    from ..relational import Eq, Relation
+
+    schema = data.schema
+    key_position = schema.key_positions()[0]
+    street = schema.position("street")
+    cfds = cust_overlapping_cfds()
+    batch = max(2, len(data) // 100)
+    rng = random.Random(13)
+
+    def mutate(victims, start_id):
+        inserted = []
+        for i, row in enumerate(victims):
+            row = list(row)
+            row[key_position] = start_id + i
+            if i % 2:
+                row[street] = f"session street {i}"
+            inserted.append(tuple(row))
+        return inserted
+
+    def leg(session, one_shot, rows_source, forward, revert) -> dict:
+        """Time ``forward`` (min over repeats, reverted in between), then
+        compare against a cold one-shot run on the updated deployment."""
+        victims = rng.sample(rows_source, batch // 2)
+        doomed = [row[key_position] for row in victims]
+        inserted = mutate(victims, len(data) * 20)
+        inserted_keys = [row[key_position] for row in inserted]
+        times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            forward(session, inserted, doomed)
+            times.append(time.perf_counter() - start)
+            revert(session, victims, inserted_keys)
+        start = time.perf_counter()
+        forward(session, inserted, doomed)
+        times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fresh = one_shot(session)
+        one_shot_seconds = time.perf_counter() - start
+        matches = (
+            session.report.violations == fresh.report.violations
+            and session.report.tuple_keys == fresh.report.tuple_keys
+        )
+        return {
+            "batch_rows": batch,
+            "update_seconds": min(times),
+            "one_shot_seconds": one_shot_seconds,
+            "speedup": one_shot_seconds / min(times),
+            "matches_full_recompute": matches,
+        }
+
+    sessions: dict[str, dict] = {}
+
+    # CLUSTDETECT: 4 sites, the overlapping multi-CFD set
+    clust_session = IncrementalClustDetector(
+        partition_uniform(data, 4), cfds
+    )
+    clust_session.detect()
+    clust_site = max(
+        range(4), key=lambda i: len(clust_session.fragments[i])
+    )
+    sessions["clust"] = leg(
+        clust_session,
+        lambda s: clust_detect(
+            Cluster.from_fragments(
+                [Relation(schema, f.rows) for f in s.fragments]
+            ),
+            cfds,
+        ),
+        clust_session.fragments[clust_site].rows,
+        lambda s, ins, dels: s.update(clust_site, inserted=ins, deleted=dels),
+        lambda s, victims, keys: s.update(
+            clust_site, inserted=victims, deleted=keys
+        ),
+    )
+
+    # vertical: address attributes split off the order attributes, so the
+    # street CFD joins at a coordinator
+    sets = [
+        ("id", "name", "CC", "AC", "phn"),
+        ("id", "street", "city", "zip"),
+        ("id", "item", "price", "quantity"),
+    ]
+    vertical_session = IncrementalVerticalDetector(
+        vertical_partition(data, sets), cfds
+    )
+    vertical_session.detect()
+    def rebuild_vertical(s):
+        joined = s.fragments[0].join(s.fragments[1], on=("id",))
+        joined = joined.join(s.fragments[2], on=("id",))
+        rows = joined.project(schema.attributes).rows
+        return vertical_detect(
+            vertical_partition(Relation(schema, rows, copy=False), sets), cfds
+        )
+
+    sessions["vertical"] = leg(
+        vertical_session,
+        rebuild_vertical,
+        data.rows,
+        lambda s, ins, dels: s.update(inserted=ins, deleted=dels),
+        lambda s, victims, keys: s.update(inserted=victims, deleted=keys),
+    )
+
+    # hybrid: one region per country code, each vertically partitioned
+    country_codes = sorted({row[schema.position("CC")] for row in data.rows})
+    predicates = {f"CC{cc}": Eq("CC", cc) for cc in country_codes}
+    attribute_sets = {
+        "V1": ["name", "CC", "AC", "phn"],
+        "V2": ["street", "city", "zip"],
+        "V3": ["item", "price", "quantity"],
+    }
+    hybrid_session = IncrementalHybridDetector(
+        HybridCluster.from_partitions(data, predicates, attribute_sets),
+        cfds,
+    )
+    hybrid_session.detect()
+    hybrid_region = max(
+        range(len(hybrid_session.regions_data)),
+        key=lambda r: len(hybrid_session.regions_data[r]),
+    )
+    sessions["hybrid"] = leg(
+        hybrid_session,
+        lambda s: hybrid_detect(
+            HybridCluster.from_partitions(
+                Relation(
+                    schema,
+                    [
+                        row
+                        for region in s.regions_data
+                        for row in region.rows
+                    ],
+                    copy=False,
+                ),
+                predicates,
+                attribute_sets,
+            ),
+            cfds,
+        ),
+        hybrid_session.regions_data[hybrid_region].rows,
+        lambda s, ins, dels: s.update(
+            hybrid_region, inserted=ins, deleted=dels
+        ),
+        lambda s, victims, keys: s.update(
+            hybrid_region, inserted=victims, deleted=keys
+        ),
+    )
+
+    sessions["matches_full_recompute"] = all(
+        entry["matches_full_recompute"]
+        for entry in sessions.values()
+        if isinstance(entry, dict)
+    )
+    return sessions
 
 
 def _bench_parallel_detection(data, cfd, repeats: int, workers: int) -> dict:
@@ -461,6 +670,9 @@ def bench_detection(
     summary["provenance"] = _bench_provenance()
     summary["incremental"] = _bench_incremental(
         data, workloads["fig3c_single_cfd"], repeats
+    )
+    summary["incremental"]["sessions"] = _bench_incremental_sessions(
+        data, repeats
     )
     if workers > 1:
         summary["parallel"] = _bench_parallel_detection(

@@ -112,8 +112,13 @@ class DeltaRelation(Relation):
                 )
 
 
-def insert_rows(parent: Relation, rows: Iterable[Sequence[object]]) -> DeltaRelation:
-    """``D ∪ ΔD⁺``: a new version with ``rows`` appended (validated)."""
+def insert_rows(parent: Relation, rows: Iterable[Sequence[object]]) -> Relation:
+    """``D ∪ ΔD⁺``: a new version with ``rows`` appended (validated).
+
+    An empty batch is a no-op and returns ``parent`` itself — no
+    :class:`DeltaRelation`, no row-list copy, nothing for a session to
+    fold.
+    """
     width = len(parent.schema)
     inserted = []
     for row in rows:
@@ -124,6 +129,8 @@ def insert_rows(parent: Relation, rows: Iterable[Sequence[object]]) -> DeltaRela
                 f"{parent.schema.name!r} of width {width}: {row!r}"
             )
         inserted.append(row)
+    if not inserted:
+        return parent
     return DeltaRelation(
         parent, parent.rows + inserted, inserted=tuple(inserted)
     )
@@ -132,7 +139,7 @@ def insert_rows(parent: Relation, rows: Iterable[Sequence[object]]) -> DeltaRela
 def delete_rows(
     parent: Relation,
     keys_or_predicate: Iterable | Callable,
-) -> DeltaRelation:
+) -> Relation:
     """``D ∖ ΔD⁻``: a new version with the matching rows tombstoned.
 
     ``keys_or_predicate`` is either a predicate — any callable of
@@ -140,7 +147,8 @@ def delete_rows(
     — marking the rows to delete, or an iterable of key values: key-tuple
     projections onto ``schema.key`` (bare values accepted for
     single-attribute keys).  Every row carrying a listed key is removed
-    (bag semantics: duplicates go together).
+    (bag semantics: duplicates go together).  An *empty* key batch is a
+    no-op and returns ``parent`` itself — no version, no row-list copy.
     """
     from itertools import compress
 
@@ -162,6 +170,8 @@ def delete_rows(
                     f"key {key!r} does not fit key attributes {schema.key}"
                 )
             doomed.add(key)
+        if not doomed:
+            return parent
         doomed_mask = _doomed_mask_for_keys(parent, key_pos, doomed)
     if isinstance(doomed_mask, _np.ndarray if _np is not None else ()):
         # vectorized path: C-speed compress over the raw mask bytes

@@ -203,7 +203,8 @@ class Relation:
         inserted rows as provenance and shares this relation's columnar
         caches structurally (dictionary-append encoding — see
         :mod:`repro.relational.delta`), so deriving and re-detecting cost
-        O(|ΔD|)-ish instead of a full re-encode.
+        O(|ΔD|)-ish instead of a full re-encode.  An empty batch returns
+        ``self`` — a no-op allocates nothing.
         """
         from .delta import insert_rows
 
@@ -217,7 +218,8 @@ class Relation:
         any predicate callable of ``(row, schema)``.  The result is a
         :class:`~repro.relational.delta.DeltaRelation` carrying the
         deleted rows as provenance and a tombstone mask that derived
-        columnar caches filter through.
+        columnar caches filter through.  An empty key batch returns
+        ``self`` — a no-op allocates nothing.
         """
         from .delta import delete_rows
 

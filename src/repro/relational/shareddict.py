@@ -260,6 +260,17 @@ class SharedComboDictionary:
     def codes_for(self, site_key: object) -> list[int] | None:
         return self._site_codes.get(site_key)
 
+    def intern(self, combo: tuple) -> int:
+        """The global code of one combination (assigned if new).
+
+        The append-only primitive behind incremental CLUSTDETECT: a delta
+        row's combination interns through the same table the initial
+        run's translations populated, so codes obtained before an update
+        stay valid after it — the invariant that lets a resident
+        coordinator patch its per-combination counts in place.
+        """
+        return _intern(self.code_of, self.values, combo)
+
     def translate(self, site_key: object, distincts: Sequence[tuple]) -> list[int]:
         """Intern one fragment's distinct combinations; memoized per site."""
         code_of, values = self.code_of, self.values

@@ -164,6 +164,20 @@ def test_delete_then_insert_round_trip_matches_fresh():
     assert derived.group_index(("a", "b")) == fresh.group_index(("a", "b"))
 
 
+def test_noop_updates_return_self():
+    """``insert([])`` / ``delete([])`` are no-ops: no DeltaRelation, no
+    row-list copy — the parent object itself comes back."""
+    parent = base_relation()
+    assert parent.insert([]) is parent
+    assert parent.insert(iter(())) is parent
+    assert parent.delete([]) is parent
+    assert parent.delete(iter(())) is parent
+    # a predicate delete always scans, but matching nothing still yields
+    # an empty-delta version (provenance semantics unchanged)
+    child = parent.delete(lambda row, schema: False)
+    assert child is not parent and child.delta_deleted == ()
+
+
 def test_delete_everything_and_nothing():
     parent = base_relation()
     warmed(parent)
@@ -294,8 +308,10 @@ def test_incremental_updates_do_not_accumulate_history():
     detector.attach(base_relation())
     for i in range(10):
         detector.update(inserted=[(100 + i, "x", i)], deleted=[100 + i - 1] if i else [])
-    # the session keeps at most the current version; history is severed
-    assert detector.relation.delta_parent is None
+    # the session keeps at most the current snapshot; key-batch updates go
+    # through the keyed row store, so no version chain exists at all, and
+    # predicate-path versions are pruned — either way no history survives
+    assert getattr(detector.relation, "delta_parent", None) is None
     chain = 0
     version = detector.relation
     while getattr(version, "delta_parent", None) is not None:
