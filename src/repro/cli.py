@@ -38,9 +38,13 @@ Commands
 
 Environment knobs honoured by every command: ``REPRO_ENGINE`` (detection
 backend; unknown values abort with exit code 2), ``REPRO_WORKERS`` /
-``REPRO_PARALLEL`` (parallel scheduler), ``REPRO_NUMPY`` (array backend
-opt-out), ``REPRO_INCREMENTAL`` (structural store sharing of delta
-relations), ``REPRO_SCALE`` (dataset scale) — see the README's table.
+``REPRO_PARALLEL`` (parallel scheduler), ``REPRO_POOL_TIMEOUT`` /
+``REPRO_POOL_RETRIES`` / ``REPRO_POOL_DEGRADE`` (worker supervision),
+``REPRO_FAULTS`` (deterministic fault injection; ``detect --fault-plan``
+scopes a plan to one run), ``REPRO_NUMPY`` (array backend opt-out),
+``REPRO_INCREMENTAL`` (structural store sharing of delta relations),
+``REPRO_SCALE`` (dataset scale) — see the README's table.  Malformed
+knob values abort with exit code 2 before any data is loaded.
 
 CFDs are given in the paper notation accepted by
 :func:`repro.core.parse_cfd`, e.g. ``"([CC=44, zip] -> [street])"``.
@@ -124,6 +128,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_WORKERS; REPRO_PARALLEL picks threads or processes)",
     )
     detect.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="inject deterministic faults into the scheduler for this run "
+        "(same grammar as REPRO_FAULTS, e.g. 'crash@0,corrupt@3' or "
+        "'seed=13,rate=0.05'); recovery statistics print afterwards",
+    )
+    detect.add_argument(
         "--updates", type=float, default=None, metavar="FRAC",
         help="after the initial run, apply a synthetic update batch of "
         "|ΔD| = FRAC·|D| rows to the largest site and absorb it "
@@ -193,7 +203,35 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_detect(args: argparse.Namespace) -> int:
-    from .partition import partition_by_attribute, partition_uniform
+    from collections import Counter
+
+    from .core.faults import STATS, FaultPlan, FaultSpecError, fault_plan
+
+    plan = None
+    if args.fault_plan is not None:
+        try:
+            plan = FaultPlan.parse(args.fault_plan)
+        except FaultSpecError as error:
+            print(f"error: invalid --fault-plan: {error}", file=sys.stderr)
+            return 2
+
+    def run() -> int:
+        if plan is None:
+            return _run_detect(args)
+        before = Counter(STATS)
+        with fault_plan(plan):
+            code = _run_detect(args)
+        delta = {
+            name: STATS[name] - before[name]
+            for name in sorted(STATS)
+            if STATS[name] - before[name]
+        }
+        recovered = (
+            " ".join(f"{name}={count}" for name, count in delta.items())
+            or "no faults fired"
+        )
+        print(f"fault plan {plan!r}: {recovered}")
+        return code
 
     if args.workers is not None:
         # scoped to this command: embedders calling main() must not find
@@ -201,13 +239,13 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         previous = os.environ.get("REPRO_WORKERS")
         os.environ["REPRO_WORKERS"] = str(args.workers)
         try:
-            return _run_detect(args)
+            return run()
         finally:
             if previous is None:
                 os.environ.pop("REPRO_WORKERS", None)
             else:
                 os.environ["REPRO_WORKERS"] = previous
-    return _run_detect(args)
+    return run()
 
 
 def _run_detect(args: argparse.Namespace) -> int:
@@ -495,6 +533,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "  parallel matches serial: "
             f"{parallel['matches_serial']}"
         )
+    robustness = summary.get("robustness")
+    if robustness:
+        crash = robustness["crash_recovery"]
+        degraded = robustness["degraded_throughput"]
+        print(
+            f"  robustness ({robustness['algorithm']}, "
+            f"{robustness['sites']} sites): crash recovery "
+            f"{crash['recovery_seconds'] * 1000:.1f}ms "
+            f"(+{crash['recovery_overhead_seconds'] * 1000:.1f}ms over "
+            f"fault-free warm, {crash['respawns']} respawn(s), "
+            f"plan {crash['fault_spec']!r})"
+        )
+        print(
+            f"  robustness degraded serial fallback: "
+            f"{degraded['seconds'] * 1000:.1f}ms, "
+            f"{degraded['rows_per_sec']:,.0f} rows/s "
+            f"({degraded['degraded_runs']} degraded run(s))"
+        )
+        print(
+            "  robustness matches serial: "
+            f"{robustness['matches_serial']}"
+        )
     if record:
         print(f"[saved to {args.out}]")
     ok = (
@@ -504,6 +564,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for entry in summary["workloads"].values()
         )
         and (parallel is None or parallel["matches_serial"])
+        and (robustness is None or robustness["matches_serial"])
         and (incremental is None or incremental["matches_full_recompute"])
         and (
             incremental is None
@@ -529,10 +590,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         # same fail-loudly treatment for the scheduler knobs: surface the
         # typo before any data is loaded, not as a mid-detection traceback
-        from .core import resolve_mode, resolve_workers
+        from .core import active_plan, resolve_mode, resolve_workers
+        from .core.parallel import resolve_order_retries, resolve_order_timeout
 
         resolve_workers()
         resolve_mode()
+        resolve_order_timeout()
+        resolve_order_retries()
+        active_plan()  # a malformed REPRO_FAULTS raises FaultSpecError
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

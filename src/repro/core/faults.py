@@ -1,0 +1,301 @@
+"""Deterministic fault injection for the distributed scheduler.
+
+The paper's setting — detection over *fragmented, distributed* data —
+treats sites and links as real failure domains, yet a simulation is only
+honest about that if every failure mode is **reproducible**: a worker
+crash that appears once per thousand CI runs is a flake, not a test.
+This module makes failures first-class and deterministic:
+
+* a :class:`FaultPlan` maps **order sequence numbers** (a global,
+  monotonically increasing counter of work orders the scheduler
+  dispatches — every send *attempt* consumes one) to fault kinds:
+
+  - ``crash``  — the worker process serving the order exits hard
+    (``os._exit``), exactly like a killed site;
+  - ``drop``   — the worker consumes the order but never answers, like a
+    lost response payload (the parent's per-order timeout fires);
+  - ``corrupt`` — the worker flips the CRC32 checksum on its shipped
+    summary, so the coordinator-side verification fails and triggers a
+    single re-request;
+  - ``slow``   — the worker sleeps ``latency`` seconds before answering,
+    a straggler site.
+
+  In *thread* mode (no processes, no wire) every kind degenerates to the
+  matching typed :class:`WorkerFailure` raised at the order's position,
+  so the supervision ladder — bounded retry, then serial fallback — is
+  exercised identically in both modes.  Serial execution never consults
+  the plan: the degradation ladder's last rung must always succeed.
+
+* activation via the ``REPRO_FAULTS`` environment variable or the
+  :func:`install_fault_plan` / :func:`fault_plan` API.  The spec grammar
+  is comma-separated directives::
+
+      REPRO_FAULTS="crash@3,corrupt@7,slow@2,drop@11,latency=0.005"
+      REPRO_FAULTS="seed=13,rate=0.05"          # seeded random faults
+      REPRO_FAULTS="seed=13,rate=0.05,kinds=crash|drop"
+
+  Explicit ``kind@order`` entries fire **once** (so a retried order
+  succeeds and recovery is observable); seeded random faults draw
+  per-order from ``random.Random(f"{seed}|{order}")`` — deterministic
+  for a given seed whatever the host or interleaving.
+
+* the typed error ladder every scheduler failure resolves to:
+  :class:`WorkerCrashError`, :class:`OrderTimeoutError`,
+  :class:`PayloadCorruptionError` — all :class:`WorkerFailure`, which is
+  what callers (and the graceful-degradation path in
+  :func:`repro.core.parallel.map_fragments`) catch.  Application errors
+  raised by the task function are *not* wrapped: a detection bug must
+  not masquerade as an infrastructure failure.
+
+* :data:`STATS`, a process-wide counter of recoveries (respawns,
+  re-requests, timeouts, degraded runs) that the chaos suite and the
+  ``robustness`` bench legs assert against — recovery must be visible,
+  not just survivable.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from collections import Counter
+
+#: fault kinds a plan can inject, in priority order when several target
+#: the same order.
+FAULT_KINDS = ("crash", "drop", "corrupt", "slow")
+
+#: process-wide recovery statistics: ``respawns``, ``re_requests``,
+#: ``timeouts``, ``crashes``, ``retries``, ``degraded_runs``.  Tests and
+#: the robustness bench snapshot it before/after a run.
+STATS: Counter = Counter()
+
+
+class WorkerFailure(RuntimeError):
+    """Base of the scheduler's *infrastructure* failures.
+
+    Raised when a worker process, pipe or payload failed — never when the
+    task function itself raised (application errors propagate unwrapped).
+    :func:`repro.core.parallel.map_fragments` catches exactly this type
+    for its graceful-degradation ladder.
+    """
+
+
+class WorkerCrashError(WorkerFailure):
+    """A worker process died (sentinel/exitcode or EOF on its pipe)."""
+
+
+class OrderTimeoutError(WorkerFailure):
+    """A work order's per-order deadline expired without an answer."""
+
+
+class PayloadCorruptionError(WorkerFailure):
+    """A shipped summary failed its CRC32 check (even after re-request)."""
+
+
+class FaultSpecError(ValueError):
+    """An unparsable ``REPRO_FAULTS`` specification."""
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults, keyed by order number.
+
+    ``crash`` / ``drop`` / ``corrupt`` / ``slow`` are iterables of order
+    sequence numbers; each explicit entry fires at most once.  ``rate``
+    adds seeded random faults on top: every order draws from
+    ``random.Random(f"{seed}|{order}")`` and faults with probability
+    ``rate``, choosing uniformly among ``kinds``.  ``latency`` is the
+    sleep injected by ``slow`` faults.  Thread-safe: the scheduler may
+    consult one plan from several threads.
+    """
+
+    def __init__(
+        self,
+        crash=(),
+        drop=(),
+        corrupt=(),
+        slow=(),
+        latency: float = 0.002,
+        rate: float = 0.0,
+        seed: int = 0,
+        kinds=FAULT_KINDS,
+    ) -> None:
+        self.crash = frozenset(crash)
+        self.drop = frozenset(drop)
+        self.corrupt = frozenset(corrupt)
+        self.slow = frozenset(slow)
+        self.latency = float(latency)
+        self.rate = float(rate)
+        self.seed = seed
+        self.kinds = tuple(kinds)
+        unknown = set(self.kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise FaultSpecError(
+                f"unknown fault kinds {sorted(unknown)}; use {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultSpecError("fault rate must be in [0, 1]")
+        self._next = 0
+        self._fired: set[tuple[str, int]] = set()
+        self._lock = threading.Lock()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from the ``REPRO_FAULTS`` grammar (see module doc)."""
+        orders: dict[str, list[int]] = {kind: [] for kind in FAULT_KINDS}
+        options: dict[str, object] = {}
+        for raw in spec.split(","):
+            part = raw.strip()
+            if not part:
+                continue
+            if "@" in part:
+                kind, _, position = part.partition("@")
+                kind = kind.strip()
+                if kind not in orders:
+                    raise FaultSpecError(
+                        f"unknown fault kind {kind!r} in REPRO_FAULTS "
+                        f"entry {part!r}; use one of {FAULT_KINDS}"
+                    )
+                try:
+                    orders[kind].append(int(position))
+                except ValueError:
+                    raise FaultSpecError(
+                        f"fault order must be an integer in {part!r}"
+                    ) from None
+            elif "=" in part:
+                name, _, value = part.partition("=")
+                name = name.strip()
+                if name == "kinds":
+                    options["kinds"] = tuple(
+                        k.strip() for k in value.split("|") if k.strip()
+                    )
+                elif name in ("latency", "rate"):
+                    try:
+                        options[name] = float(value)
+                    except ValueError:
+                        raise FaultSpecError(
+                            f"{name} must be a float in {part!r}"
+                        ) from None
+                elif name == "seed":
+                    try:
+                        options["seed"] = int(value)
+                    except ValueError:
+                        raise FaultSpecError(
+                            f"seed must be an integer in {part!r}"
+                        ) from None
+                else:
+                    raise FaultSpecError(
+                        f"unknown REPRO_FAULTS option {name!r} in {part!r}"
+                    )
+            else:
+                raise FaultSpecError(
+                    f"cannot parse REPRO_FAULTS entry {part!r}; expected "
+                    "kind@order or option=value"
+                )
+        return cls(
+            crash=orders["crash"],
+            drop=orders["drop"],
+            corrupt=orders["corrupt"],
+            slow=orders["slow"],
+            **options,
+        )
+
+    def next_order(self) -> int:
+        """Allot the next global order sequence number (one per attempt)."""
+        with self._lock:
+            order = self._next
+            self._next = order + 1
+            return order
+
+    def fault_for(self, order: int) -> tuple[str, float] | None:
+        """The fault to inject at ``order`` (one-shot), or ``None``.
+
+        Returns ``(kind, latency)`` so the directive crosses a pipe as
+        one small tuple.  Explicit entries take priority over the seeded
+        random draw and fire at most once each — a retried order (which
+        consumes a *fresh* sequence number anyway) can always succeed.
+        """
+        with self._lock:
+            for kind in FAULT_KINDS:
+                if order in getattr(self, kind):
+                    if (kind, order) in self._fired:
+                        continue
+                    self._fired.add((kind, order))
+                    return (kind, self.latency)
+            if self.rate:
+                rng = random.Random(f"{self.seed}|{order}")
+                if rng.random() < self.rate:
+                    kind = self.kinds[rng.randrange(len(self.kinds))]
+                    return (kind, self.latency)
+        return None
+
+    def reset(self) -> None:
+        """Forget fired entries and restart the order counter."""
+        with self._lock:
+            self._next = 0
+            self._fired.clear()
+
+    def __repr__(self) -> str:
+        parts = [
+            f"{kind}@{order}"
+            for kind in FAULT_KINDS
+            for order in sorted(getattr(self, kind))
+        ]
+        if self.rate:
+            parts.append(f"rate={self.rate} seed={self.seed}")
+        return f"FaultPlan({', '.join(parts) or 'empty'})"
+
+
+#: the API-installed plan; takes priority over ``REPRO_FAULTS``.
+_ACTIVE: FaultPlan | None = None
+#: parse cache for the environment plan: (spec string, plan).  The plan
+#: object is stateful (fired set, order counter), so re-parsing per call
+#: would silently reset it — the cache keys on the exact spec text.
+_ENV_PLAN: tuple[str, FaultPlan] | None = None
+
+
+def install_fault_plan(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` process-wide (``None`` uninstalls); returns it."""
+    global _ACTIVE
+    _ACTIVE = plan
+    return plan
+
+
+class fault_plan:
+    """Context manager: install a plan for a ``with`` block, then restore."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._previous: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan:
+        self._previous = _ACTIVE
+        install_fault_plan(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc_info) -> None:
+        install_fault_plan(self._previous)
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan in force: the API-installed one, else ``REPRO_FAULTS``."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    global _ENV_PLAN
+    spec = os.environ.get("REPRO_FAULTS")
+    if not spec:
+        _ENV_PLAN = None
+        return None
+    if _ENV_PLAN is None or _ENV_PLAN[0] != spec:
+        _ENV_PLAN = (spec, FaultPlan.parse(spec))
+    return _ENV_PLAN[1]
+
+
+def failure_for(kind: str, order: int) -> WorkerFailure:
+    """The typed failure a fault ``kind`` resolves to (thread-mode path)."""
+    if kind == "crash":
+        return WorkerCrashError(f"injected worker crash at order {order}")
+    if kind == "drop":
+        return OrderTimeoutError(f"injected dropped payload at order {order}")
+    return PayloadCorruptionError(
+        f"injected payload corruption at order {order}"
+    )

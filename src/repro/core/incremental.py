@@ -147,18 +147,26 @@ class TransitionCounter:
     list).  Tracking only actual crossings keeps both ``add`` and
     ``commit`` proportional to what changed, not to what was touched —
     the property the vectorized delta folds lean on.
+
+    Batches are **transactional**: while one is open, the first touch of
+    each item records its prior count in an undo log, so
+    :meth:`rollback` restores the exact pre-batch multiset in
+    O(|touched|) — never a full copy of the counts (which would undo the
+    delta engine's complexity claim).
     """
 
-    __slots__ = ("counts", "_went_up", "_went_down")
+    __slots__ = ("counts", "_went_up", "_went_down", "_undo")
 
     def __init__(self) -> None:
         self.counts: Counter = Counter()
         self._went_up: set | None = None
         self._went_down: set | None = None
+        self._undo: dict | None = None
 
     def begin(self) -> None:
         self._went_up = set()
         self._went_down = set()
+        self._undo = {}
 
     def _cross(self, item, up: bool) -> None:
         if up:
@@ -174,6 +182,9 @@ class TransitionCounter:
 
     def add(self, item, n: int = 1) -> None:
         count = self.counts.get(item, 0)
+        undo = self._undo
+        if undo is not None and item not in undo:
+            undo[item] = count
         new = count + n
         if new > 0:
             self.counts[item] = new
@@ -200,12 +211,21 @@ class TransitionCounter:
         spots underflows.
         """
         counts = self.counts
+        undo = self._undo
         if sign > 0:
             crossers = {item for item in items if item not in counts}
+            if undo is not None:
+                for item in items:
+                    if item not in undo:
+                        undo[item] = counts.get(item, 0)
             counts.update(items)
         else:
-            counts.subtract(items)
             distinct = set(items)
+            if undo is not None:
+                for item in distinct:
+                    if item not in undo:
+                        undo[item] = counts.get(item, 0)
+            counts.subtract(items)
             if min(map(counts.__getitem__, distinct), default=1) < 0:
                 bad = next(k for k in distinct if counts[k] < 0)
                 raise ValueError(
@@ -232,7 +252,27 @@ class TransitionCounter:
         removed = list(self._went_down)
         self._went_up = None
         self._went_down = None
+        self._undo = None
         return added, removed
+
+    def rollback(self) -> None:
+        """Restore the exact pre-batch multiset; close the batch.
+
+        O(|items touched since begin|).  A no-op when no batch is open,
+        so a failed operation can always call it unconditionally.
+        """
+        undo = self._undo
+        self._undo = None
+        self._went_up = None
+        self._went_down = None
+        if undo is None:
+            return
+        counts = self.counts
+        for item, prior in undo.items():
+            if prior > 0:
+                counts[item] = prior
+            else:
+                counts.pop(item, None)
 
     def positive(self):
         """All items with a positive count (counts are never kept at 0)."""
@@ -280,6 +320,7 @@ def commit_counters(
     k_removed = keys._went_down
     keys._went_up = None
     keys._went_down = None
+    keys._undo = None
     return ViolationDelta.deferred(
         v_added, k_added, v_removed, k_removed, wrap_keys
     )
@@ -445,6 +486,7 @@ class VariableGroupState:
         "_y_code_of",
         "_y_values",
         "_code_groups",
+        "_undo",
     )
 
     #: σ-match memo bound — one entry per distinct ``X`` ever seen, so a
@@ -471,6 +513,76 @@ class VariableGroupState:
         self._y_code_of: dict = {}
         self._y_values: list = []
         self._code_groups: dict[int, _CodeGroup] = {}
+        # transactional batches: group key -> pre-batch snapshot (None =
+        # the group did not exist), recorded on first touch; see begin()
+        self._undo: dict | None = None
+
+    # -- transactional batches --------------------------------------------
+
+    def begin(self) -> None:
+        """Open a transactional batch: snapshot groups on first touch.
+
+        A snapshot copies only the touched group's own dictionaries —
+        O(|group|) per *touched* group, never a copy of the whole table —
+        so a failed fold can :meth:`rollback` to the exact pre-batch
+        state.  The session interning dictionaries (``_x_code_of`` …) are
+        append-only and stay grown across a rollback: codes assigned
+        during a doomed batch are simply never referenced again.
+        """
+        self._undo = {}
+
+    def commit(self) -> None:
+        """Close the batch, discarding its undo log."""
+        self._undo = None
+
+    def _snapshot(self, group):
+        if group is None:
+            return None
+        if type(group) is _Group:
+            return (
+                dict(group.y_counts),
+                dict(group.key_counts),
+                group.conflicting,
+            )
+        return (
+            dict(group.y_counts),
+            dict(group.key_counts),
+            list(group.adds),
+            list(group.dels),
+            group.conflicting,
+        )
+
+    def rollback(self) -> None:
+        """Restore every touched group to its pre-batch snapshot.
+
+        A no-op when no batch is open.  Groups created during the batch
+        disappear; groups deleted during it come back; groups mutated in
+        place get their tables swapped back to the snapshot copies.
+        """
+        undo = self._undo
+        self._undo = None
+        if undo is None:
+            return
+        for key, snap in undo.items():
+            if snap is None:
+                self.groups.pop(key, None)
+                self._code_groups.pop(key, None)
+            elif len(snap) == 3:
+                group = self.groups.get(key)
+                if group is None:
+                    group = self.groups[key] = _Group()
+                group.y_counts, group.key_counts, group.conflicting = snap
+            else:
+                group = self._code_groups.get(key)
+                if group is None:
+                    group = self._code_groups[key] = _CodeGroup()
+                (
+                    group.y_counts,
+                    group.key_counts,
+                    group.adds,
+                    group.dels,
+                    group.conflicting,
+                ) = snap
 
     def _violation(self, x: tuple) -> Violation:
         return Violation(
@@ -678,11 +790,16 @@ class VariableGroupState:
         # phase A — net (x, y) counts into the y tables; conflict flips
         # are *not* evaluated yet (phase B reads the pre-batch flags)
         touched: list[tuple[int, _CodeGroup]] = []
+        undo = self._undo
         n_pairs = len(pair_x)
         at = 0
         while at < n_pairs:
             gx = pair_x[at]
             group = groups.get(gx)
+            # every distinct x of the stream appears in pair_x, so this
+            # single touch also covers the phase B/C mutations below
+            if undo is not None and gx not in undo:
+                undo[gx] = self._snapshot(group)
             if group is None:
                 group = groups[gx] = _CodeGroup()
             touched.append((gx, group))
@@ -785,6 +902,9 @@ class VariableGroupState:
 
     def _insert(self, x, y, key, violations, keys) -> None:
         group = self.groups.get(x)
+        undo = self._undo
+        if undo is not None and x not in undo:
+            undo[x] = self._snapshot(group)
         if group is None:
             group = self.groups[x] = _Group()
         _bump(group.y_counts, y, 1)
@@ -805,6 +925,9 @@ class VariableGroupState:
             raise ValueError(
                 f"deleted a row of X group {x!r} that is not in the state"
             )
+        undo = self._undo
+        if undo is not None and x not in undo:
+            undo[x] = self._snapshot(group)
         if group.conflicting and self.collect_tuples:
             keys.add(key, -1)
         _bump(group.y_counts, y, -1)
@@ -864,6 +987,10 @@ class IncrementalDetector:
         #: key projection -> row tuple, or a list of rows for bag
         #: duplicates; ``None`` until attach()
         self._store: dict | None = None
+        #: open-batch undo log of the store (key -> pre-batch entry copy,
+        #: ``None`` for "absent"), plus the pre-batch snapshot cache
+        self._store_undo: dict | None = None
+        self._relation_snapshot: Relation | None = None
         self.schema = None
         self._wrap_keys = False
         self._violations = TransitionCounter()
@@ -909,7 +1036,17 @@ class IncrementalDetector:
                 store[key] = [entry, row]
         self._store = store
 
+    def _store_touch(self, key) -> None:
+        """Record ``key``'s pre-batch entry in the open undo log (copying
+        list entries, which later store ops mutate in place)."""
+        undo = self._store_undo
+        if undo is None or key in undo:
+            return
+        entry = self._store.get(key)
+        undo[key] = list(entry) if type(entry) is list else entry
+
     def _store_add(self, key: tuple, row: tuple) -> None:
+        self._store_touch(key)
         entry = self._store.get(key)
         if entry is None:
             self._store[key] = row
@@ -920,6 +1057,7 @@ class IncrementalDetector:
 
     def _store_remove_row(self, key: tuple, row: tuple) -> None:
         """Remove one specific resident row (delta-version sync path)."""
+        self._store_touch(key)
         entry = self._store.get(key)
         if type(entry) is list:
             entry.remove(row)
@@ -1015,6 +1153,49 @@ class IncrementalDetector:
             for rows, sign in batches:
                 self._fold(Relation(schema, rows, copy=False), sign)
 
+    # -- transactional batches --------------------------------------------
+
+    def _begin_batch(self) -> None:
+        """Open one all-or-nothing update: arm every undo log."""
+        self._store_undo = {}
+        self._relation_snapshot = self._relation
+        if self.engine != "reference":
+            self._violations.begin()
+            self._keys.begin()
+            for state in self._variables:
+                state.begin()
+
+    def _end_batch(self) -> None:
+        """Close a successful update: drop the undo logs."""
+        self._store_undo = None
+        self._relation_snapshot = None
+
+    def _rollback_batch(self) -> None:
+        """Restore the exact pre-batch session state.
+
+        Unwinds, in O(|touched|): the keyed row store (entries popped,
+        replaced or appended-to during the batch), every variable form's
+        group table, both transition counters, and the cached relation
+        snapshot.  After a rollback the session is exactly as if the
+        failed ``update``/``apply`` had never been called — the
+        transactionality property the chaos suite asserts.
+        """
+        for state in self._variables:
+            state.rollback()
+        self._violations.rollback()
+        self._keys.rollback()
+        undo = self._store_undo
+        self._store_undo = None
+        if undo:
+            store = self._store
+            for key, entry in undo.items():
+                if entry is None:
+                    store.pop(key, None)
+                else:
+                    store[key] = entry
+        self._relation = self._relation_snapshot
+        self._relation_snapshot = None
+
     def apply(self, relation: Relation) -> ViolationDelta:
         """Advance to ``relation``, folding only its recorded delta.
 
@@ -1022,6 +1203,10 @@ class IncrementalDetector:
         (or a chain of them) rooted at the currently attached version —
         anything else raises, because the provenance chain is the only
         thing that makes O(|ΔD|) maintenance sound.
+
+        All-or-nothing: if any step of the chain fails mid-fold, the
+        session rolls back to the state before this call and the
+        exception propagates.
         """
         if self.relation is None:
             raise ValueError("attach() a relation before applying updates")
@@ -1040,29 +1225,34 @@ class IncrementalDetector:
         chain.reverse()
         schema = relation.schema
         key_pos = schema.key_positions()
-        batches: list[tuple[list, int]] = []
-        for version in chain:
-            if version.delta_deleted:
-                rows = list(version.delta_deleted)
-                batches.append((rows, -1))
-                for key, row in zip(
-                    _project_keys(rows, range(len(rows)), key_pos), rows
-                ):
-                    self._store_remove_row(key, row)
-            if version.delta_inserted:
-                rows = list(version.delta_inserted)
-                batches.append((rows, 1))
-                for key, row in zip(
-                    _project_keys(rows, range(len(rows)), key_pos), rows
-                ):
-                    self._store_add(key, row)
-        if self.engine == "reference":
+        self._begin_batch()
+        try:
+            batches: list[tuple[list, int]] = []
+            for version in chain:
+                if version.delta_deleted:
+                    rows = list(version.delta_deleted)
+                    batches.append((rows, -1))
+                    for key, row in zip(
+                        _project_keys(rows, range(len(rows)), key_pos), rows
+                    ):
+                        self._store_remove_row(key, row)
+                if version.delta_inserted:
+                    rows = list(version.delta_inserted)
+                    batches.append((rows, 1))
+                    for key, row in zip(
+                        _project_keys(rows, range(len(rows)), key_pos), rows
+                    ):
+                        self._store_add(key, row)
+            if self.engine == "reference":
+                self.relation = relation
+                delta = self._reference_rediff()
+                self._end_batch()
+                return delta
+            self._fold_batches(schema, batches)
             self.relation = relation
-            return self._reference_rediff()
-        self._violations.begin()
-        self._keys.begin()
-        self._fold_batches(schema, batches)
-        self.relation = relation
+        except BaseException:
+            self._rollback_batch()
+            raise
         return self._commit()
 
     def update(
@@ -1127,42 +1317,55 @@ class IncrementalDetector:
         if not doomed and not batch:
             return ViolationDelta()
 
-        store = self._store
-        removed: list[tuple] = []
-        if doomed:
-            # unknown keys are no-ops, like Relation.delete
-            entries = map(store.pop, doomed, repeat(None))
-            removed = [entry for entry in entries if entry is not None]
-            if list in set(map(type, removed)):
-                flat: list[tuple] = []
-                for entry in removed:
-                    if type(entry) is list:
-                        flat.extend(entry)
-                    else:
-                        flat.append(entry)
-                removed = flat
-        if batch:
-            fresh_keys = list(
-                _project_keys(batch, range(len(batch)), key_pos)
-            )
-            if len(set(fresh_keys)) == len(fresh_keys) and store.keys(
-            ).isdisjoint(fresh_keys):
-                store.update(zip(fresh_keys, batch))  # the C fast path
-            else:
-                for key, row in zip(fresh_keys, batch):
-                    self._store_add(key, row)
-        self._relation = None  # invalidate the cached snapshot
+        self._begin_batch()
+        try:
+            store = self._store
+            undo = self._store_undo
+            removed: list[tuple] = []
+            if doomed:
+                for key in doomed:
+                    self._store_touch(key)
+                # unknown keys are no-ops, like Relation.delete
+                entries = map(store.pop, doomed, repeat(None))
+                removed = [entry for entry in entries if entry is not None]
+                if list in set(map(type, removed)):
+                    flat: list[tuple] = []
+                    for entry in removed:
+                        if type(entry) is list:
+                            flat.extend(entry)
+                        else:
+                            flat.append(entry)
+                    removed = flat
+            if batch:
+                fresh_keys = list(
+                    _project_keys(batch, range(len(batch)), key_pos)
+                )
+                if len(set(fresh_keys)) == len(fresh_keys) and store.keys(
+                ).isdisjoint(fresh_keys):
+                    # the C fast path; keys are absent from the store, so
+                    # their undo entries are plain "absent" markers
+                    for key in fresh_keys:
+                        if key not in undo:
+                            undo[key] = None
+                    store.update(zip(fresh_keys, batch))
+                else:
+                    for key, row in zip(fresh_keys, batch):
+                        self._store_add(key, row)
+            self._relation = None  # invalidate the cached snapshot
 
-        if self.engine == "reference":
-            return self._reference_rediff()
-        self._violations.begin()
-        self._keys.begin()
-        batches: list[tuple[list, int]] = []
-        if removed:
-            batches.append((removed, -1))
-        if batch:
-            batches.append((batch, 1))
-        self._fold_batches(schema, batches)
+            if self.engine == "reference":
+                delta = self._reference_rediff()
+                self._end_batch()
+                return delta
+            batches: list[tuple[list, int]] = []
+            if removed:
+                batches.append((removed, -1))
+            if batch:
+                batches.append((batch, 1))
+            self._fold_batches(schema, batches)
+        except BaseException:
+            self._rollback_batch()
+            raise
         return self._commit()
 
     def _update_via_versions(self, inserted, deleted) -> ViolationDelta:
@@ -1186,6 +1389,9 @@ class IncrementalDetector:
     # -- results ----------------------------------------------------------
 
     def _commit(self) -> ViolationDelta:
+        for state in self._variables:
+            state.commit()
+        self._end_batch()
         return commit_counters(self._violations, self._keys, self._wrap_keys)
 
     def _reference_rediff(self) -> ViolationDelta:
@@ -1212,6 +1418,50 @@ class IncrementalDetector:
             source = self._reference_report or ViolationReport()
             return ViolationReport(source.violations, source.tuple_keys)
         return counters_report(self._violations, self._keys, self._wrap_keys)
+
+    def verify(self, sample: int | None = None, seed: int = 8) -> bool:
+        """Invariant check of the maintained state against ``reference``.
+
+        With ``sample=None`` (the default), recomputes the full report
+        with :func:`detect_violations_reference` on the current relation
+        and demands exact equality — O(|D|), the strongest check.
+
+        With an integer ``sample``, draws that many resident rows with
+        ``random.Random(seed)`` and checks **subset soundness**: both
+        violations and violating tuple keys are monotone increasing in
+        the rows (a sub-relation's witnesses all survive in the full
+        relation), so everything the reference engine finds on the
+        sampled sub-relation must already be in the maintained report.
+        O(|sample|) — cheap enough to run inside a long-lived session as
+        a periodic corruption check; it can miss corruption outside the
+        sampled groups, never report a false alarm.
+        """
+        relation = self.relation
+        if relation is None:
+            raise ValueError("attach() a relation before verifying")
+        maintained = self.report
+        if sample is None or sample >= len(relation.rows):
+            expected = detect_violations_reference(
+                relation, self.cfds, self.collect_tuples
+            )
+            if set(maintained.violations) != set(expected.violations):
+                return False
+            return not self.collect_tuples or set(
+                maintained.tuple_keys
+            ) == set(expected.tuple_keys)
+        import random
+
+        rows = random.Random(seed).sample(list(relation.rows), sample)
+        sampled = detect_violations_reference(
+            Relation(self.schema, rows, copy=False),
+            self.cfds,
+            self.collect_tuples,
+        )
+        if not set(sampled.violations) <= set(maintained.violations):
+            return False
+        return not self.collect_tuples or set(sampled.tuple_keys) <= set(
+            maintained.tuple_keys
+        )
 
     def __repr__(self) -> str:
         n = len(self.relation) if self.relation is not None else 0

@@ -34,6 +34,31 @@ Two execution modes:
   slowest fragment instead of the sum of fragments — and no worker ever
   pays memory or placement cost for another site's data.
 
+Failure model (see also :mod:`repro.core.faults`):
+
+Sites and links are real failure domains in the paper's setting, so the
+scheduler *supervises* its workers instead of assuming they are immortal:
+
+* every work order carries a **per-order deadline** (``REPRO_POOL_TIMEOUT``
+  seconds, doubled per retry — exponential backoff) and every worker reply
+  ships with a **CRC32 checksum** over its pickled summary, verified
+  coordinator-side;
+* a dead worker (exitcode sentinel, ``EOFError``/broken pipe) or an
+  expired order triggers **respawn with fragment re-placement** — the
+  fragments routed to that worker are re-placed into a fresh process and
+  the order is resent, up to ``REPRO_POOL_RETRIES`` recoveries per order;
+* a corrupt payload triggers a single **re-request** from the (healthy)
+  resident worker;
+* when an order exhausts its retries, the pool raises the matching typed
+  :class:`~repro.core.faults.WorkerFailure` — never a bare ``EOFError``,
+  never a hang — **evicts itself** from :data:`_POOLS` and its owner's
+  cache (so the next detection builds clean pipes), and
+  :func:`map_fragments` **degrades gracefully**: unless
+  ``REPRO_POOL_DEGRADE=0``, the run falls back to the serial loop, which
+  returns bit-identical results.  Application errors raised by the task
+  function itself propagate unwrapped and leave the pool usable (the
+  reply protocol keeps the pipes in sync).
+
 Configuration
 -------------
 
@@ -44,8 +69,16 @@ Configuration
 ``REPRO_PARALLEL``
     ``thread`` (default), ``process``, or ``off`` (force serial regardless
     of ``REPRO_WORKERS``).
+``REPRO_POOL_TIMEOUT``
+    Per-order deadline in seconds (default 120; ``0`` disables deadlines).
+``REPRO_POOL_RETRIES``
+    Recoveries per order before the typed failure surfaces (default 2).
+``REPRO_POOL_DEGRADE``
+    ``0`` disables the serial fallback after a typed failure (default on).
+``REPRO_FAULTS``
+    Deterministic fault injection (:mod:`repro.core.faults`).
 
-Both are read lazily at each call, so tests can monkeypatch them; explicit
+All are read lazily at each call, so tests can monkeypatch them; explicit
 function arguments override the environment.
 """
 
@@ -54,8 +87,22 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import time
+import weakref
+import zlib
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
+
+from .faults import (
+    STATS,
+    OrderTimeoutError,
+    PayloadCorruptionError,
+    WorkerCrashError,
+    WorkerFailure,
+    active_plan,
+    failure_for,
+)
 
 #: accepted ``REPRO_PARALLEL`` values.
 MODES = ("thread", "process", "off")
@@ -64,6 +111,14 @@ MODES = ("thread", "process", "off")
 #: pool beyond it is shut down (pools pin worker processes and a resident
 #: copy of their fragments, so unbounded caching would leak both).
 MAX_PROCESS_POOLS = 4
+
+#: default per-order deadline (seconds) and recovery budget per order.
+ORDER_TIMEOUT = 120.0
+ORDER_RETRIES = 2
+
+#: base of the exponential backoff sleep between recoveries (seconds).
+_BACKOFF_BASE = 0.01
+_BACKOFF_CAP = 0.5
 
 
 def resolve_workers(workers: int | bool | None = None) -> int:
@@ -108,6 +163,38 @@ def resolve_mode(mode: str | None = None) -> str:
     return mode
 
 
+def resolve_order_timeout() -> float:
+    """Per-order deadline in seconds (``REPRO_POOL_TIMEOUT``; 0 = none)."""
+    raw = os.environ.get("REPRO_POOL_TIMEOUT")
+    if raw is None:
+        return ORDER_TIMEOUT
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_POOL_TIMEOUT must be a number of seconds, got {raw!r}"
+        ) from None
+    return value if value > 0 else float("inf")
+
+
+def resolve_order_retries() -> int:
+    """Recoveries allowed per order (``REPRO_POOL_RETRIES``, default 2)."""
+    raw = os.environ.get("REPRO_POOL_RETRIES")
+    if raw is None:
+        return ORDER_RETRIES
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_POOL_RETRIES must be an integer, got {raw!r}"
+        ) from None
+
+
+def degrade_enabled() -> bool:
+    """Whether typed scheduler failures fall back to the serial loop."""
+    return os.environ.get("REPRO_POOL_DEGRADE", "1") != "0"
+
+
 def parallel_map(
     fn: Callable,
     items: Sequence,
@@ -136,6 +223,10 @@ def parallel_map(
 # -- fragment-resident worker processes ---------------------------------------
 
 
+#: XOR mask a ``corrupt`` fault applies to the shipped CRC32.
+_CORRUPT_MASK = 0x5A5A5A5A
+
+
 def _site_worker(connection, payload: bytes) -> None:
     """One site process: unpack the *assigned* fragments, serve work orders.
 
@@ -143,8 +234,13 @@ def _site_worker(connection, payload: bytes) -> None:
     site-residency, like one machine of the paper's testbed) and rebuilds
     their columnar caches lazily, persisting them across work orders
     exactly like a site's local indexes.  The command loop reads
-    ``(seq, fn, index, args)`` tuples off the pipe and answers
-    ``(seq, ok, result-or-error)``; ``None`` shuts the site down.
+    ``(seq, fn, index, args, fault)`` tuples off the pipe and answers a
+    CRC32-framed pickled ``(seq, ok, result-or-error)``; ``None`` shuts
+    the site down.  ``fault`` is an injected directive from the active
+    :class:`~repro.core.faults.FaultPlan` (``None`` in production):
+    ``crash`` exits hard before executing, ``drop`` consumes the order
+    without answering, ``slow`` sleeps, ``corrupt`` flips the checksum so
+    the parent's verification fails.
     """
     from ..relational import Relation
 
@@ -159,7 +255,16 @@ def _site_worker(connection, payload: bytes) -> None:
             break
         if message is None:
             break
-        seq, fn, index, args = message
+        seq, fn, index, args, fault = message
+        kind = None
+        if fault is not None:
+            kind, latency = fault
+            if kind == "crash":
+                os._exit(17)
+            if kind == "drop":
+                continue  # the order is lost: consume it, never answer
+            if kind == "slow":
+                time.sleep(latency)
         try:
             result = (seq, True, fn(fragments[index], *args))
         except BaseException as error:  # ship the failure, do not die
@@ -168,8 +273,34 @@ def _site_worker(connection, payload: bytes) -> None:
             except Exception:
                 error = RuntimeError(repr(error))
             result = (seq, False, error)
-        connection.send(result)
+        try:
+            data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:  # unpicklable *result*: ship the reason
+            result = (seq, False, RuntimeError(repr(error)))
+            data = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        crc = zlib.crc32(data)
+        if kind == "corrupt":
+            crc ^= _CORRUPT_MASK
+        try:
+            connection.send_bytes(crc.to_bytes(4, "little") + data)
+        except (BrokenPipeError, OSError):  # parent gone mid-reply
+            break
     connection.close()
+
+
+class _Order:
+    """One in-flight work order and its supervision state."""
+
+    __slots__ = ("seq", "index", "args", "worker", "attempts", "timeout", "deadline")
+
+    def __init__(self, seq, index, args, worker, timeout) -> None:
+        self.seq = seq
+        self.index = index
+        self.args = args
+        self.worker = worker
+        self.attempts = 0
+        self.timeout = timeout
+        self.deadline = float("inf")
 
 
 class FragmentPool:
@@ -183,46 +314,151 @@ class FragmentPool:
     worker ever holds — or pays the placement cost for — another site's
     data, and a fragment's columnar caches warm exactly once, at its own
     site.  Results return in task order whatever the completion order.
+
+    The pool is **supervised**: orders carry deadlines, replies carry
+    CRC32 checksums, and dead/wedged workers are respawned with their
+    fragments re-placed (see the module docstring's failure model).
+    :attr:`stats` counts recoveries; :attr:`poisoned` is set when a run
+    gave up and the pool evicted itself from the caches.
+
     Build through :func:`fragment_pool`, which caches one pool per
     cluster and caps the number of live pools.
     """
 
-    __slots__ = ("workers", "_connections", "_processes")
+    __slots__ = (
+        "workers",
+        "poisoned",
+        "stats",
+        "_connections",
+        "_processes",
+        "_fragments",
+        "_n_workers",
+        "_context",
+        "_owner",
+        "__weakref__",
+    )
 
     def __init__(self, fragments: Sequence, workers: int) -> None:
         import multiprocessing
 
         n_workers = max(1, min(workers, len(fragments)))
         self.workers = workers
+        self.poisoned = False
+        self.stats: Counter = Counter()
+        self._fragments = list(fragments)
+        self._n_workers = n_workers
+        self._owner = None
         try:
             # fork is cheapest and keeps worker start-up off the placement
             # cost; non-POSIX platforms fall back to spawn
-            context = multiprocessing.get_context("fork")
+            self._context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context("spawn")
+            self._context = multiprocessing.get_context("spawn")
         self._connections = []
         self._processes = []
         for w in range(n_workers):
-            placed = {
-                index: (fragment.schema, fragment.rows)
-                for index, fragment in enumerate(fragments)
-                if index % n_workers == w
-            }
-            payload = pickle.dumps(placed, protocol=pickle.HIGHEST_PROTOCOL)
-            parent_end, child_end = context.Pipe()
-            process = context.Process(
-                target=_site_worker,
-                args=(child_end, payload),
-                daemon=True,
-            )
-            process.start()
-            child_end.close()
-            self._connections.append(parent_end)
+            connection, process = self._spawn(w)
+            self._connections.append(connection)
             self._processes.append(process)
+
+    def _spawn(self, worker: int):
+        """Start worker ``worker``, (re-)placing its routed fragments."""
+        placed = {
+            index: (fragment.schema, fragment.rows)
+            for index, fragment in enumerate(self._fragments)
+            if index % self._n_workers == worker
+        }
+        payload = pickle.dumps(placed, protocol=pickle.HIGHEST_PROTOCOL)
+        parent_end, child_end = self._context.Pipe()
+        process = self._context.Process(
+            target=_site_worker,
+            args=(child_end, payload),
+            daemon=True,
+        )
+        process.start()
+        child_end.close()
+        return parent_end, process
 
     def _worker_of(self, index: int) -> int:
         """The fixed worker holding fragment ``index``."""
         return index % len(self._connections)
+
+    def _respawn(self, worker: int) -> None:
+        """Replace a dead/wedged worker; its fragments are re-placed."""
+        process = self._processes[worker]
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=1)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.kill()
+                process.join(timeout=1)
+        try:
+            self._connections[worker].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.stats["respawns"] += 1
+        STATS["respawns"] += 1
+        connection, process = self._spawn(worker)
+        self._connections[worker] = connection
+        self._processes[worker] = process
+
+    def _recover(
+        self, order: _Order, retries: int, reason: WorkerFailure,
+        respawn: bool = True,
+    ) -> None:
+        """Book one failed attempt; respawn and back off, or give up."""
+        order.attempts += 1
+        self.stats["retries"] += 1
+        STATS["retries"] += 1
+        if order.attempts > retries:
+            raise reason
+        if respawn:
+            self._respawn(order.worker)
+        # exponential backoff: sleep briefly and double the deadline, so
+        # a genuinely slow site gets room instead of a respawn loop
+        time.sleep(min(_BACKOFF_BASE * (2 ** (order.attempts - 1)), _BACKOFF_CAP))
+        order.timeout *= 2
+
+    def _dispatch(self, fn, order: _Order, plan, retries, outstanding) -> None:
+        """Send one order to its resident worker (recovering as needed)."""
+        while True:
+            fault = None
+            if plan is not None:
+                fault = plan.fault_for(plan.next_order())
+            process = self._processes[order.worker]
+            connection = self._connections[order.worker]
+            if not process.is_alive():  # sentinel: died between orders
+                self.stats["crashes"] += 1
+                STATS["crashes"] += 1
+                self._recover(
+                    order,
+                    retries,
+                    WorkerCrashError(
+                        f"worker {order.worker} found dead (exitcode "
+                        f"{process.exitcode}) before serving fragment "
+                        f"{order.index}"
+                    ),
+                )
+                continue
+            try:
+                connection.send(
+                    (order.seq, fn, order.index, order.args, fault)
+                )
+            except (BrokenPipeError, OSError):
+                self.stats["crashes"] += 1
+                STATS["crashes"] += 1
+                self._recover(
+                    order,
+                    retries,
+                    WorkerCrashError(
+                        f"worker {order.worker} pipe broke sending the "
+                        f"order for fragment {order.index}"
+                    ),
+                )
+                continue
+            order.deadline = time.monotonic() + order.timeout
+            outstanding[self._connections[order.worker]] = order
+            return
 
     def run(self, fn: Callable, tasks: Sequence[tuple[int, tuple]]) -> list:
         """Run ``fn(fragment_i, *args)`` for each ``(i, args)`` task, ordered.
@@ -239,53 +475,190 @@ class FragmentPool:
         result to a parent that is not reading).  ``fn`` must be a
         module-level function (it crosses the process boundary by
         qualified name) and its arguments and results must pickle.
+
+        Supervision: crashed workers are respawned (fragments re-placed)
+        and their orders resent, expired orders likewise, corrupt
+        payloads re-requested — each order up to the retry budget, after
+        which the typed :class:`~repro.core.faults.WorkerFailure`
+        propagates and the pool evicts itself from the caches.  A worker
+        *application* error (``fn`` raised) is shipped home in-protocol,
+        re-raised here once all results are in, and leaves the pool
+        healthy and cached.
         """
+        if not tasks:
+            return []
         from collections import deque
         from multiprocessing.connection import wait
 
+        plan = active_plan()
+        base_timeout = resolve_order_timeout()
+        retries = resolve_order_retries()
         queues: dict[int, deque] = {}
         for seq, (index, args) in enumerate(tasks):
             queues.setdefault(self._worker_of(index), deque()).append(
                 (seq, index, args)
             )
-        outstanding: dict = {}  # connection -> its worker index
-        for worker, queue in queues.items():
-            seq, index, args = queue.popleft()
-            connection = self._connections[worker]
-            # the worker is parked in recv(), so even an order larger
-            # than the pipe buffer streams straight through
-            connection.send((seq, fn, index, args))
-            outstanding[connection] = worker
+        outstanding: dict = {}  # connection -> its in-flight _Order
         results: dict[int, object] = {}
         failure = None
-        while outstanding:
-            for connection in wait(list(outstanding)):
-                seq, ok, value = connection.recv()
-                worker = outstanding.pop(connection)
-                if ok:
-                    results[seq] = value
-                elif failure is None:
-                    failure = value
-                queue = queues[worker]
-                if queue:
-                    seq, index, args = queue.popleft()
-                    connection.send((seq, fn, index, args))
-                    outstanding[connection] = worker
+        try:
+            for worker, queue in queues.items():
+                seq, index, args = queue.popleft()
+                # the worker is parked in recv(), so even an order larger
+                # than the pipe buffer streams straight through
+                self._dispatch(
+                    fn,
+                    _Order(seq, index, args, worker, base_timeout),
+                    plan,
+                    retries,
+                    outstanding,
+                )
+            while outstanding:
+                deadline = min(
+                    order.deadline for order in outstanding.values()
+                )
+                if deadline == float("inf"):
+                    ready = wait(list(outstanding))
+                else:
+                    remaining = deadline - time.monotonic()
+                    ready = (
+                        wait(list(outstanding), timeout=remaining)
+                        if remaining > 0
+                        else []
+                    )
+                if not ready:
+                    now = time.monotonic()
+                    for connection, order in list(outstanding.items()):
+                        if now < order.deadline:
+                            continue
+                        del outstanding[connection]
+                        self.stats["timeouts"] += 1
+                        STATS["timeouts"] += 1
+                        self._recover(
+                            order,
+                            retries,
+                            OrderTimeoutError(
+                                f"order for fragment {order.index} timed "
+                                f"out after {order.timeout:.3g}s at worker "
+                                f"{order.worker}"
+                            ),
+                        )
+                        self._dispatch(fn, order, plan, retries, outstanding)
+                    continue
+                for connection in ready:
+                    order = outstanding.pop(connection, None)
+                    if order is None:  # stale pipe of a respawned worker
+                        continue  # pragma: no cover - defensive
+                    try:
+                        raw = connection.recv_bytes()
+                    except (EOFError, OSError):
+                        self.stats["crashes"] += 1
+                        STATS["crashes"] += 1
+                        self._recover(
+                            order,
+                            retries,
+                            WorkerCrashError(
+                                f"worker {order.worker} died (exitcode "
+                                f"{self._processes[order.worker].exitcode})"
+                                f" serving fragment {order.index}"
+                            ),
+                        )
+                        self._dispatch(fn, order, plan, retries, outstanding)
+                        continue
+                    crc = int.from_bytes(raw[:4], "little")
+                    data = raw[4:]
+                    if zlib.crc32(data) != crc:
+                        # a single re-request from the (healthy) resident
+                        # worker; no respawn — the data did not die, the
+                        # wire lied
+                        self.stats["re_requests"] += 1
+                        STATS["re_requests"] += 1
+                        self._recover(
+                            order,
+                            retries,
+                            PayloadCorruptionError(
+                                f"payload of fragment {order.index} failed "
+                                f"its CRC32 check twice at worker "
+                                f"{order.worker}"
+                            ),
+                            respawn=False,
+                        )
+                        self._dispatch(fn, order, plan, retries, outstanding)
+                        continue
+                    seq, ok, value = pickle.loads(data)
+                    if ok:
+                        results[seq] = value
+                    elif failure is None:
+                        failure = value
+                    queue = queues[order.worker]
+                    if queue:
+                        seq, index, args = queue.popleft()
+                        self._dispatch(
+                            fn,
+                            _Order(seq, index, args, order.worker, base_timeout),
+                            plan,
+                            retries,
+                            outstanding,
+                        )
+        except WorkerFailure:
+            # the pipes may be desynchronized (answers for resent orders
+            # still in flight): never let this pool serve again
+            self.evict()
+            raise
+        except BaseException:  # pragma: no cover - unexpected parent error
+            self.evict()
+            raise
         if failure is not None:
             raise failure
         return [results[seq] for seq in range(len(tasks))]
 
+    def evict(self) -> None:
+        """Drop this (poisoned) pool from every cache and shut it down.
+
+        Removes the pool from :data:`_POOLS` and clears the owner's
+        ``_fragment_pool`` attribute when it still points here, so the
+        next detection builds a fresh pool with clean pipes instead of
+        reusing desynchronized ones.  Idempotent.
+        """
+        self.poisoned = True
+        try:
+            _POOLS.remove(self)
+        except ValueError:
+            pass
+        owner = self._owner() if self._owner is not None else None
+        if owner is not None and getattr(owner, "_fragment_pool", None) is self:
+            try:
+                owner._fragment_pool = None
+            except AttributeError:  # pragma: no cover - slotted owner
+                pass
+        self.close()
+
     def close(self) -> None:
+        """Shut every worker down; no zombie may outlive the parent.
+
+        Asks politely first (the ``None`` sentinel), then escalates:
+        ``join`` → ``terminate`` → ``join`` → ``kill`` → ``join``.
+        Parent-side connections are closed unconditionally afterwards —
+        even when the sentinel send failed — so no descriptor leaks.
+        """
         for connection in self._connections:
             try:
                 connection.send(None)
-                connection.close()
             except (BrokenPipeError, OSError):  # worker already gone
                 pass
         for process in self._processes:
             process.join(timeout=1)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
+                process.join(timeout=1)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
 
 #: live pools in creation order, for LRU eviction and atexit cleanup.
@@ -309,15 +682,25 @@ def fragment_pool(owner, fragments: Sequence, workers: int) -> FragmentPool:
     fragments.  At most :data:`MAX_PROCESS_POOLS` pools stay alive
     globally; beyond that the least recently created pool is shut down —
     short-lived clusters (the synthetic ones the hybrid detector builds)
-    therefore cannot leak worker processes.
+    therefore cannot leak worker processes.  Poisoned pools (a ``run()``
+    that raised a typed failure) never come back from the cache.
     """
     cached = getattr(owner, "_fragment_pool", None)
-    if cached is not None and cached.workers == workers and cached in _POOLS:
+    if (
+        cached is not None
+        and not cached.poisoned
+        and cached.workers == workers
+        and cached in _POOLS
+    ):
         # refresh LRU position
         _POOLS.remove(cached)
         _POOLS.append(cached)
         return cached
     pool = FragmentPool(fragments, workers)
+    try:
+        pool._owner = weakref.ref(owner)
+    except TypeError:  # non-weakrefable stand-ins just skip the backref
+        pool._owner = None
     _POOLS.append(pool)
     while len(_POOLS) > MAX_PROCESS_POOLS:
         _POOLS.pop(0).close()
@@ -326,6 +709,49 @@ def fragment_pool(owner, fragments: Sequence, workers: int) -> FragmentPool:
     except AttributeError:  # slotted stand-ins just rebuild per call
         pass
     return pool
+
+
+def _serial_tasks(fragments, fn, tasks) -> list:
+    """The serial loop — the degradation ladder's last rung, fault-free."""
+    return [fn(fragments[i], *args) for i, args in tasks]
+
+
+def _supervised_thread_map(fragments, fn, tasks, n, plan) -> list:
+    """Thread map with the fault plan's supervision ladder applied.
+
+    In thread mode there is no process to kill and no wire to corrupt,
+    so every injected fault kind degenerates to its typed failure raised
+    at the order's position (``slow`` still sleeps); the supervisor
+    retries the task in place up to the recovery budget, then lets the
+    typed failure propagate to :func:`map_fragments`'s degradation
+    ladder.  Only active when a plan is installed — the production
+    thread path has zero supervision overhead.
+    """
+    retries = resolve_order_retries()
+
+    def call(task):
+        index, args = task
+        attempts = 0
+        while True:
+            order = plan.next_order()
+            fault = plan.fault_for(order)
+            if fault is not None and fault[0] != "slow":
+                attempts += 1
+                STATS["retries"] += 1
+                error = failure_for(fault[0], order)
+                if attempts > retries:
+                    raise error
+                time.sleep(
+                    min(_BACKOFF_BASE * (2 ** (attempts - 1)), _BACKOFF_CAP)
+                )
+                continue
+            if fault is not None:
+                time.sleep(fault[1])
+            return fn(fragments[index], *args)
+
+    with ThreadPoolExecutor(max_workers=min(n, len(tasks))) as pool:
+        futures = [pool.submit(call, task) for task in tasks]
+        return [future.result() for future in futures]
 
 
 def map_fragments(
@@ -345,17 +771,43 @@ def map_fragments(
     every fragment, whichever subset this call touches); ``tasks`` selects
     the fragments to scan.  Results are ordered like ``tasks`` regardless
     of completion order, which keeps parallel runs bit-identical to serial.
+
+    An empty or single-task list short-circuits to the serial loop without
+    touching (or building) any pool.  When the pool or the supervised
+    thread map exhausts its recovery budget, the typed
+    :class:`~repro.core.faults.WorkerFailure` is caught here and the run
+    **degrades** to the serial loop — bit-identical results, recorded in
+    :data:`~repro.core.faults.STATS` — unless ``REPRO_POOL_DEGRADE=0``
+    asks for the failure to surface instead.
     """
     n = resolve_workers(workers)
     mode = resolve_mode(mode)
     if n <= 1 or mode == "off" or len(tasks) <= 1:
-        return [fn(fragments[i], *args) for i, args in tasks]
+        return _serial_tasks(fragments, fn, tasks)
     if mode == "process":
         pool = fragment_pool(owner, fragments, n)
-        return pool.run(fn, tasks)
-    with ThreadPoolExecutor(max_workers=min(n, len(tasks))) as pool:
-        futures = [pool.submit(fn, fragments[i], *args) for i, args in tasks]
-        return [future.result() for future in futures]
+        try:
+            return pool.run(fn, tasks)
+        except WorkerFailure:
+            # run() already evicted the poisoned pool from the caches
+            if not degrade_enabled():
+                raise
+            STATS["degraded_runs"] += 1
+            return _serial_tasks(fragments, fn, tasks)
+    plan = active_plan()
+    if plan is None:
+        with ThreadPoolExecutor(max_workers=min(n, len(tasks))) as pool:
+            futures = [
+                pool.submit(fn, fragments[i], *args) for i, args in tasks
+            ]
+            return [future.result() for future in futures]
+    try:
+        return _supervised_thread_map(fragments, fn, tasks, n, plan)
+    except WorkerFailure:
+        if not degrade_enabled():
+            raise
+        STATS["degraded_runs"] += 1
+        return _serial_tasks(fragments, fn, tasks)
 
 
 def parallel_enabled(workers: int | bool | None = None) -> bool:

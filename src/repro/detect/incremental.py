@@ -183,6 +183,8 @@ class _VariableState:
         "conflicting",
         "bucket_rows",
         "width",
+        "_undo_pairs",
+        "_undo_buckets",
     )
 
     def __init__(self, variable, shared, coordinators, width) -> None:
@@ -194,6 +196,53 @@ class _VariableState:
         self.conflicting: set[int] = set()
         self.bucket_rows = [0] * len(variable.patterns)
         self.width = width
+        # transactional batches: x_code -> (y-table copy | None, was
+        # conflicting), recorded on first touch; see begin()
+        self._undo_pairs: dict | None = None
+        self._undo_buckets: list | None = None
+
+    def begin(self) -> None:
+        """Open a transactional batch (first-touch group snapshots)."""
+        self._undo_pairs = {}
+        self._undo_buckets = list(self.bucket_rows)
+
+    def commit(self) -> None:
+        """Close the batch, discarding its undo log."""
+        self._undo_pairs = None
+        self._undo_buckets = None
+
+    def _touch(self, x_code: int) -> None:
+        undo = self._undo_pairs
+        if undo is None or x_code in undo:
+            return
+        ys = self.pair_counts.get(x_code)
+        undo[x_code] = (
+            None if ys is None else dict(ys),
+            x_code in self.conflicting,
+        )
+
+    def rollback(self) -> None:
+        """Restore every touched group and the bucket row counts.
+
+        The shared dictionaries stay grown (append-only: codes interned
+        during a doomed batch are simply never referenced again).  A
+        no-op when no batch is open.
+        """
+        undo = self._undo_pairs
+        self._undo_pairs = None
+        if undo is not None:
+            for x_code, (ys, was) in undo.items():
+                if ys is None:
+                    self.pair_counts.pop(x_code, None)
+                else:
+                    self.pair_counts[x_code] = ys
+                if was:
+                    self.conflicting.add(x_code)
+                else:
+                    self.conflicting.discard(x_code)
+        if self._undo_buckets is not None:
+            self.bucket_rows = self._undo_buckets
+            self._undo_buckets = None
 
     def _violation(self, x_code: int) -> Violation:
         return Violation(
@@ -204,6 +253,7 @@ class _VariableState:
 
     def add_rows(self, x_code: int, y_code: int, count: int) -> None:
         """Patch one combination's row count (build and update path both)."""
+        self._touch(x_code)
         ys = self.pair_counts.setdefault(x_code, {})
         new = ys.get(y_code, 0) + count
         if new > 0:
@@ -220,6 +270,7 @@ class _VariableState:
 
     def settle(self, x_code: int, violations: TransitionCounter) -> None:
         """Re-derive one group's conflict status after patching it."""
+        self._touch(x_code)
         ys = self.pair_counts.get(x_code)
         now = ys is not None and len(ys) >= 2
         was = x_code in self.conflicting
@@ -427,6 +478,12 @@ class IncrementalHorizontalDetector:
         shipped (as signed coded triples) and folded; the returned
         :class:`IncrementalUpdate` carries what changed and this batch's
         traffic/cost.
+
+        All-or-nothing: if any part of the round fails — a schema error,
+        an invalid delete, a typed scheduler failure surfacing with
+        ``REPRO_POOL_DEGRADE=0`` — the session (fragment versions,
+        coordinator group tables, counters, cost log) rolls back to the
+        state before this call and the exception propagates.
         """
         if not self._detected:
             raise ValueError("run detect() before applying updates")
@@ -434,92 +491,105 @@ class IncrementalHorizontalDetector:
         model = cluster.cost_model
         self._violations.begin()
         self._keys.begin()
+        for state in self._variables:
+            state.begin()
         update_log = ShipmentLog()
+        prior_fragments = list(self.fragments)
 
-        batches = apply_fragment_updates(self.fragments, updates)
+        try:
+            batches = apply_fragment_updates(self.fragments, updates)
 
-        if not batches:
-            return IncrementalUpdate(
-                self._commit(), self.report, update_log, base.stage(0, 0, 0)
-            )
+            if not batches:
+                return IncrementalUpdate(
+                    self._commit(), self.report, update_log,
+                    base.stage(0, 0, 0),
+                )
 
-        # constants: fold each site's delta locally (Proposition 5)
-        for index, inserted, removed in batches:
-            folds = self._constants[index]
-            for sign, rows in ((-1, removed), (1, inserted)):
-                if rows:
-                    batch = Relation(cluster.schema, rows, copy=False)
-                    folds.fold(
-                        batch,
-                        sign,
-                        self._violations,
-                        self._keys,
-                        _resolve_vectorize(None, batch),
-                    )
-
-        # variables: σ-scan the deltas through the scheduler, site-parallel
-        variables = [state.variable for state in self._variables]
-        received_events: dict[int, int] = {}
-        if variables:
-            site_fragments = [site.fragment for site in cluster.sites]
-            tasks = [
-                (index, (variables, inserted, removed))
-                for index, inserted, removed in batches
-            ]
-            results = map_fragments(
-                cluster, site_fragments, scan_delta_summary, tasks
-            )
-            for (index, _args), per_variable in zip(tasks, results):
-                for state, (pair_deltas, row_events, net_rows) in zip(
-                    self._variables, per_variable
-                ):
-                    shared = state.shared
-                    touched: set[int] = set()
-                    for ordinal, deltas in enumerate(pair_deltas):
-                        if not deltas:
-                            continue
-                        coordinator = state.coordinators[ordinal]
-                        if coordinator != index:
-                            update_log.ship(
-                                coordinator,
-                                index,
-                                row_events[ordinal],
-                                row_events[ordinal] * state.width,
-                                tag=f"{state.variable.source}#p{ordinal}Δ",
-                                n_codes=3 * len(deltas),
-                            )
-                        # the coordinator re-checks its patched buckets
-                        # whether the delta crossed the wire or was local
-                        # — mirroring detect(), which charges coordinators
-                        # for their own rows too
-                        received_events[coordinator] = (
-                            received_events.get(coordinator, 0)
-                            + row_events[ordinal]
+            # constants: fold each site's delta locally (Proposition 5)
+            for index, inserted, removed in batches:
+                folds = self._constants[index]
+                for sign, rows in ((-1, removed), (1, inserted)):
+                    if rows:
+                        batch = Relation(cluster.schema, rows, copy=False)
+                        folds.fold(
+                            batch,
+                            sign,
+                            self._violations,
+                            self._keys,
+                            _resolve_vectorize(None, batch),
                         )
-                        for (x, y), count in deltas.items():
-                            x_code = shared.intern_x(x)
-                            y_code = shared.intern_y(y)
-                            state.add_rows(x_code, y_code, count)
-                            touched.add(x_code)
-                        state.bucket_rows[ordinal] += net_rows[ordinal]
-                    for x_code in touched:
-                        state.settle(x_code, self._violations)
 
-        scan = max(
-            (
-                model.scan_time(len(inserted) + len(removed))
-                for _index, inserted, removed in batches
-            ),
-            default=0.0,
-        )
-        transfer = model.transfer_time(update_log.outgoing_by_source())
-        check = max(
-            (
-                model.check_time(model.check_ops(events))
-                for events in received_events.values()
-            ),
-            default=0.0,
-        )
+            # variables: σ-scan the deltas through the scheduler,
+            # site-parallel
+            variables = [state.variable for state in self._variables]
+            received_events: dict[int, int] = {}
+            if variables:
+                site_fragments = [site.fragment for site in cluster.sites]
+                tasks = [
+                    (index, (variables, inserted, removed))
+                    for index, inserted, removed in batches
+                ]
+                results = map_fragments(
+                    cluster, site_fragments, scan_delta_summary, tasks
+                )
+                for (index, _args), per_variable in zip(tasks, results):
+                    for state, (pair_deltas, row_events, net_rows) in zip(
+                        self._variables, per_variable
+                    ):
+                        shared = state.shared
+                        touched: set[int] = set()
+                        for ordinal, deltas in enumerate(pair_deltas):
+                            if not deltas:
+                                continue
+                            coordinator = state.coordinators[ordinal]
+                            if coordinator != index:
+                                update_log.ship(
+                                    coordinator,
+                                    index,
+                                    row_events[ordinal],
+                                    row_events[ordinal] * state.width,
+                                    tag=f"{state.variable.source}#p{ordinal}Δ",
+                                    n_codes=3 * len(deltas),
+                                )
+                            # the coordinator re-checks its patched
+                            # buckets whether the delta crossed the wire
+                            # or was local — mirroring detect(), which
+                            # charges coordinators for their own rows too
+                            received_events[coordinator] = (
+                                received_events.get(coordinator, 0)
+                                + row_events[ordinal]
+                            )
+                            for (x, y), count in deltas.items():
+                                x_code = shared.intern_x(x)
+                                y_code = shared.intern_y(y)
+                                state.add_rows(x_code, y_code, count)
+                                touched.add(x_code)
+                            state.bucket_rows[ordinal] += net_rows[ordinal]
+                        for x_code in touched:
+                            state.settle(x_code, self._violations)
+
+            scan = max(
+                (
+                    model.scan_time(len(inserted) + len(removed))
+                    for _index, inserted, removed in batches
+                ),
+                default=0.0,
+            )
+            transfer = model.transfer_time(update_log.outgoing_by_source())
+            check = max(
+                (
+                    model.check_time(model.check_ops(events))
+                    for events in received_events.values()
+                ),
+                default=0.0,
+            )
+        except BaseException:
+            self.fragments[:] = prior_fragments
+            for state in self._variables:
+                state.rollback()
+            self._violations.rollback()
+            self._keys.rollback()
+            raise
         stage = base.stage(scan, transfer, check)
         self._cost.stages.append(stage)
         self._log.merge(update_log)
@@ -528,12 +598,54 @@ class IncrementalHorizontalDetector:
     # -- results ----------------------------------------------------------
 
     def _commit(self) -> ViolationDelta:
+        for state in self._variables:
+            state.commit()
         return commit_counters(self._violations, self._keys, self._wrap_keys)
 
     @property
     def report(self) -> ViolationReport:
         """The full current report (fresh copy)."""
         return counters_report(self._violations, self._keys, self._wrap_keys)
+
+    def verify(self, sample: int | None = None, seed: int = 8) -> bool:
+        """Invariant check against the ``reference`` engine.
+
+        With ``sample=None`` (the default), recomputes the full
+        violation set over the union of the *current* fragment versions
+        with :func:`~repro.core.detection.detect_violations_reference`
+        and demands exact equality.  With an integer ``sample``, draws
+        that many resident rows with ``random.Random(seed)`` and checks
+        subset soundness (violations are monotone increasing in the
+        rows): every violation the reference engine finds on the sample
+        must already be in the maintained report — a cheap,
+        false-alarm-free corruption check for long-lived sessions.
+
+        Only violations are compared: the distributed protocol ships
+        coded summaries, so (like the one-shot horizontal algorithms)
+        the session does not track per-row tuple keys of variable forms.
+        """
+        import random
+
+        from ..core.detection import detect_violations_reference
+
+        rows: list = []
+        for fragment in self.fragments:
+            rows.extend(fragment.rows)
+        maintained = set(self.report.violations)
+        if sample is not None and sample < len(rows):
+            rows = random.Random(seed).sample(rows, sample)
+            expected = detect_violations_reference(
+                Relation(self.cluster.schema, rows, copy=False),
+                self.cfd,
+                collect_tuples=False,
+            )
+            return set(expected.violations) <= maintained
+        expected = detect_violations_reference(
+            Relation(self.cluster.schema, rows, copy=False),
+            self.cfd,
+            collect_tuples=False,
+        )
+        return set(expected.violations) == maintained
 
     @property
     def shipments(self) -> ShipmentLog:

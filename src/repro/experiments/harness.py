@@ -145,12 +145,18 @@ def _bench_provenance() -> dict:
         numpy_version = numpy.__version__
     except ImportError:
         numpy_version = None
+    from ..core.faults import active_plan
+
     return {
         "git_sha": sha,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy_version": numpy_version,
         "cpu_count": os.cpu_count(),
+        # the timed legs must run fault-free: an ambient fault plan would
+        # make every number incomparable, so the record says so explicitly
+        # (the robustness legs install their plans locally and note them)
+        "faults": repr(active_plan()) if active_plan() is not None else "none",
         "repro_knobs": {
             name: value
             for name, value in sorted(os.environ.items())
@@ -530,6 +536,115 @@ def _bench_parallel_detection(data, cfd, repeats: int, workers: int) -> dict:
     }
 
 
+def _bench_robustness(data, cfd, repeats: int, workers: int) -> dict:
+    """Detection under injected faults: recovery cost and the degraded floor.
+
+    Two legs over the Fig. 3c workload at 4 simulated sites, each with a
+    deterministic :class:`~repro.core.faults.FaultPlan` installed for
+    exactly its own run (the plan's spec is recorded per leg, and the
+    headline benchmark sections above stay fault-free — see
+    ``provenance.faults``):
+
+    ``crash_recovery``
+        A warm fragment-resident process pool loses one worker to an
+        injected crash on the first order of the timed detection.  The
+        supervisor respawns it, re-places its fragments and resends the
+        order; the leg records the wall-clock of that recovered detection
+        next to the fault-free warm time, the respawn count, and
+        ``matches_serial`` — recovery must be bit-identical, not merely
+        survivable.
+
+    ``degraded_throughput``
+        Enough crashes to exhaust the retry budget, so the pool raises its
+        typed failure, evicts itself, and :func:`map_fragments` falls back
+        to the serial loop.  The leg records the degraded run's wall-clock
+        and rows/sec — the floor a deployment keeps when a site stays
+        down — plus ``matches_serial`` for the fallback's results.
+
+    Timing floors are deliberately **not** gated on these legs (degraded
+    runs measure survival, not speed); only the ``matches_serial`` flags
+    are, in ``benchmarks/test_perf_regression.py``.
+    """
+    from ..core.faults import STATS, FaultPlan, fault_plan
+    from ..detect import pat_detect_s
+    from ..partition import partition_uniform
+
+    overrides = {
+        "REPRO_WORKERS": str(workers),
+        "REPRO_PARALLEL": "process",
+        "REPRO_POOL_TIMEOUT": "60",
+        "REPRO_POOL_RETRIES": "2",
+        "REPRO_POOL_DEGRADE": "1",
+    }
+    previous = {name: os.environ.get(name) for name in overrides}
+    serial = pat_detect_s(partition_uniform(data, 4), cfd)
+
+    def matches(outcome) -> bool:
+        return (
+            outcome.report.violations == serial.report.violations
+            and outcome.tuples_shipped == serial.tuples_shipped
+        )
+
+    os.environ.update(overrides)
+    try:
+        # -- crash recovery: warm pool, one injected crash ------------------
+        cluster = partition_uniform(data, 4)
+        pat_detect_s(cluster, cfd)  # cold run: place fragments, warm caches
+        warm_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            pat_detect_s(cluster, cfd)
+            warm_times.append(time.perf_counter() - start)
+        crash_spec = "crash@0"
+        respawns_before = STATS["respawns"]
+        with fault_plan(FaultPlan.parse(crash_spec)):
+            start = time.perf_counter()
+            recovered = pat_detect_s(cluster, cfd)
+            recovery_seconds = time.perf_counter() - start
+        crash_leg = {
+            "fault_spec": crash_spec,
+            "recovery_seconds": recovery_seconds,
+            "fault_free_warm_seconds": min(warm_times),
+            "recovery_overhead_seconds": recovery_seconds - min(warm_times),
+            "respawns": STATS["respawns"] - respawns_before,
+            "matches_serial": matches(recovered),
+        }
+
+        # -- degraded throughput: crashes past the retry budget -------------
+        os.environ["REPRO_POOL_RETRIES"] = "1"
+        degraded_spec = ",".join(f"crash@{i}" for i in range(16))
+        cluster = partition_uniform(data, 4)
+        degraded_before = STATS["degraded_runs"]
+        with fault_plan(FaultPlan.parse(degraded_spec)):
+            start = time.perf_counter()
+            outcome = pat_detect_s(cluster, cfd)
+            degraded_seconds = time.perf_counter() - start
+        degraded_leg = {
+            "fault_spec": degraded_spec,
+            "seconds": degraded_seconds,
+            "rows_per_sec": len(data) / degraded_seconds,
+            "degraded_runs": STATS["degraded_runs"] - degraded_before,
+            "matches_serial": matches(outcome),
+        }
+    finally:
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+    return {
+        "workload": "fig3c_single_cfd",
+        "algorithm": "PATDETECTS",
+        "sites": 4,
+        "workers": workers,
+        "crash_recovery": crash_leg,
+        "degraded_throughput": degraded_leg,
+        "matches_serial": (
+            crash_leg["matches_serial"] and degraded_leg["matches_serial"]
+        ),
+    }
+
+
 def bench_detection(
     out: str | Path | None = None,
     repeats: int = 3,
@@ -557,8 +672,10 @@ def bench_detection(
 
     ``workers`` (default 4) appends the distributed ``parallel`` section —
     fragment-level detection at workers ∈ {1, N} across serial/thread/
-    process legs (:func:`_bench_parallel_detection`); pass ``workers<=1``
-    to skip it.
+    process legs (:func:`_bench_parallel_detection`) — and the
+    ``robustness`` section — crash recovery and degraded-mode throughput
+    under injected faults (:func:`_bench_robustness`); pass ``workers<=1``
+    to skip both.
 
     Returns the summary dict; when ``out`` is given it is also written
     there as JSON (``BENCH_detect.json``), giving future changes a
@@ -676,6 +793,9 @@ def bench_detection(
     )
     if workers > 1:
         summary["parallel"] = _bench_parallel_detection(
+            data, workloads["fig3c_single_cfd"][0], repeats, workers
+        )
+        summary["robustness"] = _bench_robustness(
             data, workloads["fig3c_single_cfd"][0], repeats, workers
         )
     if out is not None:

@@ -1,0 +1,463 @@
+"""Chaos suite: deterministic fault injection and transactional sessions.
+
+The robustness contract under test: **any single injected fault at any
+order position yields either bit-identical violations after recovery or
+one typed error — never a hang, never silent corruption** — and a failed
+update batch leaves a resident session exactly as it was (rollback is
+all-or-nothing, and ``matches_full_recompute`` still holds afterwards).
+
+The suite runs under both scheduler modes (the CI chaos job matrixes
+``REPRO_PARALLEL=thread|process``); the process legs pin tiny clusters
+and short ``REPRO_POOL_TIMEOUT`` so dropped orders recover in
+milliseconds, and every test runs under pytest's session timeout — a
+wedged pipe fails loudly instead of hanging CI.
+"""
+
+import os
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    CFD,
+    FaultPlan,
+    FaultSpecError,
+    PatternTuple,
+    STATS,
+    TransitionCounter,
+    WILDCARD,
+    WorkerCrashError,
+    WorkerFailure,
+    active_plan,
+    fault_plan,
+    install_fault_plan,
+)
+from repro.core.incremental import incremental_detect
+from repro.core.parallel import _POOLS, FragmentPool, map_fragments
+from repro.detect import pat_detect_s
+from repro.detect.incremental import incremental_pat_s
+from repro.partition import partition_uniform
+from repro.relational import Relation, Schema
+
+SCHEMA = Schema("R", ("id", "a", "b", "c"), key=("id",))
+
+CFD_AB = CFD(["a"], ["b"], [PatternTuple([WILDCARD], [WILDCARD])], name="phi")
+
+
+def _relation(n=30):
+    return Relation(
+        SCHEMA, [(i, i % 3, (i * 7) % 4, i % 2) for i in range(n)]
+    )
+
+
+def _fragment_len(fragment):
+    return len(fragment)
+
+
+class _Owner:
+    """A stand-in cluster: just something to hang a cached pool off."""
+
+
+# -- the plan itself ----------------------------------------------------------
+
+
+def test_fault_plan_parse_round_trip():
+    plan = FaultPlan.parse("crash@3,corrupt@7,slow@2,drop@11,latency=0.005")
+    assert plan.crash == {3}
+    assert plan.corrupt == {7}
+    assert plan.slow == {2}
+    assert plan.drop == {11}
+    assert plan.latency == 0.005
+    assert "crash@3" in repr(plan)
+    seeded = FaultPlan.parse("seed=13,rate=0.05,kinds=crash|drop")
+    assert seeded.seed == 13
+    assert seeded.rate == 0.05
+    assert seeded.kinds == ("crash", "drop")
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "explode@3",            # unknown kind
+        "crash@three",          # non-integer order
+        "rate=often",           # non-float option
+        "kinds=crash|explode",  # unknown kind in kinds
+        "rate=1.5",             # out of range
+        "crash",                # neither kind@order nor option=value
+        "volume=11",            # unknown option
+    ],
+)
+def test_fault_plan_rejects_bad_specs(spec):
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse(spec)
+
+
+def test_fault_plan_explicit_entries_fire_once():
+    plan = FaultPlan(crash=[2])
+    assert plan.fault_for(0) is None
+    assert plan.fault_for(2) == ("crash", plan.latency)
+    # one-shot: the retried order (a fresh sequence number anyway) and
+    # even a re-probe of the same number succeed
+    assert plan.fault_for(2) is None
+    plan.reset()
+    assert plan.fault_for(2) is not None
+
+
+def test_fault_plan_seeded_random_is_deterministic():
+    draws = [
+        [FaultPlan(rate=0.3, seed=13).fault_for(order) for order in range(200)]
+        for _ in range(2)
+    ]
+    assert draws[0] == draws[1]
+    fired = [fault for fault in draws[0] if fault is not None]
+    assert fired  # rate 0.3 over 200 orders certainly fires
+    other = [
+        FaultPlan(rate=0.3, seed=14).fault_for(order) for order in range(200)
+    ]
+    assert other != draws[0]
+
+
+def test_active_plan_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    install_fault_plan(None)
+    assert active_plan() is None
+    monkeypatch.setenv("REPRO_FAULTS", "crash@5")
+    env_plan = active_plan()
+    assert env_plan.crash == {5}
+    assert active_plan() is env_plan  # cached: plan state must persist
+    with fault_plan(FaultPlan(drop=[1])) as api_plan:
+        assert active_plan() is api_plan  # API plan wins
+    assert active_plan() is env_plan  # restored
+
+
+# -- supervised process pool --------------------------------------------------
+
+
+def _pool(n_fragments=2, workers=2):
+    fragments = [
+        Relation(SCHEMA, [(f * 10 + j, 0, 0, 0) for j in range(f + 1)])
+        for f in range(n_fragments)
+    ]
+    return FragmentPool(fragments, workers=workers)
+
+
+def test_pool_recovers_from_worker_crash():
+    pool = _pool()
+    try:
+        with fault_plan(FaultPlan(crash=[0])):
+            assert pool.run(_fragment_len, [(0, ()), (1, ())]) == [1, 2]
+        assert pool.stats["respawns"] >= 1
+        assert not pool.poisoned
+        # the respawned worker keeps serving (fragments were re-placed)
+        assert pool.run(_fragment_len, [(0, ()), (1, ())]) == [1, 2]
+    finally:
+        pool.close()
+
+
+def test_pool_corruption_triggers_single_rerequest():
+    pool = _pool()
+    try:
+        with fault_plan(FaultPlan(corrupt=[0])):
+            assert pool.run(_fragment_len, [(0, ()), (1, ())]) == [1, 2]
+        assert pool.stats["re_requests"] == 1
+        assert pool.stats["respawns"] == 0  # the wire lied, not the worker
+    finally:
+        pool.close()
+
+
+def test_pool_timeout_recovers_dropped_order(monkeypatch):
+    monkeypatch.setenv("REPRO_POOL_TIMEOUT", "0.3")
+    pool = _pool()
+    try:
+        with fault_plan(FaultPlan(drop=[0])):
+            assert pool.run(_fragment_len, [(0, ()), (1, ())]) == [1, 2]
+        assert pool.stats["timeouts"] >= 1
+        assert pool.stats["respawns"] >= 1
+    finally:
+        pool.close()
+
+
+def test_pool_slow_fault_only_delays():
+    pool = _pool()
+    try:
+        with fault_plan(FaultPlan(slow=[0], latency=0.05)):
+            assert pool.run(_fragment_len, [(0, ()), (1, ())]) == [1, 2]
+        assert pool.stats["retries"] == 0
+    finally:
+        pool.close()
+
+
+def test_exhausted_retries_raise_typed_error_and_evict(monkeypatch):
+    """Satellite regression: a pool whose run() raised an infrastructure
+    failure must leave every cache — no reuse of desynchronized pipes."""
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL", "process")
+    monkeypatch.setenv("REPRO_POOL_RETRIES", "1")
+    monkeypatch.setenv("REPRO_POOL_DEGRADE", "0")
+    owner = _Owner()
+    fragments = [Relation(SCHEMA, [(i, 0, 0, 0)]) for i in range(2)]
+    tasks = [(0, ()), (1, ())]
+    # the worker dies on the first order *and* on both recovery attempts
+    with fault_plan(FaultPlan(crash=[0, 1, 2, 3])):
+        with pytest.raises(WorkerCrashError):
+            map_fragments(owner, fragments, _fragment_len, tasks)
+    pool = getattr(owner, "_fragment_pool", None)
+    assert pool is None or pool.poisoned
+    assert all(not p.poisoned for p in _POOLS)
+    # the next detection builds a clean pool and succeeds
+    assert map_fragments(owner, fragments, _fragment_len, tasks) == [1, 1]
+    assert owner._fragment_pool in _POOLS
+
+
+def test_map_fragments_degrades_to_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL", "process")
+    monkeypatch.setenv("REPRO_POOL_RETRIES", "0")
+    owner = _Owner()
+    fragments = [Relation(SCHEMA, [(i, 0, 0, 0)]) for i in range(2)]
+    tasks = [(0, ()), (1, ())]
+    before = STATS["degraded_runs"]
+    with fault_plan(FaultPlan(crash=[0, 1])):
+        assert map_fragments(owner, fragments, _fragment_len, tasks) == [1, 1]
+    assert STATS["degraded_runs"] == before + 1
+    assert getattr(owner, "_fragment_pool", None) is None  # evicted
+
+
+def test_thread_mode_supervision_ladder(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL", "thread")
+    owner = _Owner()
+    fragments = [Relation(SCHEMA, [(i, 0, 0, 0)]) for i in range(2)]
+    tasks = [(0, ()), (1, ())]
+    # bounded retry recovers in place
+    with fault_plan(FaultPlan(crash=[0])):
+        assert map_fragments(owner, fragments, _fragment_len, tasks) == [1, 1]
+    # exhausted budget degrades to serial by default...
+    monkeypatch.setenv("REPRO_POOL_RETRIES", "0")
+    before = STATS["degraded_runs"]
+    with fault_plan(FaultPlan(crash=[0, 1])):
+        assert map_fragments(owner, fragments, _fragment_len, tasks) == [1, 1]
+    assert STATS["degraded_runs"] == before + 1
+    # ...and surfaces the typed failure when degradation is off
+    monkeypatch.setenv("REPRO_POOL_DEGRADE", "0")
+    with fault_plan(FaultPlan(drop=[0, 1])):
+        with pytest.raises(WorkerFailure):
+            map_fragments(owner, fragments, _fragment_len, tasks)
+
+
+# -- the chaos property: any single fault, any position -----------------------
+
+
+def _serial_baseline(relation, cfd):
+    outcome = pat_detect_s(partition_uniform(relation, 3), cfd)
+    return outcome.report.violations, outcome.report.tuple_keys
+
+
+@pytest.mark.parametrize("kind", ["crash", "drop", "corrupt", "slow"])
+def test_single_fault_recovers_bit_identical_process(kind, monkeypatch):
+    """Process mode: every fault kind at several positions → identical."""
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    monkeypatch.setenv("REPRO_PARALLEL", "process")
+    monkeypatch.setenv("REPRO_POOL_TIMEOUT", "0.4")
+    relation = _relation(24)
+    monkeypatch.setenv("REPRO_PARALLEL", "off")
+    violations, keys = _serial_baseline(relation, CFD_AB)
+    monkeypatch.setenv("REPRO_PARALLEL", "process")
+    for position in (0, 1, 2):
+        with fault_plan(FaultPlan(**{kind: [position]})):
+            outcome = pat_detect_s(
+                partition_uniform(relation, 3), CFD_AB
+            )
+        assert outcome.report.violations == violations, (kind, position)
+        assert outcome.report.tuple_keys == keys, (kind, position)
+
+
+@pytest.mark.parametrize("kind", ["crash", "drop", "corrupt", "slow"])
+def test_single_fault_recovers_bit_identical_thread(kind, monkeypatch):
+    """Thread mode: the same contract, across more positions."""
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    monkeypatch.setenv("REPRO_PARALLEL", "thread")
+    relation = _relation(24)
+    monkeypatch.setenv("REPRO_PARALLEL", "off")
+    violations, keys = _serial_baseline(relation, CFD_AB)
+    monkeypatch.setenv("REPRO_PARALLEL", "thread")
+    for position in range(6):
+        with fault_plan(FaultPlan(**{kind: [position]})):
+            outcome = pat_detect_s(
+                partition_uniform(relation, 3), CFD_AB
+            )
+        assert outcome.report.violations == violations, (kind, position)
+        assert outcome.report.tuple_keys == keys, (kind, position)
+
+
+def test_seeded_random_chaos_still_bit_identical(monkeypatch):
+    """A 20% seeded fault rate over a whole detection changes nothing."""
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    monkeypatch.setenv("REPRO_PARALLEL", "thread")
+    relation = _relation(24)
+    monkeypatch.setenv("REPRO_PARALLEL", "off")
+    violations, keys = _serial_baseline(relation, CFD_AB)
+    monkeypatch.setenv("REPRO_PARALLEL", "thread")
+    for seed in range(3):
+        with fault_plan(FaultPlan(rate=0.2, seed=seed, latency=0.0)):
+            outcome = pat_detect_s(partition_uniform(relation, 3), CFD_AB)
+        assert outcome.report.violations == violations, seed
+        assert outcome.report.tuple_keys == keys, seed
+
+
+# -- transactional sessions ---------------------------------------------------
+
+ATTRS = ("a", "b", "c")
+VALUES = [0, 1, 2]
+
+rows_strategy = st.lists(
+    st.tuples(*[st.sampled_from(VALUES) for _ in ATTRS]),
+    min_size=2,
+    max_size=16,
+)
+
+SESSION_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+def _report_state(detector):
+    report = detector.report
+    return (set(report.violations), set(report.tuple_keys))
+
+
+def _countdown(original, n):
+    """Wrap a method to raise after ``n`` successful calls."""
+    state = {"left": n}
+
+    def wrapper(self, *args, **kwargs):
+        if state["left"] <= 0:
+            raise RuntimeError("injected mid-batch failure")
+        state["left"] -= 1
+        return original(self, *args, **kwargs)
+
+    return wrapper
+
+
+@pytest.mark.usefixtures("detection_engine")
+@SESSION_SETTINGS
+@given(rows_strategy, rows_strategy, st.integers(0, 6))
+def test_failed_update_rolls_back_session(initial, batch, fuse):
+    """Property: failed batch ⇒ session state ≡ pre-batch, and the
+    session keeps matching a full recompute afterwards."""
+    relation = Relation(
+        SCHEMA, [(i,) + row for i, row in enumerate(initial)]
+    )
+    fresh = [
+        (1000 + i,) + row for i, row in enumerate(batch)
+    ]
+    doomed = [key for key, _ in zip(range(len(initial)), range(0, 4))]
+    detector = incremental_detect(relation, [CFD_AB])
+    before = _report_state(detector)
+    before_rows = sorted(detector.relation.rows)
+
+    counter_add = TransitionCounter.add
+    counter_bulk = TransitionCounter.add_bulk
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setattr(TransitionCounter, "add", _countdown(counter_add, fuse))
+        mp.setattr(
+            TransitionCounter, "add_bulk", _countdown(counter_bulk, fuse)
+        )
+        try:
+            detector.update(inserted=fresh, deleted=doomed)
+            failed = False
+        except RuntimeError:
+            failed = True
+    finally:
+        mp.undo()
+
+    if failed:
+        # all-or-nothing: counters, group tables and the row store are
+        # exactly as before the doomed batch
+        assert _report_state(detector) == before
+        assert sorted(detector.relation.rows) == before_rows
+    # either way the session still matches a full reference recompute,
+    # and cleanly re-applying the batch works
+    assert detector.verify() is True
+    detector.update(inserted=fresh, deleted=doomed)
+    assert detector.verify() is True
+
+
+def test_failed_update_rolls_back_horizontal_session():
+    relation = _relation(30)
+    session = incremental_pat_s(partition_uniform(relation, 3), CFD_AB)
+    session.apply_updates({0: ([(100, 0, 3, 0), (101, 0, 2, 1)], [])})
+    before = (set(session.report.violations), set(session.report.tuple_keys))
+    before_fragments = list(session.fragments)
+    before_stages = len(session._cost.stages)
+
+    from repro.detect.incremental import _VariableState
+
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setattr(
+            _VariableState, "settle", _countdown(_VariableState.settle, 0)
+        )
+        with pytest.raises(RuntimeError, match="injected"):
+            session.apply_updates(
+                {1: ([(200, 1, 3, 0), (201, 1, 2, 1)], []), 2: ([], [2])}
+            )
+    finally:
+        mp.undo()
+
+    assert (
+        set(session.report.violations), set(session.report.tuple_keys)
+    ) == before
+    assert session.fragments == before_fragments  # versions rolled back
+    assert len(session._cost.stages) == before_stages  # no half cost entry
+    assert session.verify() is True
+    # the session is still live: the same round applies cleanly
+    session.apply_updates(
+        {1: ([(200, 1, 3, 0), (201, 1, 2, 1)], []), 2: ([], [2])}
+    )
+    assert session.verify() is True
+
+
+def test_verify_full_and_sampled():
+    relation = _relation(40)
+    detector = incremental_detect(relation, [CFD_AB])
+    assert detector.verify() is True
+    assert detector.verify(sample=10) is True
+    # corrupt the maintained state: verify must notice
+    detector._violations.counts.clear()
+    detector._keys.counts.clear()
+    assert detector.verify() is False
+    assert detector.verify(sample=30) is False
+
+
+def test_verify_on_distributed_session():
+    session = incremental_pat_s(partition_uniform(_relation(30), 3), CFD_AB)
+    assert session.verify() is True
+    assert session.verify(sample=10) is True
+    session._violations.counts.clear()
+    session._keys.counts.clear()
+    assert session.verify() is False
+
+
+def test_update_after_rollback_keeps_incremental_speed_path():
+    """A rollback must not silently flip the session to reference mode."""
+    relation = _relation(20)
+    detector = incremental_detect(relation, [CFD_AB], engine="fused")
+    assert detector.engine == "fused"
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setattr(
+            TransitionCounter, "add", _countdown(TransitionCounter.add, 0)
+        )
+        with pytest.raises(RuntimeError):
+            detector.update(inserted=[(500, 0, 3, 1)])
+    finally:
+        mp.undo()
+    assert detector.engine == "fused"
+    delta = detector.update(inserted=[(500, 0, 3, 1)])
+    assert (500,) in detector.report.tuple_keys or not delta
+
+
+def teardown_module(module):
+    install_fault_plan(None)
+    os.environ.pop("REPRO_FAULTS", None)

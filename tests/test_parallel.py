@@ -252,6 +252,113 @@ def _echo_payload(fragment, payload):
     return payload
 
 
+class _LambdaError(RuntimeError):
+    """An exception that cannot cross the pipe (closure in its state)."""
+
+    def __init__(self):
+        super().__init__("boom")
+        self.payload = lambda: None  # unpicklable attribute
+
+
+def _raise_unpicklable(fragment):
+    raise _LambdaError()
+
+
+def _return_unpicklable(fragment):
+    return lambda: None
+
+
+def _exit_hard(fragment):
+    import os as _os
+
+    _os._exit(21)
+
+
+def test_fragment_pool_wraps_unpicklable_errors(monkeypatch):
+    """A worker error that cannot pickle still ships home, as its repr."""
+    from repro.core.parallel import FragmentPool
+
+    pool = FragmentPool([Relation(SCHEMA, [(1, 0, 0, 0, 0)])], workers=1)
+    try:
+        with pytest.raises(RuntimeError, match="_LambdaError"):
+            pool.run(_raise_unpicklable, [(0, ())])
+        with pytest.raises(RuntimeError, match="PicklingError|pickle"):
+            pool.run(_return_unpicklable, [(0, ())])
+        # both failed orders were application errors: the pool survives
+        assert pool.run(_resident_pid, [(0, ())])[0][1] == 1
+        assert not pool.poisoned
+    finally:
+        pool.close()
+
+
+def test_fragment_pool_empty_tasks_short_circuit():
+    from repro.core.parallel import FragmentPool
+
+    pool = FragmentPool([Relation(SCHEMA, [(1, 0, 0, 0, 0)])], workers=1)
+    try:
+        assert pool.run(_resident_pid, []) == []
+    finally:
+        pool.close()
+
+
+def test_map_fragments_single_task_never_builds_a_pool(monkeypatch):
+    """One task in process mode runs serially: no worker processes spawn."""
+    from repro.core import parallel as par
+
+    class Owner:
+        pass
+
+    owner = Owner()
+    monkeypatch.setenv("REPRO_PARALLEL", "process")
+    monkeypatch.setenv("REPRO_WORKERS", "4")
+    pools_before = list(par._POOLS)
+    fragments = [Relation(SCHEMA, [(1, 0, 0, 0, 0)])]
+    out = par.map_fragments(owner, fragments, _resident_pid, [(0, ())])
+    assert out[0] == (os.getpid(), 1)  # answered in-process, not a worker
+    assert par._POOLS == pools_before
+    assert getattr(owner, "_fragment_pool", None) is None
+    assert par.map_fragments(owner, fragments, _resident_pid, []) == []
+
+
+def test_fragment_pool_close_leaves_no_zombies():
+    from repro.core.parallel import FragmentPool
+
+    fragments = [Relation(SCHEMA, [(i, 0, 0, 0, 0)]) for i in range(3)]
+    pool = FragmentPool(fragments, workers=3)
+    processes = list(pool._processes)
+    assert all(p.is_alive() for p in processes)
+    pool.close()
+    assert not any(p.is_alive() for p in processes)
+    pool.close()  # idempotent: closing twice must not raise
+
+
+def test_pool_that_dies_mid_order_is_evicted_from_every_cache(monkeypatch):
+    """Regression: a run() that raised leaves no poisoned pool cached."""
+    from repro.core import parallel as par
+
+    class Owner:
+        pass
+
+    owner = Owner()
+    monkeypatch.setenv("REPRO_POOL_RETRIES", "1")
+    fragments = [Relation(SCHEMA, [(i, 0, 0, 0, 0)]) for i in range(2)]
+    pool = par.fragment_pool(owner, fragments, 2)
+    assert owner._fragment_pool is pool and pool in par._POOLS
+    with pytest.raises(par.WorkerCrashError):
+        pool.run(_exit_hard, [(0, ()), (1, ())])
+    assert pool.poisoned
+    assert pool not in par._POOLS
+    assert owner._fragment_pool is None
+    assert not any(p.is_alive() for p in pool._processes)
+    # the next request builds a fresh, healthy pool
+    fresh = par.fragment_pool(owner, fragments, 2)
+    try:
+        assert fresh is not pool and not fresh.poisoned
+        assert [n for _pid, n in fresh.run(_resident_pid, [(0, ()), (1, ())])] == [1, 1]
+    finally:
+        fresh.evict()
+
+
 def test_fragment_pool_survives_orders_larger_than_the_pipe_buffer():
     """Several large orders routed to one worker must not deadlock.
 
