@@ -104,6 +104,20 @@ def test_engine_speedups_and_equivalence():
         "the degraded_throughput leg never fell back to serial"
     )
 
+    # the serve leg gates on *equivalence* only (like parallel and
+    # robustness): the report a multi-writer HTTP load leaves behind must
+    # equal a serial replay of the same updates, and the session's own
+    # invariant check must hold — its latency numbers depend on the
+    # host's thread scheduling, so no timing floor
+    serve = summary.get("serve")
+    assert serve is not None and serve["matches_serial_replay"], (
+        f"served detection diverged from serial replay: {serve}"
+    )
+    assert serve["verify_ok"], (
+        f"the served session failed its invariant check: {serve}"
+    )
+    assert serve["writers"] >= 4 and serve["folds"] <= serve["updates"], serve
+
     # provenance must be present so recorded trajectories self-describe,
     # and the headline timing sections must have run fault-free
     provenance = summary["provenance"]
@@ -183,6 +197,15 @@ def test_engine_speedups_and_equivalence():
         f"fault-free, {crash['respawns']} respawn(s)); degraded serial "
         f"fallback {degraded['rows_per_sec']:,.0f} rows/s"
     )
+    serve_line = (
+        f"serve ({serve['writers']} writers, {serve['base_rows']} resident "
+        f"rows): p50 {serve['update_p50_seconds'] * 1000:.1f}ms, "
+        f"p99 {serve['update_p99_seconds'] * 1000:.1f}ms, "
+        f"{serve['requests_per_sec']:,.0f} req/s, coalesced up to "
+        f"{serve['coalesced_max']} ({serve['folds']} folds / "
+        f"{serve['updates']} updates), churn "
+        f"{serve['churn_sessions_per_sec']:,.1f} sessions/s"
+    )
     print(
         "\n"
         + "\n".join(
@@ -195,4 +218,6 @@ def test_engine_speedups_and_equivalence():
         + parallel_line
         + "\n"
         + robustness_line
+        + "\n"
+        + serve_line
     )

@@ -185,6 +185,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker count of the parallel fragment-detection legs "
         "(serial vs N threads vs N processes; 1 skips the legs)",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the resident multi-tenant detection service (threaded "
+        "HTTP front end over Incremental* sessions)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8571,
+        help="bind port (default 8571; 0 picks a free one)",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None, metavar="N",
+        help="resident sessions before LRU eviction "
+        "(default REPRO_SERVE_MAX_SESSIONS or 64)",
+    )
+    serve.add_argument(
+        "--queue", type=int, default=None, metavar="N",
+        help="per-session pending-update bound before 429 backpressure "
+        "(default REPRO_SERVE_QUEUE or 64)",
+    )
+    serve.add_argument(
+        "--coalesce", type=int, default=None, metavar="N",
+        help="max update requests folded as one combined batch "
+        "(default REPRO_SERVE_COALESCE or 16)",
+    )
     return parser
 
 
@@ -438,6 +466,32 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import DetectionService, serve_http
+
+    service = DetectionService(
+        max_sessions=args.max_sessions,
+        queue_depth=args.queue,
+        coalesce=args.coalesce,
+    )
+    server = serve_http(service, host=args.host, port=args.port)
+    host, port = server.server_address
+    registry = service.registry
+    print(
+        f"repro serve listening on http://{host}:{port} "
+        f"(max_sessions={registry.max_sessions}, "
+        f"queue={registry.queue_depth}, coalesce={registry.coalesce})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .experiments import bench_detection
 
@@ -555,6 +609,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             "  robustness matches serial: "
             f"{robustness['matches_serial']}"
         )
+    serve = summary.get("serve")
+    if serve:
+        print(
+            f"  serve ({serve['writers']} concurrent writers, "
+            f"{serve['base_rows']} resident rows): update p50 "
+            f"{serve['update_p50_seconds'] * 1000:.1f}ms, p99 "
+            f"{serve['update_p99_seconds'] * 1000:.1f}ms, "
+            f"{serve['requests_per_sec']:,.0f} req/s, coalesced up to "
+            f"{serve['coalesced_max']} ({serve['folds']} folds / "
+            f"{serve['updates']} updates), session churn "
+            f"{serve['churn_sessions_per_sec']:,.1f}/s"
+        )
+        print(
+            "  serve matches serial replay: "
+            f"{serve['matches_serial_replay']} "
+            f"(verify ok: {serve['verify_ok']})"
+        )
     if record:
         print(f"[saved to {args.out}]")
     ok = (
@@ -570,6 +641,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             incremental is None
             or "sessions" not in incremental
             or incremental["sessions"]["matches_full_recompute"]
+        )
+        and (
+            serve is None
+            or (serve["matches_serial_replay"] and serve["verify_ok"])
         )
     )
     return 0 if ok else 1
@@ -598,6 +673,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         resolve_order_timeout()
         resolve_order_retries()
         active_plan()  # a malformed REPRO_FAULTS raises FaultSpecError
+
+        from .serve.service import (
+            resolve_coalesce,
+            resolve_max_sessions,
+            resolve_queue_depth,
+        )
+
+        resolve_max_sessions()
+        resolve_queue_depth()
+        resolve_coalesce()
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -608,6 +693,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sql": _cmd_sql,
         "figures": _cmd_figures,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

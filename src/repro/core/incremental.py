@@ -44,6 +44,7 @@ explicit row batches (``update``, which builds the versions itself).
 from __future__ import annotations
 
 import os
+import threading
 from collections import Counter
 from operator import itemgetter
 from typing import Iterable, Sequence
@@ -970,6 +971,15 @@ class IncrementalDetector:
     spec), ``fused``, ``fused-numpy``, or ``auto``/``None`` (the
     ``REPRO_ENGINE`` environment, then numpy availability, decide —
     resolved at :meth:`attach` time, when the state layout is fixed).
+
+    **Concurrency contract**: a session is *single-writer* — the keyed
+    row store, undo logs and transition counters assume one mutation at
+    a time.  Every public entry point (``attach`` / ``apply`` /
+    ``update`` / ``verify`` / ``report``) therefore serializes on a
+    per-session reentrant lock: concurrent callers (the resident
+    service's request threads) are safe, they just take turns.  The lock
+    is reentrant because ``update`` can nest into ``apply`` on the
+    predicate-delete path.
     """
 
     def __init__(
@@ -981,6 +991,8 @@ class IncrementalDetector:
         self._fused = FusedDetector(cfds)
         self.cfds = self._fused.cfds
         self.collect_tuples = collect_tuples
+        #: serializes every public entry point (single-writer contract)
+        self._session_lock = threading.RLock()
         self._requested_engine = engine
         self.engine: str | None = None
         self._relation: Relation | None = None
@@ -1005,13 +1017,15 @@ class IncrementalDetector:
         store-level updates; the object is cached until the next update,
         so :meth:`apply` chains can anchor on it)."""
         if self._relation is None and self._store is not None:
-            rows: list = []
-            for entry in self._store.values():
-                if type(entry) is list:
-                    rows.extend(entry)
-                else:
-                    rows.append(entry)
-            self._relation = Relation(self.schema, rows, copy=False)
+            with self._session_lock:
+                if self._relation is None:
+                    rows: list = []
+                    for entry in self._store.values():
+                        if type(entry) is list:
+                            rows.extend(entry)
+                        else:
+                            rows.append(entry)
+                    self._relation = Relation(self.schema, rows, copy=False)
         return self._relation
 
     @relation.setter
@@ -1095,26 +1109,28 @@ class IncrementalDetector:
 
     def attach(self, relation: Relation) -> ViolationReport:
         """Build (or rebuild) the cached state with one full fold of ``D``."""
-        self.engine = self._resolve_engine()
-        self.relation = relation
-        self.schema = relation.schema
-        # single-attribute keys travel raw through the folds and the key
-        # counters (no per-row 1-tuple); the report boundary re-wraps them
-        self._wrap_keys = len(relation.schema.key_positions()) == 1
-        self._build_store(relation)
-        if self.engine == "reference":
-            self._reference_report = detect_violations_reference(
-                relation, self.cfds, self.collect_tuples
-            )
+        with self._session_lock:
+            self.engine = self._resolve_engine()
+            self.relation = relation
+            self.schema = relation.schema
+            # single-attribute keys travel raw through the folds and the
+            # key counters (no per-row 1-tuple); the report boundary
+            # re-wraps them
+            self._wrap_keys = len(relation.schema.key_positions()) == 1
+            self._build_store(relation)
+            if self.engine == "reference":
+                self._reference_report = detect_violations_reference(
+                    relation, self.cfds, self.collect_tuples
+                )
+                return self.report
+            self._violations = TransitionCounter()
+            self._keys = TransitionCounter()
+            self._variables = [
+                VariableGroupState(variable, self.collect_tuples)
+                for variable, _index in self._fused._variables
+            ]
+            self._fold(relation, 1)
             return self.report
-        self._violations = TransitionCounter()
-        self._keys = TransitionCounter()
-        self._variables = [
-            VariableGroupState(variable, self.collect_tuples)
-            for variable, _index in self._fused._variables
-        ]
-        self._fold(relation, 1)
-        return self.report
 
     def _fold(self, batch: Relation, sign: int) -> None:
         self._constants.fold(
@@ -1208,6 +1224,10 @@ class IncrementalDetector:
         session rolls back to the state before this call and the
         exception propagates.
         """
+        with self._session_lock:
+            return self._apply_locked(relation)
+
+    def _apply_locked(self, relation: Relation) -> ViolationDelta:
         if self.relation is None:
             raise ValueError("attach() a relation before applying updates")
         chain: list[Relation] = []
@@ -1272,6 +1292,10 @@ class IncrementalDetector:
         :meth:`apply`\\ s them (their provenance is pruned afterwards, so
         session memory stays bounded either way).
         """
+        with self._session_lock:
+            return self._update_locked(inserted, deleted)
+
+    def _update_locked(self, inserted, deleted) -> ViolationDelta:
         if self._store is None:
             raise ValueError("attach() a relation before applying updates")
         if callable(deleted) or hasattr(deleted, "evaluate"):
@@ -1414,10 +1438,13 @@ class IncrementalDetector:
     @property
     def report(self) -> ViolationReport:
         """The full current report (a fresh copy, safe to merge/mutate)."""
-        if self.engine == "reference":
-            source = self._reference_report or ViolationReport()
-            return ViolationReport(source.violations, source.tuple_keys)
-        return counters_report(self._violations, self._keys, self._wrap_keys)
+        with self._session_lock:
+            if self.engine == "reference":
+                source = self._reference_report or ViolationReport()
+                return ViolationReport(source.violations, source.tuple_keys)
+            return counters_report(
+                self._violations, self._keys, self._wrap_keys
+            )
 
     def verify(self, sample: int | None = None, seed: int = 8) -> bool:
         """Invariant check of the maintained state against ``reference``.
@@ -1436,6 +1463,10 @@ class IncrementalDetector:
         a periodic corruption check; it can miss corruption outside the
         sampled groups, never report a false alarm.
         """
+        with self._session_lock:
+            return self._verify_locked(sample, seed)
+
+    def _verify_locked(self, sample: int | None, seed: int) -> bool:
         relation = self.relation
         if relation is None:
             raise ValueError("attach() a relation before verifying")

@@ -87,6 +87,7 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import threading
 import time
 import weakref
 import zlib
@@ -621,10 +622,11 @@ class FragmentPool:
         reusing desynchronized ones.  Idempotent.
         """
         self.poisoned = True
-        try:
-            _POOLS.remove(self)
-        except ValueError:
-            pass
+        with _POOLS_LOCK:
+            try:
+                _POOLS.remove(self)
+            except ValueError:
+                pass
         owner = self._owner() if self._owner is not None else None
         if owner is not None and getattr(owner, "_fragment_pool", None) is self:
             try:
@@ -664,11 +666,18 @@ class FragmentPool:
 #: live pools in creation order, for LRU eviction and atexit cleanup.
 _POOLS: list[FragmentPool] = []
 
+#: guards the _POOLS LRU and per-owner pool installs: concurrent sessions
+#: (the resident service) reach fragment_pool() from many request threads,
+#: and an unguarded check-then-act would spawn duplicate worker pools for
+#: one cluster or double-remove during eviction
+_POOLS_LOCK = threading.Lock()
+
 
 def _shutdown_pools() -> None:  # pragma: no cover - interpreter teardown
-    for pool in _POOLS:
+    with _POOLS_LOCK:
+        pools, _POOLS[:] = list(_POOLS), []
+    for pool in pools:
         pool.close()
-    _POOLS.clear()
 
 
 atexit.register(_shutdown_pools)
@@ -685,29 +694,34 @@ def fragment_pool(owner, fragments: Sequence, workers: int) -> FragmentPool:
     therefore cannot leak worker processes.  Poisoned pools (a ``run()``
     that raised a typed failure) never come back from the cache.
     """
-    cached = getattr(owner, "_fragment_pool", None)
-    if (
-        cached is not None
-        and not cached.poisoned
-        and cached.workers == workers
-        and cached in _POOLS
-    ):
-        # refresh LRU position
-        _POOLS.remove(cached)
-        _POOLS.append(cached)
-        return cached
-    pool = FragmentPool(fragments, workers)
-    try:
-        pool._owner = weakref.ref(owner)
-    except TypeError:  # non-weakrefable stand-ins just skip the backref
-        pool._owner = None
-    _POOLS.append(pool)
-    while len(_POOLS) > MAX_PROCESS_POOLS:
-        _POOLS.pop(0).close()
-    try:
-        owner._fragment_pool = pool
-    except AttributeError:  # slotted stand-ins just rebuild per call
-        pass
+    with _POOLS_LOCK:
+        cached = getattr(owner, "_fragment_pool", None)
+        if (
+            cached is not None
+            and not cached.poisoned
+            and cached.workers == workers
+            and cached in _POOLS
+        ):
+            # refresh LRU position
+            _POOLS.remove(cached)
+            _POOLS.append(cached)
+            return cached
+        pool = FragmentPool(fragments, workers)
+        try:
+            pool._owner = weakref.ref(owner)
+        except TypeError:  # non-weakrefable stand-ins just skip the backref
+            pool._owner = None
+        _POOLS.append(pool)
+        doomed = []
+        while len(_POOLS) > MAX_PROCESS_POOLS:
+            doomed.append(_POOLS.pop(0))
+        try:
+            owner._fragment_pool = pool
+        except AttributeError:  # slotted stand-ins just rebuild per call
+            pass
+    # worker shutdown can block on joins: keep it outside the lock
+    for stale in doomed:
+        stale.close()
     return pool
 
 

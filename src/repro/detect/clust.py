@@ -490,6 +490,10 @@ class IncrementalClustDetector:
     changes exactly when its resident count crosses zero, which is when
     it enters or leaves the distinct working set the member CFDs group
     over.
+
+    Sessions are *single-writer* (no internal lock): concurrent callers
+    must serialize externally — the resident service does so with one
+    lock per managed session (see :mod:`repro.serve`).
     """
 
     def __init__(

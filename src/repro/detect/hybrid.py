@@ -322,6 +322,10 @@ class IncrementalHybridDetector:
     so each holder fragment ships only its delta's keyed column codes to
     the region's gather site, which σ-scans the delta and forwards signed
     ``(x_code, y_code, count)`` triples to the resident coordinators.
+
+    Sessions are *single-writer* (no internal lock): concurrent callers
+    must serialize externally — the resident service does so with one
+    lock per managed session (see :mod:`repro.serve`).
     """
 
     def __init__(

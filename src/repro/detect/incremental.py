@@ -37,6 +37,8 @@ full run, with every stage driven by |ΔD| instead of |D|.
 
 from __future__ import annotations
 
+import threading
+
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -312,6 +314,13 @@ class IncrementalHorizontalDetector:
     keeps its merged state; :meth:`update` / :meth:`apply_updates` absorb
     batches in O(|ΔD|).  :attr:`fragments` tracks the current version of
     every site's fragment (the cluster object itself stays immutable).
+
+    Sessions are *single-writer*: fragment versions, coordinator group
+    tables, counters and the cost log assume one mutation at a time, so
+    every public entry point serializes on a per-session reentrant lock
+    (``apply_updates`` reads :attr:`report` while holding it).
+    Concurrent callers — the resident service's request threads — are
+    safe; they just take turns.
     """
 
     def __init__(
@@ -361,6 +370,8 @@ class IncrementalHorizontalDetector:
         self._log = ShipmentLog()
         self._cost = CostBreakdown()
         self._detected = False
+        #: serializes every public entry point (single-writer contract)
+        self._session_lock = threading.RLock()
 
     # -- initial run ------------------------------------------------------
 
@@ -371,6 +382,10 @@ class IncrementalHorizontalDetector:
         fragments, so re-running after updates would fold stale rows on
         top of live counters — start a new session instead.
         """
+        with self._session_lock:
+            return self._detect_locked()
+
+    def _detect_locked(self) -> DetectionOutcome:
         if self._detected:
             raise ValueError(
                 "detect() already ran for this session; updates are "
@@ -485,6 +500,12 @@ class IncrementalHorizontalDetector:
         coordinator group tables, counters, cost log) rolls back to the
         state before this call and the exception propagates.
         """
+        with self._session_lock:
+            return self._apply_updates_locked(updates)
+
+    def _apply_updates_locked(
+        self, updates: Mapping[int, tuple]
+    ) -> IncrementalUpdate:
         if not self._detected:
             raise ValueError("run detect() before applying updates")
         cluster = self.cluster
@@ -605,7 +626,10 @@ class IncrementalHorizontalDetector:
     @property
     def report(self) -> ViolationReport:
         """The full current report (fresh copy)."""
-        return counters_report(self._violations, self._keys, self._wrap_keys)
+        with self._session_lock:
+            return counters_report(
+                self._violations, self._keys, self._wrap_keys
+            )
 
     def verify(self, sample: int | None = None, seed: int = 8) -> bool:
         """Invariant check against the ``reference`` engine.
@@ -628,10 +652,11 @@ class IncrementalHorizontalDetector:
 
         from ..core.detection import detect_violations_reference
 
-        rows: list = []
-        for fragment in self.fragments:
-            rows.extend(fragment.rows)
-        maintained = set(self.report.violations)
+        with self._session_lock:
+            rows = []
+            for fragment in self.fragments:
+                rows.extend(fragment.rows)
+            maintained = set(self.report.violations)
         if sample is not None and sample < len(rows):
             rows = random.Random(seed).sample(rows, sample)
             expected = detect_violations_reference(
@@ -654,13 +679,14 @@ class IncrementalHorizontalDetector:
 
     def outcome(self) -> DetectionOutcome:
         """The session as a :class:`DetectionOutcome` (cumulative cost/log)."""
-        return DetectionOutcome(
-            algorithm=self.algorithm,
-            report=self.report,
-            shipments=self._log,
-            cost=self._cost,
-            details={"incremental": True},
-        )
+        with self._session_lock:
+            return DetectionOutcome(
+                algorithm=self.algorithm,
+                report=self.report,
+                shipments=self._log,
+                cost=self._cost,
+                details={"incremental": True},
+            )
 
     def __repr__(self) -> str:
         total = sum(len(fragment) for fragment in self.fragments)

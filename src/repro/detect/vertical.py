@@ -245,6 +245,10 @@ class IncrementalVerticalDetector:
     its delta's keyed column codes, and the coordinator patches its
     join-side state in place instead of re-joining ``D``.  Deletes travel
     as bare keys (the joined state indexes by key already).
+
+    Sessions are *single-writer* (no internal lock): concurrent callers
+    must serialize externally — the resident service does so with one
+    lock per managed session (see :mod:`repro.serve`).
     """
 
     def __init__(

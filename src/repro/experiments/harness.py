@@ -645,6 +645,186 @@ def _bench_robustness(data, cfd, repeats: int, workers: int) -> dict:
     }
 
 
+def _bench_serve(data, cfd, repeats: int, writers: int = 4) -> dict:
+    """The resident detection service under concurrent HTTP writers.
+
+    A load generator against a real in-process ``repro serve`` deployment
+    (threaded HTTP server, one resident ``central`` session): ``writers``
+    client threads stream single-row update requests over disjoint key
+    ranges — every 4th request a delete — while the session group-commits
+    them into coalesced delta folds.  Records update latency quantiles
+    (p50/p99 over all requests), aggregate request throughput, the
+    coalescing the group commit actually achieved, and session churn
+    (create+drop cycles per second).  Disjoint key ranges make the
+    concurrent streams commutative, so the final report must equal a
+    serial replay — recomputed here with the reference oracle over the
+    expected final rows (``matches_serial_replay``, gated in the perf
+    job; timing is recorded but not gated, like the other
+    concurrency-shaped legs).
+    """
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from ..core import detect_violations_reference, format_cfd
+    from ..relational import Relation
+    from ..serve import DetectionService, serve_http
+
+    schema = data.schema
+    key_position = schema.key_positions()[0]
+    # cap the resident relation: the leg measures request handling and
+    # group commit, not fold cost over the full Fig. 3c instance
+    base = [list(row) for row in data.rows[: min(len(data), 20_000)]]
+    spec = {
+        "kind": "central",
+        "schema": {
+            "name": schema.name,
+            "attributes": list(schema.attributes),
+            "key": list(schema.key),
+        },
+        "cfds": [format_cfd(cfd)],
+        "rows": base,
+    }
+    per_writer = max(24, 8 * repeats)
+    street = schema.position("street")
+
+    service = DetectionService(coalesce=8)
+    server = serve_http(service)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    host, port = server.server_address
+    root = f"http://{host}:{port}/v1/bench/sessions"
+    backpressured = [0]
+
+    def call(method: str, path: str, body=None) -> dict:
+        payload = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            root + path, data=payload, method=method
+        )
+        if payload is not None:
+            request.add_header("Content-Type", "application/json")
+        while True:
+            try:
+                with urllib.request.urlopen(request, timeout=60) as response:
+                    return json.loads(response.read())
+            except urllib.error.HTTPError as error:
+                if error.code != 429:
+                    raise
+                backpressured[0] += 1
+                time.sleep(float(error.headers.get("Retry-After", "0.05")))
+
+    try:
+        call("POST", "/cust", spec)
+
+        # each writer owns a disjoint key range; every 4th request deletes
+        # the row inserted two steps earlier, so the delete/reconcile path
+        # is on the timed path too
+        expected: dict[int, dict] = {i: {} for i in range(writers)}
+        for index in range(writers):
+            for step in range(per_writer):
+                key = 10_000_000 + index * 100_000 + step
+                row = list(base[(index * per_writer + step) % len(base)])
+                row[key_position] = key
+                row[street] = f"serve bench {index}-{step}"
+                if step % 4 == 3:
+                    expected[index].pop(key - 2, None)
+                else:
+                    expected[index][key] = row
+
+        latencies: list[list[float]] = [[] for _ in range(writers)]
+        errors: list[BaseException] = []
+        gate = threading.Barrier(writers)
+
+        def writer(index: int) -> None:
+            gate.wait()
+            try:
+                for step in range(per_writer):
+                    key = 10_000_000 + index * 100_000 + step
+                    if step % 4 == 3:
+                        body = {"deleted": [key - 2]}
+                    else:
+                        row = list(base[(index * per_writer + step) % len(base)])
+                        row[key_position] = key
+                        row[street] = f"serve bench {index}-{step}"
+                        body = {"inserted": [row]}
+                    start = time.perf_counter()
+                    call("POST", "/cust/update", body)
+                    latencies[index].append(time.perf_counter() - start)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(index,))
+            for index in range(writers)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall = time.perf_counter() - wall_start
+        if errors:
+            raise errors[0]
+
+        # equivalence gate: the served report vs the reference oracle over
+        # the serial-replay final state (the CFD name does not survive the
+        # format/parse round trip, so violations compare on LHS identity —
+        # exact for a single-CFD session)
+        final_rows = [tuple(row) for row in base] + [
+            tuple(row)
+            for index in range(writers)
+            for row in expected[index].values()
+        ]
+        replay = detect_violations_reference(
+            Relation(schema, final_rows, copy=False), [cfd]
+        )
+        report = call("GET", "/cust/detect")
+        served_violations = {
+            (tuple(v["lhs_attributes"]), tuple(v["lhs_values"]))
+            for v in report["violations"]
+        }
+        served_keys = {tuple(k) for k in report["tuple_keys"]}
+        matches = served_violations == {
+            (v.lhs_attributes, v.lhs_values) for v in replay.violations
+        } and served_keys == set(replay.tuple_keys)
+        verify_ok = bool(call("POST", "/cust/verify", {})["ok"])
+        stats = service.stats()["sessions"]["bench/cust"]
+
+        # session churn: how fast the registry turns whole sessions over
+        churn_spec = dict(spec, rows=base[:500])
+        cycles = 8
+        churn_start = time.perf_counter()
+        for index in range(cycles):
+            call("POST", f"/churn{index}", churn_spec)
+            call("DELETE", f"/churn{index}")
+        churn_seconds = time.perf_counter() - churn_start
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    samples = sorted(t for per in latencies for t in per)
+
+    def quantile(q: float) -> float:
+        return samples[round(q * (len(samples) - 1))]
+
+    return {
+        "writers": writers,
+        "base_rows": len(base),
+        "requests": len(samples),
+        "update_p50_seconds": quantile(0.50),
+        "update_p99_seconds": quantile(0.99),
+        "update_max_seconds": samples[-1],
+        "requests_per_sec": len(samples) / wall,
+        "updates": stats["updates"],
+        "folds": stats["folds"],
+        "coalesced_max": stats["coalesced_max"],
+        "backpressure_retries": backpressured[0],
+        "churn_sessions_per_sec": cycles / churn_seconds,
+        "verify_ok": verify_ok,
+        "matches_serial_replay": matches,
+    }
+
+
 def bench_detection(
     out: str | Path | None = None,
     repeats: int = 3,
@@ -675,7 +855,10 @@ def bench_detection(
     process legs (:func:`_bench_parallel_detection`) — and the
     ``robustness`` section — crash recovery and degraded-mode throughput
     under injected faults (:func:`_bench_robustness`); pass ``workers<=1``
-    to skip both.
+    to skip both.  The ``serve`` section (:func:`_bench_serve`) always
+    runs: the resident multi-tenant HTTP service under 4 concurrent
+    writers — update latency p50/p99, request throughput, group-commit
+    coalescing, session churn, equivalence against a serial replay.
 
     Returns the summary dict; when ``out`` is given it is also written
     there as JSON (``BENCH_detect.json``), giving future changes a
@@ -798,6 +981,11 @@ def bench_detection(
         summary["robustness"] = _bench_robustness(
             data, workloads["fig3c_single_cfd"][0], repeats, workers
         )
+    # the serve leg is thread-based (it load-tests the resident HTTP
+    # service), so it runs regardless of the process-worker knob
+    summary["serve"] = _bench_serve(
+        data, workloads["fig3c_single_cfd"][0], repeats, writers=4
+    )
     if out is not None:
         out = Path(out)
         out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")

@@ -40,9 +40,22 @@ Three granularities, one idea:
 All interning is deterministic (site order, then local first-seen order),
 so parallel and serial detection produce identical codes — and identical
 reports.
+
+Thread-safety contract: every shared table is mutated under a
+per-dictionary lock (the same discipline ``normalize.py`` applies to its
+parse memos with ``_MEMO_LOCK``).  Interning is a check-then-act sequence,
+so without the lock two racing threads — concurrent fragment scans under
+``REPRO_PARALLEL=thread``, or concurrent sessions of the resident service
+— can assign two codes to one value or append one value twice, silently
+corrupting every coded shipment that follows.  Reads stay lock-free: the
+tables are append-only and a published entry never changes, so a
+``code_of`` hit is final (entries are published values-first, making
+``values[code]`` valid the instant the code is visible).
 """
 
 from __future__ import annotations
+
+import threading
 
 from typing import Sequence
 
@@ -50,30 +63,42 @@ from .columnar import ColumnStore
 from .relation import Relation
 
 
-def _intern(code_of: dict, values: list, value) -> int:
+def _intern(lock: threading.Lock, code_of: dict, values: list, value) -> int:
     """Append-only get-or-assign: the one interning primitive every
-    shared table here builds on."""
+    shared table here builds on.
+
+    Lock-free on the hot path — a hit in ``code_of`` is immutable once
+    published — and double-checked under ``lock`` on a miss so exactly
+    one thread assigns the code.  ``values.append`` runs *before* the
+    ``code_of`` publish: a concurrent reader that sees the code can
+    always decode it.
+    """
     code = code_of.get(value)
-    if code is None:
-        code = len(values)
-        code_of[value] = code
-        values.append(value)
+    if code is not None:
+        return code
+    with lock:
+        code = code_of.get(value)
+        if code is None:
+            code = len(values)
+            values.append(value)
+            code_of[value] = code
     return code
 
 
 class SharedColumn:
     """One attribute's cluster-global dictionary: value ↔ code, append-only."""
 
-    __slots__ = ("attribute", "values", "code_of")
+    __slots__ = ("attribute", "values", "code_of", "_lock")
 
     def __init__(self, attribute: str) -> None:
         self.attribute = attribute
         self.values: list[object] = []
         self.code_of: dict[object, int] = {}
+        self._lock = threading.Lock()
 
     def intern(self, value: object) -> int:
         """The global code of ``value``, assigning the next one if new."""
-        return _intern(self.code_of, self.values, value)
+        return _intern(self._lock, self.code_of, self.values, value)
 
     @property
     def n_distinct(self) -> int:
@@ -93,20 +118,27 @@ class SharedDictionary:
     the same value at every other fragment of the cluster.
     """
 
-    __slots__ = ("_columns", "_stores")
+    __slots__ = ("_columns", "_stores", "_lock")
 
     def __init__(self) -> None:
         self._columns: dict[str, SharedColumn] = {}
         #: id(relation) -> (relation, store); the strong reference keeps
         #: the id stable for the cache's lifetime (see :meth:`store_for`)
         self._stores: dict[int, tuple[Relation, ColumnStore]] = {}
+        #: reentrant: building a store under the lock interns through
+        #: :meth:`column` on the same dictionary
+        self._lock = threading.RLock()
 
     def column(self, attribute: str) -> SharedColumn:
         """The global table of ``attribute`` (created on first use)."""
         shared = self._columns.get(attribute)
-        if shared is None:
-            shared = SharedColumn(attribute)
-            self._columns[attribute] = shared
+        if shared is not None:
+            return shared
+        with self._lock:
+            shared = self._columns.get(attribute)
+            if shared is None:
+                shared = SharedColumn(attribute)
+                self._columns[attribute] = shared
         return shared
 
     def store_for(self, relation: Relation) -> ColumnStore:
@@ -124,10 +156,14 @@ class SharedDictionary:
         entry = self._stores.get(id(relation))
         if entry is not None and entry[0] is relation:
             return entry[1]
-        store = self._derived_store(relation)
-        if store is None:
-            store = ColumnStore(relation, shared=self)
-        self._stores[id(relation)] = (relation, store)
+        with self._lock:
+            entry = self._stores.get(id(relation))
+            if entry is not None and entry[0] is relation:
+                return entry[1]
+            store = self._derived_store(relation)
+            if store is None:
+                store = ColumnStore(relation, shared=self)
+            self._stores[id(relation)] = (relation, store)
         return store
 
     def _derived_store(self, relation):
@@ -174,7 +210,15 @@ class SharedPairDictionary:
     "dictionary ships once" protocol described in the module docstring.
     """
 
-    __slots__ = ("lhs_width", "x_values", "x_code_of", "y_values", "y_code_of", "_site_pairs")
+    __slots__ = (
+        "lhs_width",
+        "x_values",
+        "x_code_of",
+        "y_values",
+        "y_code_of",
+        "_site_pairs",
+        "_lock",
+    )
 
     def __init__(self, lhs_width: int) -> None:
         self.lhs_width = lhs_width
@@ -183,6 +227,7 @@ class SharedPairDictionary:
         self.y_values: list[tuple] = []
         self.y_code_of: dict[tuple, int] = {}
         self._site_pairs: dict[object, list[tuple[int, int]]] = {}
+        self._lock = threading.Lock()
 
     def pairs_for(self, site_key: object) -> list[tuple[int, int]] | None:
         """The memoized translation of one site, or ``None`` if not built."""
@@ -195,11 +240,11 @@ class SharedPairDictionary:
         row's combination interns through the same tables the initial
         run's dictionaries populated, so pre-update codes never move.
         """
-        return _intern(self.x_code_of, self.x_values, x)
+        return _intern(self._lock, self.x_code_of, self.x_values, x)
 
     def intern_y(self, y: tuple) -> int:
         """The global code of one RHS projection (assigned if new)."""
-        return _intern(self.y_code_of, self.y_values, y)
+        return _intern(self._lock, self.y_code_of, self.y_values, y)
 
     def translate(
         self, site_key: object, distincts: Sequence[tuple]
@@ -212,24 +257,23 @@ class SharedPairDictionary:
         site ``distincts`` comes in the fragment's first-seen order.
         """
         width = self.lhs_width
+        lock = self._lock
         x_code_of, y_code_of = self.x_code_of, self.y_code_of
         x_values, y_values = self.x_values, self.y_values
         pairs: list[tuple[int, int]] = []
         for combo in distincts:
+            # lock-free hits; _intern re-checks under the lock on a miss
             x = combo[:width]
             x_code = x_code_of.get(x)
             if x_code is None:
-                x_code = len(x_values)
-                x_code_of[x] = x_code
-                x_values.append(x)
+                x_code = _intern(lock, x_code_of, x_values, x)
             y = combo[width:]
             y_code = y_code_of.get(y)
             if y_code is None:
-                y_code = len(y_values)
-                y_code_of[y] = y_code
-                y_values.append(y)
+                y_code = _intern(lock, y_code_of, y_values, y)
             pairs.append((x_code, y_code))
-        self._site_pairs[site_key] = pairs
+        with lock:
+            self._site_pairs[site_key] = pairs
         return pairs
 
     def __repr__(self) -> str:
@@ -250,12 +294,13 @@ class SharedComboDictionary:
     while the shipment accounting keeps honest row counts.
     """
 
-    __slots__ = ("values", "code_of", "_site_codes")
+    __slots__ = ("values", "code_of", "_site_codes", "_lock")
 
     def __init__(self) -> None:
         self.values: list[tuple] = []
         self.code_of: dict[tuple, int] = {}
         self._site_codes: dict[object, list[int]] = {}
+        self._lock = threading.Lock()
 
     def codes_for(self, site_key: object) -> list[int] | None:
         return self._site_codes.get(site_key)
@@ -269,20 +314,21 @@ class SharedComboDictionary:
         stay valid after it — the invariant that lets a resident
         coordinator patch its per-combination counts in place.
         """
-        return _intern(self.code_of, self.values, combo)
+        return _intern(self._lock, self.code_of, self.values, combo)
 
     def translate(self, site_key: object, distincts: Sequence[tuple]) -> list[int]:
         """Intern one fragment's distinct combinations; memoized per site."""
+        lock = self._lock
         code_of, values = self.code_of, self.values
         codes: list[int] = []
         for combo in distincts:
+            # lock-free hits; _intern re-checks under the lock on a miss
             code = code_of.get(combo)
             if code is None:
-                code = len(values)
-                code_of[combo] = code
-                values.append(combo)
+                code = _intern(lock, code_of, values, combo)
             codes.append(code)
-        self._site_codes[site_key] = codes
+        with lock:
+            self._site_codes[site_key] = codes
         return codes
 
     def __repr__(self) -> str:
@@ -290,6 +336,12 @@ class SharedComboDictionary:
             f"SharedComboDictionary({len(self.values)} combos, "
             f"{len(self._site_codes)} sites)"
         )
+
+
+#: guards cache creation in :func:`shared_dict_on` across *all* owners —
+#: installs are rare (once per (cluster, CFD) key), so one module lock
+#: beats threading a lock through every owner type
+_SHARED_DICTS_LOCK = threading.Lock()
 
 
 def shared_dict_on(owner, key, factory):
@@ -301,20 +353,33 @@ def shared_dict_on(owner, key, factory):
     entirely.  Unhashable keys (exotic pattern entries) and slotted owners
     degrade gracefully to a fresh dictionary per call — correct, just not
     memoized.
+
+    Cache probes are lock-free; cache *installs* (of ``_shared_dicts``
+    itself and of each dictionary) are double-checked under a module lock
+    so every thread asking one owner for one key gets the same table —
+    two dictionaries for one key would split the cluster's value↔code
+    space in half.
     """
     try:
         cache = owner._shared_dicts
     except AttributeError:
-        cache = {}
-        try:
-            owner._shared_dicts = cache
-        except AttributeError:  # slotted stand-in: no caching
-            return factory()
+        with _SHARED_DICTS_LOCK:
+            try:
+                cache = owner._shared_dicts
+            except AttributeError:
+                cache = {}
+                try:
+                    owner._shared_dicts = cache
+                except AttributeError:  # slotted stand-in: no caching
+                    return factory()
     try:
         shared = cache.get(key)
     except TypeError:  # unhashable key: no caching
         return factory()
     if shared is None:
-        shared = factory()
-        cache[key] = shared
+        with _SHARED_DICTS_LOCK:
+            shared = cache.get(key)
+            if shared is None:
+                shared = factory()
+                cache[key] = shared
     return shared

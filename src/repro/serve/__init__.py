@@ -1,0 +1,44 @@
+"""The resident multi-tenant detection service (``repro serve``).
+
+One resident ``Incremental*Detector`` session per (tenant, relation-id,
+Σ), driven concurrently over HTTP: group-commit coalescing before the
+delta fold, bounded per-session queues with backpressure, and an
+LRU-bounded registry that retires sessions into restorable snapshots.
+See :mod:`repro.serve.service` for the session machinery and
+:mod:`repro.serve.http` for the wire protocol.
+"""
+
+from .http import ServeHandler, serve_http
+from .registry import SessionRegistry
+from .service import (
+    Backpressure,
+    BadSessionSpec,
+    DetectionService,
+    DuplicateSession,
+    ManagedSession,
+    SESSION_KINDS,
+    ServeError,
+    SessionRetired,
+    UnknownSession,
+    resolve_coalesce,
+    resolve_max_sessions,
+    resolve_queue_depth,
+)
+
+__all__ = [
+    "Backpressure",
+    "BadSessionSpec",
+    "DetectionService",
+    "DuplicateSession",
+    "ManagedSession",
+    "SESSION_KINDS",
+    "ServeError",
+    "ServeHandler",
+    "SessionRegistry",
+    "SessionRetired",
+    "UnknownSession",
+    "resolve_coalesce",
+    "resolve_max_sessions",
+    "resolve_queue_depth",
+    "serve_http",
+]

@@ -1,0 +1,189 @@
+"""The threaded HTTP front end of the resident detection service.
+
+Stdlib only (:mod:`http.server` with ``ThreadingHTTPServer``): every
+request runs on its own thread against one shared
+:class:`~repro.serve.service.DetectionService`, which is exactly the
+concurrency regime the shared-dictionary locks and per-session group
+commit exist for.
+
+Routes (all payloads JSON)::
+
+    GET    /healthz                                  liveness probe
+    GET    /v1/stats                                 registry + session stats
+    POST   /v1/<tenant>/sessions/<name>              create (spec body)
+    DELETE /v1/<tenant>/sessions/<name>              drop
+    POST   /v1/<tenant>/sessions/<name>/update       {inserted, deleted, site}
+    GET    /v1/<tenant>/sessions/<name>/detect       full current report
+    POST   /v1/<tenant>/sessions/<name>/verify       {sample, seed}
+    GET    /v1/<tenant>/sessions/<name>/snapshot     durable session state
+
+Typed service failures map onto statuses: bad payloads → 400, unknown
+sessions → 404, duplicate creates → 409, backpressure → 429 with a
+``Retry-After`` header, anything unexpected → 500.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote
+
+from ..relational.schema import SchemaError
+from .service import (
+    Backpressure,
+    BadSessionSpec,
+    DetectionService,
+    DuplicateSession,
+    UnknownSession,
+)
+
+_SESSION = re.compile(r"^/v1/([^/]+)/sessions/([^/]+)$")
+_ACTION = re.compile(
+    r"^/v1/([^/]+)/sessions/([^/]+)/(update|detect|verify|snapshot)$"
+)
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """One request; the service on ``self.server.service`` is shared."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # the server is driven by tests and load generators; request logging
+    # would drown their output
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            raise BadSessionSpec("request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise BadSessionSpec("request body must be a JSON object")
+        return payload
+
+    def _send(self, status: int, payload: dict, headers: dict | None = None):
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        service: DetectionService = self.server.service
+        try:
+            match = _ACTION.match(self.path)
+            if match:
+                tenant, name, action = map(unquote, match.groups())
+                self._session_action(service, method, tenant, name, action)
+                return
+            match = _SESSION.match(self.path)
+            if match:
+                tenant, name = map(unquote, match.groups())
+                if method == "POST":
+                    self._send(
+                        201, service.create_session(tenant, name, self._body())
+                    )
+                elif method == "DELETE":
+                    self._send(200, service.drop(tenant, name))
+                else:
+                    self._send(405, {"error": f"{method} not allowed here"})
+                return
+            if self.path == "/healthz" and method == "GET":
+                self._send(200, {"ok": True})
+                return
+            if self.path == "/v1/stats" and method == "GET":
+                self._send(200, service.stats())
+                return
+            self._send(404, {"error": f"no route {self.path}"})
+        except Backpressure as error:
+            self._send(
+                429,
+                {"error": str(error), "retry_after": error.retry_after},
+                headers={"Retry-After": f"{error.retry_after:.3f}"},
+            )
+        except UnknownSession as error:
+            self._send(404, {"error": str(error)})
+        except DuplicateSession as error:
+            self._send(409, {"error": str(error)})
+        except (BadSessionSpec, SchemaError, ValueError, TypeError) as error:
+            self._send(400, {"error": str(error)})
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as error:  # noqa: BLE001 - the 500 boundary
+            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def _session_action(
+        self,
+        service: DetectionService,
+        method: str,
+        tenant: str,
+        name: str,
+        action: str,
+    ) -> None:
+        if action == "update" and method == "POST":
+            body = self._body()
+            self._send(
+                200,
+                service.update(
+                    tenant,
+                    name,
+                    inserted=body.get("inserted", ()),
+                    deleted=body.get("deleted", ()),
+                    site=body.get("site"),
+                ),
+            )
+        elif action == "detect" and method == "GET":
+            self._send(200, service.detect(tenant, name))
+        elif action == "verify" and method == "POST":
+            body = self._body()
+            self._send(
+                200,
+                service.verify(
+                    tenant,
+                    name,
+                    sample=body.get("sample"),
+                    seed=int(body.get("seed", 8)),
+                ),
+            )
+        elif action == "snapshot" and method == "GET":
+            self._send(200, service.snapshot(tenant, name))
+        else:
+            self._send(405, {"error": f"{method} not allowed on {action}"})
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+
+def serve_http(
+    service: DetectionService | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ThreadingHTTPServer:
+    """A ready (not yet serving) threaded server; ``port=0`` picks a free
+    one — read the bound address back from ``server.server_address``.
+
+    Call ``serve_forever()`` (the CLI does) or drive it from a thread in
+    tests; ``daemon_threads`` keeps request threads from blocking exit.
+    """
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.daemon_threads = True
+    server.service = service if service is not None else DetectionService()
+    return server

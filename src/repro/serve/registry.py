@@ -1,0 +1,125 @@
+"""The session registry: (tenant, name) → resident session, LRU-bounded.
+
+At most ``REPRO_SERVE_MAX_SESSIONS`` sessions stay resident; creating
+(or restoring) one beyond the cap retires the least recently used —
+:meth:`~repro.serve.service.ManagedSession.retire` drains its pending
+updates and emits a snapshot, which parks here until the next lookup
+rebuilds an equivalent session from it.  Clients never see the churn:
+a parked session looks exactly like a live one, it just pays a rebuild
+(one full fold) on its next request.
+
+Lock ordering: the registry lock is taken first, session locks second
+(``retire`` runs under both).  Session code never calls back into the
+registry, so the ordering cannot invert.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Mapping
+
+from .service import (
+    DuplicateSession,
+    ManagedSession,
+    UnknownSession,
+    resolve_coalesce,
+    resolve_max_sessions,
+    resolve_queue_depth,
+)
+
+
+class SessionRegistry:
+    """Live sessions with LRU eviction into parked snapshots."""
+
+    def __init__(
+        self,
+        max_sessions: int | None = None,
+        queue_depth: int | None = None,
+        coalesce: int | None = None,
+    ) -> None:
+        self.max_sessions = resolve_max_sessions(max_sessions)
+        self.queue_depth = resolve_queue_depth(queue_depth)
+        self.coalesce = resolve_coalesce(coalesce)
+        #: reentrant so drop() can run inside stats()-free paths that
+        #: already hold it; taken before any session lock, never after
+        self._lock = threading.RLock()
+        self._live: OrderedDict[tuple[str, str], ManagedSession] = OrderedDict()
+        self._parked: dict[tuple[str, str], dict] = {}
+        self.counters = {"created": 0, "evicted": 0, "restored": 0, "dropped": 0}
+
+    def create(self, tenant: str, name: str, spec: Mapping) -> ManagedSession:
+        """Build, attach and register a new session (409 on duplicates).
+
+        The initial fold runs under the registry lock: creation is a
+        once-per-session cost and serializing it keeps the name check
+        and the install atomic without a placeholder protocol.
+        """
+        key = (tenant, name)
+        with self._lock:
+            if key in self._live or key in self._parked:
+                raise DuplicateSession(
+                    f"session {tenant}/{name} already exists"
+                )
+            session = ManagedSession(
+                tenant, name, spec, self.queue_depth, self.coalesce
+            )
+            self._live[key] = session
+            self.counters["created"] += 1
+            self._shed_locked()
+            return session
+
+    def get(self, tenant: str, name: str) -> ManagedSession:
+        """The live session, restoring a parked one transparently."""
+        key = (tenant, name)
+        with self._lock:
+            session = self._live.get(key)
+            if session is not None:
+                self._live.move_to_end(key)
+                return session
+            snapshot = self._parked.pop(key, None)
+            if snapshot is None:
+                raise UnknownSession(f"no session {tenant}/{name}")
+            session = ManagedSession.from_snapshot(
+                snapshot, self.queue_depth, self.coalesce
+            )
+            self._live[key] = session
+            self.counters["restored"] += 1
+            self._shed_locked()
+            return session
+
+    def drop(self, tenant: str, name: str) -> None:
+        """Delete the session (live or parked) for good."""
+        key = (tenant, name)
+        with self._lock:
+            session = self._live.pop(key, None)
+            parked = self._parked.pop(key, None)
+            if session is None and parked is None:
+                raise UnknownSession(f"no session {tenant}/{name}")
+            self.counters["dropped"] += 1
+            if session is not None:
+                session.retire()  # drains pending updates, then discard
+
+    def _shed_locked(self) -> None:
+        """Retire least-recently-used sessions down to the cap."""
+        while len(self._live) > self.max_sessions:
+            key, session = self._live.popitem(last=False)
+            self._parked[key] = session.retire()
+            self.counters["evicted"] += 1
+
+    def stats(self) -> dict:
+        """Registry + per-session counters (the ``/v1/stats`` payload)."""
+        with self._lock:
+            sessions = {
+                f"{tenant}/{name}": dict(session.stats)
+                for (tenant, name), session in self._live.items()
+            }
+            return {
+                "live": len(self._live),
+                "parked": len(self._parked),
+                "max_sessions": self.max_sessions,
+                "queue_depth": self.queue_depth,
+                "coalesce": self.coalesce,
+                **self.counters,
+                "sessions": sessions,
+            }
