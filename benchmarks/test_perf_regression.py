@@ -1,12 +1,13 @@
-"""Perf regression gate: the three detection engines on the Fig. 3c/3i data.
+"""Perf regression gate: the four detection engines on the Fig. 3c/3i data.
 
 Runs the same measurement as ``repro bench`` — the Fig. 3c data-size
 configuration at ``REPRO_SCALE`` (deterministically seeded, so timings
 compare like-for-like across runs), single-CFD (Fig. 3c) and multi-CFD
 (Fig. 3i) workloads — and asserts:
 
-* the fused engine and, when numpy is active, the fused-numpy engine match
-  the reference oracle (violations and tuple keys) on every workload;
+* the fused engine, the sql engine (on every available backend) and, when
+  numpy is active, the fused-numpy engine match the reference oracle
+  (violations and tuple keys) on every workload;
 * the steady-state speedups stay above conservative floors.  The floors
   sit well below what the engines deliver on an idle machine (fused ≥ 4x
   over the per-CFD-scan plan, fused-numpy ≥ 2x again over fused) so a
@@ -104,6 +105,20 @@ def test_engine_speedups_and_equivalence():
         "the degraded_throughput leg never fell back to serial"
     )
 
+    # the sql engine gates on *equivalence* only: a database round trip
+    # is not expected to beat the in-memory tiers, so no timing floor —
+    # but every backend leg must be bit-identical to the reference
+    sql = summary["sql"]
+    assert sql["matches_reference"], (
+        f"sql engine diverged from reference: {sql['backends']}"
+    )
+    assert "sqlite" in sql["backends"], "the sqlite backend leg is mandatory"
+    for backend, legs in sql["backends"].items():
+        for name, leg in legs.items():
+            assert leg["matches_reference"], (
+                f"sql[{backend}] {name}: != reference"
+            )
+
     # the serve leg gates on *equivalence* only (like parallel and
     # robustness): the report a multi-writer HTTP load leaves behind must
     # equal a serial replay of the same updates, and the session's own
@@ -175,6 +190,14 @@ def test_engine_speedups_and_equivalence():
         f"{name}={sessions[name]['speedup']:.1f}x"
         for name in ("clust", "vertical", "hybrid")
     )
+    sql_line = "sql: " + "; ".join(
+        f"{backend} " + ", ".join(
+            f"{name}={leg['warm_seconds'] * 1000:.0f}ms warm "
+            f"({leg['rows_per_sec']:,.0f} rows/s)"
+            for name, leg in legs.items()
+        )
+        for backend, legs in sql["backends"].items()
+    )
     legs = parallel["legs"]
     parallel_line = (
         f"parallel (4 sites, {parallel['cpu_count']} CPUs): "
@@ -214,6 +237,8 @@ def test_engine_speedups_and_equivalence():
         )
         + "\n"
         + incremental_line
+        + "\n"
+        + sql_line
         + "\n"
         + parallel_line
         + "\n"

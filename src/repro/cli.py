@@ -24,20 +24,31 @@ Commands
     Print the SQL detection queries of [2] for a CFD (runnable on any SQL
     engine; see ``repro.core.sql``).
 
+``datagen``
+    Generate an evaluation workload with known ground truth.  ``repro
+    datagen tpch`` writes the 8-table TPC-H instance at ``--sf`` with
+    per-table CFD families, seeded violation injection at ``--ratio``,
+    and a ``manifest.json`` recording the exact expected violation
+    counts per family (:mod:`repro.datagen.tpch`).
+
 ``figures``
     Regenerate the paper's Figure 3 experiments (all or a subset).
 
 ``bench``
     Time the detection engines — the per-normal-form reference plan vs the
-    fused columnar engine (pure-Python and numpy folds), the incremental
-    maintenance legs (update batches vs full recompute), plus the
-    parallel fragment-detection legs — on the Fig. 3c/3i workloads.  The
+    fused columnar engine (pure-Python and numpy folds) vs the
+    database-backed sql engine (sqlite; duckdb when importable), the
+    incremental maintenance legs (update batches vs full recompute), plus
+    the parallel fragment-detection legs — on the Fig. 3c/3i workloads.  The
     machine-readable perf trajectory (``BENCH_detect.json``) is written
     only when ``REPRO_BENCH=1``; otherwise a one-line warning says the
     recording was skipped.
 
 Environment knobs honoured by every command: ``REPRO_ENGINE`` (detection
-backend; unknown values abort with exit code 2), ``REPRO_WORKERS`` /
+backend; unknown values abort with exit code 2; ``check``/``detect``
+accept a scoped ``--engine`` override), ``REPRO_SQL_BACKEND`` (database
+behind the sql engine: ``sqlite``, ``duckdb`` or ``auto``; unknown or
+unavailable backends abort with exit code 2), ``REPRO_WORKERS`` /
 ``REPRO_PARALLEL`` (parallel scheduler), ``REPRO_POOL_TIMEOUT`` /
 ``REPRO_POOL_RETRIES`` / ``REPRO_POOL_DEGRADE`` (worker supervision),
 ``REPRO_FAULTS`` (deterministic fault injection; ``detect --fault-plan``
@@ -55,7 +66,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from .core import CFD, ENGINES, detect_violations, parse_cfd
 from .core.sql import violation_sql
@@ -68,6 +80,28 @@ from .detect import (
     seq_detect,
 )
 from .relational import infer_column_types, load_csv
+
+
+@contextmanager
+def _env_override(name: str, value: object | None) -> Iterator[None]:
+    """Set ``name`` for the duration of one command, then restore it.
+
+    Scoped to the command: embedders calling :func:`main` must not find
+    the environment silently changed afterwards.  ``None`` means "leave
+    the environment alone".
+    """
+    if value is None:
+        yield
+        return
+    previous = os.environ.get(name)
+    os.environ[name] = str(value)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous
 
 
 def _load_cfds(texts: Sequence[str]) -> list[CFD]:
@@ -95,6 +129,10 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--key", default=None, help="key column (default: first column)"
     )
+    check.add_argument(
+        "--engine", choices=ENGINES + ("auto",), default=None,
+        help="detection engine for this run (overrides REPRO_ENGINE)",
+    )
 
     detect = commands.add_parser(
         "detect",
@@ -121,6 +159,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default="pat-rt",
         help="Section IV algorithm (default pat-rt: per-pattern "
         "coordinators minimizing response time)",
+    )
+    detect.add_argument(
+        "--engine", choices=ENGINES + ("auto",), default=None,
+        help="per-fragment detection engine for this run (overrides "
+        "REPRO_ENGINE; 'sql' runs each scan on the configured "
+        "REPRO_SQL_BACKEND database)",
     )
     detect.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -153,6 +197,34 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--cfd", action="append", required=True)
     sql.add_argument("--table", default="D")
 
+    datagen = commands.add_parser(
+        "datagen",
+        help="generate an evaluation workload with a ground-truth "
+        "violation manifest",
+    )
+    datagen.add_argument(
+        "workload", choices=["tpch"],
+        help="workload family (tpch: 8 tables, per-table CFD families, "
+        "seeded injection)",
+    )
+    datagen.add_argument(
+        "--sf", type=float, default=0.01, metavar="SCALE",
+        help="TPC-H scale factor (default 0.01; 1.0 is the full 6M-row "
+        "lineitem)",
+    )
+    datagen.add_argument(
+        "--seed", type=int, default=7, help="generation seed (default 7)"
+    )
+    datagen.add_argument(
+        "--ratio", type=float, default=0.02,
+        help="violation injection ratio per CFD family (default 0.02)",
+    )
+    datagen.add_argument(
+        "--out", default="tpch-data",
+        help="output directory for the CSVs and manifest.json "
+        "(default tpch-data)",
+    )
+
     figures = commands.add_parser(
         "figures", help="regenerate the paper's Figure 3 experiments"
     )
@@ -165,7 +237,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = commands.add_parser(
         "bench",
         help="benchmark the detection engines (reference vs fused vs "
-        "fused-numpy) and the parallel fragment-detection legs",
+        "fused-numpy vs sql) and the parallel fragment-detection legs",
     )
     bench.add_argument(
         "--out", default="BENCH_detect.json",
@@ -221,7 +293,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         load_csv(args.data, key=[args.key] if args.key else None)
     )
     cfds = _load_cfds(args.cfd)
-    report = detect_violations(relation, cfds)
+    with _env_override("REPRO_ENGINE", args.engine):
+        report = detect_violations(relation, cfds)
     print(f"{len(relation)} tuples, {len(cfds)} CFD(s)")
     print(report.summary())
     if report.tuple_keys:
@@ -261,19 +334,9 @@ def _cmd_detect(args: argparse.Namespace) -> int:
         print(f"fault plan {plan!r}: {recovered}")
         return code
 
-    if args.workers is not None:
-        # scoped to this command: embedders calling main() must not find
-        # REPRO_WORKERS silently changed afterwards
-        previous = os.environ.get("REPRO_WORKERS")
-        os.environ["REPRO_WORKERS"] = str(args.workers)
-        try:
+    with _env_override("REPRO_WORKERS", args.workers):
+        with _env_override("REPRO_ENGINE", args.engine):
             return run()
-        finally:
-            if previous is None:
-                os.environ.pop("REPRO_WORKERS", None)
-            else:
-                os.environ["REPRO_WORKERS"] = previous
-    return run()
 
 
 def _run_detect(args: argparse.Namespace) -> int:
@@ -450,6 +513,36 @@ def _cmd_sql(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_datagen(args: argparse.Namespace) -> int:
+    from .datagen import write_tpch
+
+    manifest = write_tpch(
+        args.out, scale_factor=args.sf, seed=args.seed, ratio=args.ratio
+    )
+    total_rows = sum(
+        entry["rows"] for entry in manifest["tables"].values()
+    )
+    total_violations = sum(
+        stats["expected_violations"]
+        for entry in manifest["tables"].values()
+        for stats in entry["families"].values()
+    )
+    print(
+        f"tpch sf={manifest['scale_factor']} seed={manifest['seed']} "
+        f"ratio={manifest['ratio']}: {len(manifest['tables'])} tables, "
+        f"{total_rows} rows, {total_violations} expected violations "
+        f"-> {args.out}/"
+    )
+    for table, entry in manifest["tables"].items():
+        families = ", ".join(
+            f"{name}={stats['expected_violations']}"
+            for name, stats in entry["families"].items()
+        )
+        print(f"  {table}: {entry['rows']} rows ({families})")
+    print(f"[manifest written to {args.out}/manifest.json]")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from .experiments import ALL_FIGURES
 
@@ -533,6 +626,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
     if not summary["numpy"]:
         print("  (fused-numpy tier skipped: numpy unavailable or disabled)")
+    sql = summary.get("sql")
+    if sql:
+        for backend, legs in sql["backends"].items():
+            for name, leg in legs.items():
+                print(
+                    f"  sql[{backend}] {name}: "
+                    f"{leg['warm_seconds']:.3f}s warm "
+                    f"({leg['cold_seconds']:.3f}s cold incl. load), "
+                    f"{leg['rows_per_sec']:,.0f} rows/s, "
+                    f"matches reference: {leg['matches_reference']}"
+                )
+        if not sql["duckdb"]:
+            print("  (sql duckdb backend skipped: package not importable)")
     incremental = summary.get("incremental")
     if incremental:
         line = "  incremental maintenance vs full recompute:"
@@ -634,6 +740,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             and entry.get("fused_numpy_matches_reference", True)
             for entry in summary["workloads"].values()
         )
+        and (sql is None or sql["matches_reference"])
         and (parallel is None or parallel["matches_serial"])
         and (robustness is None or robustness["matches_serial"])
         and (incremental is None or incremental["matches_full_recompute"])
@@ -667,7 +774,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         # typo before any data is loaded, not as a mid-detection traceback
         from .core import active_plan, resolve_mode, resolve_workers
         from .core.parallel import resolve_order_retries, resolve_order_timeout
+        from .core.sql import resolve_sql_backend
 
+        resolve_sql_backend()
         resolve_workers()
         resolve_mode()
         resolve_order_timeout()
@@ -683,7 +792,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         resolve_max_sessions()
         resolve_queue_depth()
         resolve_coalesce()
-    except ValueError as error:
+    except (ValueError, RuntimeError) as error:
+        # RuntimeError: REPRO_SQL_BACKEND=duckdb without the package —
+        # same exit code as a typo, the run could not have proceeded
         print(f"error: {error}", file=sys.stderr)
         return 2
     args = _build_parser().parse_args(argv)
@@ -691,6 +802,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "check": _cmd_check,
         "detect": _cmd_detect,
         "sql": _cmd_sql,
+        "datagen": _cmd_datagen,
         "figures": _cmd_figures,
         "bench": _cmd_bench,
         "serve": _cmd_serve,

@@ -8,7 +8,7 @@ violations of the variable normal forms.  This module is the same plan on
 our relational engine; it is both the baseline detector and the local
 checking step every distributed algorithm runs at coordinator sites.
 
-Three engines implement the plan:
+Four engines implement the plan:
 
 * the **reference** engine below — one scan per normal form, row tuples
   and hash tables rebuilt per query.  It is the executable spec every
@@ -20,10 +20,15 @@ Three engines implement the plan:
 * the **fused-numpy** engine — the same single pass with the folds
   vectorized over the store's ``int32`` code arrays (boolean-mask
   constant tests, sorted group-reduce conflict detection).  Requires the
-  optional numpy dependency (the ``fast`` extra).
+  optional numpy dependency (the ``fast`` extra);
+* the **sql** engine (:mod:`repro.core.sql`) — the paper's technique run
+  *literally*: the relation loaded once into a persistent sqlite3 (or
+  optional DuckDB, the ``sql`` extra) database and all of normalized Σ
+  compiled into one parameterized statement set, result rows decoded back
+  into a report.  Backend selection via ``REPRO_SQL_BACKEND``.
 
 :func:`detect_violations` dispatches between them: pass
-``engine="reference" | "fused" | "fused-numpy"``, or set the
+``engine="reference" | "fused" | "fused-numpy" | "sql"``, or set the
 ``REPRO_ENGINE`` environment variable to the same values (the engine
 conformance matrix in the test suite does exactly that).  With neither
 given, detection auto-selects: fused-numpy when numpy is importable (and
@@ -180,7 +185,7 @@ def detect_violations_reference(
 
 
 #: engine names :func:`detect_violations` accepts (besides ``"auto"``).
-ENGINES = ("reference", "fused", "fused-numpy")
+ENGINES = ("reference", "fused", "fused-numpy", "sql")
 
 
 def detect_violations(
@@ -200,8 +205,11 @@ def detect_violations(
         The execution backend: ``"fused"`` (single-pass columnar
         evaluation of all of Σ, pure-Python folds), ``"fused-numpy"`` (the
         same pass with vectorized folds; raises ``RuntimeError`` when
-        numpy is unavailable), ``"reference"`` (one scan per normal form —
-        the executable spec) or ``"auto"``.  When ``None``, the
+        numpy is unavailable), ``"sql"`` (the plan compiled to
+        parameterized statements and run inside a persistent sqlite3 or
+        DuckDB database — see :mod:`repro.core.sql`), ``"reference"``
+        (one scan per normal form — the executable spec) or ``"auto"``.
+        When ``None``, the
         ``REPRO_ENGINE`` environment variable decides, defaulting to
         ``"auto"`` — the fused engine with vectorized folds whenever numpy
         is active and the relation is large enough for them to pay off.
@@ -222,6 +230,12 @@ def detect_violations(
     if engine == "reference":
         return detect_violations_reference(
             relation, cfds, collect_tuples, parallel
+        )
+    if engine == "sql":
+        from .sql import detect_violations_sql
+
+        return detect_violations_sql(
+            relation, cfds, collect_tuples, parallel=parallel
         )
     raise ValueError(
         f"unknown detection engine {engine!r}; "

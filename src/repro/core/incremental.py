@@ -1105,6 +1105,28 @@ class IncrementalDetector:
     def _vectorize(self) -> bool:
         return self.engine == "fused-numpy"
 
+    @property
+    def _recompute_mode(self) -> bool:
+        """Engines maintained by recompute+diff instead of delta folds.
+
+        ``reference`` is the executable spec; ``sql`` delegates detection
+        to a database, which has no incremental fold — each update re-runs
+        the compiled statement set on the new relation (the per-relation
+        handle cache keeps the reload cost bounded) and diffs reports.
+        """
+        return self.engine in ("reference", "sql")
+
+    def _recompute_report(self, relation: Relation) -> ViolationReport:
+        if self.engine == "sql":
+            from .sql import detect_violations_sql
+
+            return detect_violations_sql(
+                relation, self.cfds, self.collect_tuples
+            )
+        return detect_violations_reference(
+            relation, self.cfds, self.collect_tuples
+        )
+
     # -- lifecycle --------------------------------------------------------
 
     def attach(self, relation: Relation) -> ViolationReport:
@@ -1118,10 +1140,8 @@ class IncrementalDetector:
             # re-wraps them
             self._wrap_keys = len(relation.schema.key_positions()) == 1
             self._build_store(relation)
-            if self.engine == "reference":
-                self._reference_report = detect_violations_reference(
-                    relation, self.cfds, self.collect_tuples
-                )
+            if self._recompute_mode:
+                self._reference_report = self._recompute_report(relation)
                 return self.report
             self._violations = TransitionCounter()
             self._keys = TransitionCounter()
@@ -1175,7 +1195,7 @@ class IncrementalDetector:
         """Open one all-or-nothing update: arm every undo log."""
         self._store_undo = {}
         self._relation_snapshot = self._relation
-        if self.engine != "reference":
+        if not self._recompute_mode:
             self._violations.begin()
             self._keys.begin()
             for state in self._variables:
@@ -1263,7 +1283,7 @@ class IncrementalDetector:
                         _project_keys(rows, range(len(rows)), key_pos), rows
                     ):
                         self._store_add(key, row)
-            if self.engine == "reference":
+            if self._recompute_mode:
                 self.relation = relation
                 delta = self._reference_rediff()
                 self._end_batch()
@@ -1377,7 +1397,7 @@ class IncrementalDetector:
                         self._store_add(key, row)
             self._relation = None  # invalidate the cached snapshot
 
-            if self.engine == "reference":
+            if self._recompute_mode:
                 delta = self._reference_rediff()
                 self._end_batch()
                 return delta
@@ -1420,9 +1440,7 @@ class IncrementalDetector:
 
     def _reference_rediff(self) -> ViolationDelta:
         previous = self._reference_report
-        current = detect_violations_reference(
-            self.relation, self.cfds, self.collect_tuples
-        )
+        current = self._recompute_report(self.relation)
         self._reference_report = current
         return ViolationDelta(
             added=ViolationReport(
@@ -1439,7 +1457,7 @@ class IncrementalDetector:
     def report(self) -> ViolationReport:
         """The full current report (a fresh copy, safe to merge/mutate)."""
         with self._session_lock:
-            if self.engine == "reference":
+            if self._recompute_mode:
                 source = self._reference_report or ViolationReport()
                 return ViolationReport(source.violations, source.tuple_keys)
             return counters_report(

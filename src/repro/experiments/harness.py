@@ -165,6 +165,64 @@ def _bench_provenance() -> dict:
     }
 
 
+def _bench_sql_engine(data, workloads, repeats: int) -> dict:
+    """Time the sql engine on the same workloads as the in-memory tiers.
+
+    Per backend (sqlite always; duckdb only when importable) and per
+    workload: **cold** is a fresh relation copy — the handle must load the
+    rows into the database and compile the plan before the first answer —
+    and **warm** is the steady state with the handle and statement cache
+    resident, timed ``repeats`` times (minimum reported).  Every leg is
+    cross-checked against the reference engine on violations *and* tuple
+    keys, and the aggregate ``matches_reference`` is what the perf
+    regression gate asserts.
+    """
+    from ..core import detect_violations_reference
+    from ..core.sql import (
+        close_sql_handles,
+        detect_violations_sql,
+        duckdb_enabled,
+    )
+    from ..relational import Relation
+
+    backends = ["sqlite"] + (["duckdb"] if duckdb_enabled() else [])
+    result: dict = {"backends": {}, "duckdb": duckdb_enabled()}
+    all_match = True
+    for backend in backends:
+        legs: dict = {}
+        for name, cfds in workloads.items():
+            reference = detect_violations_reference(
+                data, cfds, collect_tuples=True
+            )
+            # a fresh relation has no cached handle: the first detection
+            # pays load + compile and is the cold measurement
+            fresh = Relation(data.schema, data.rows, copy=False)
+            start = time.perf_counter()
+            report = detect_violations_sql(fresh, cfds, backend=backend)
+            cold = time.perf_counter() - start
+            warm_times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                report = detect_violations_sql(fresh, cfds, backend=backend)
+                warm_times.append(time.perf_counter() - start)
+            warm = min(warm_times)
+            matches = (
+                report.violations == reference.violations
+                and report.tuple_keys == reference.tuple_keys
+            )
+            all_match = all_match and matches
+            legs[name] = {
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+                "rows_per_sec": len(data) / warm,
+                "matches_reference": matches,
+            }
+        result["backends"][backend] = legs
+        close_sql_handles()
+    result["matches_reference"] = all_match
+    return result
+
+
 def _bench_incremental(data, cfds, repeats: int) -> dict:
     """Incremental maintenance vs full recompute at several batch sizes.
 
@@ -832,7 +890,7 @@ def bench_detection(
     seed: int = 8,
     workers: int = 4,
 ) -> dict:
-    """Time centralized detection across all three engines on Fig. 3c/3i data.
+    """Time centralized detection across all four engines on Fig. 3c/3i data.
 
     The workload is the Fig. 3c data-size configuration (cust16 at
     ``REPRO_SCALE``), measured with the single 255-pattern street CFD
@@ -848,7 +906,8 @@ def bench_detection(
     number that matters for a detector that, like a DBMS, keeps its
     indexes.  Every engine's report is cross-checked against the reference
     (violations and tuple keys) so the benchmark doubles as an equivalence
-    gate.
+    gate.  The ``sql`` section (:func:`_bench_sql_engine`) times the
+    database-backed engine on the same workloads, per backend.
 
     ``workers`` (default 4) appends the distributed ``parallel`` section —
     fragment-level detection at workers ∈ {1, N} across serial/thread/
@@ -967,6 +1026,7 @@ def bench_detection(
         summary["workloads"][name] = entry
 
     summary["speedup"] = summary["workloads"]["fig3c_single_cfd"]["speedup"]
+    summary["sql"] = _bench_sql_engine(data, workloads, repeats)
     summary["provenance"] = _bench_provenance()
     summary["incremental"] = _bench_incremental(
         data, workloads["fig3c_single_cfd"], repeats

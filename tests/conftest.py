@@ -1,10 +1,11 @@
 """Shared fixtures: the engine conformance matrix.
 
-The library carries three centralized detection engines — ``reference``
-(the executable spec), ``fused`` (single-pass columnar, pure-Python folds)
-and ``fused-numpy`` (the same pass with vectorized folds).  Rather than
-maintaining ad-hoc per-engine copies of behavioral tests, a test module
-opts into the matrix with::
+The library carries four centralized detection engines — ``reference``
+(the executable spec), ``fused`` (single-pass columnar, pure-Python folds),
+``fused-numpy`` (the same pass with vectorized folds) and ``sql`` (the
+plan compiled to parameterized statements inside a sqlite3/DuckDB
+database).  Rather than maintaining ad-hoc per-engine copies of behavioral
+tests, a test module opts into the matrix with::
 
     pytestmark = pytest.mark.usefixtures("detection_engine")
 
@@ -14,16 +15,16 @@ which reruns every test in the module once per engine, with
 local checks (:mod:`repro.core.fused`) pick the engine up.  The
 ``fused-numpy`` leg skips automatically when numpy is not importable (or
 is disabled via ``REPRO_NUMPY=0``), so the suite passes unchanged on a
-numpy-less interpreter.
-
-The fixture is module-scoped: tests are grouped per engine, and
-hypothesis-based tests in opted-in modules stay clear of the
-function-scoped-fixture health check.
+numpy-less interpreter; the ``sql`` leg mirrors that pattern for its
+*optional* backend — it always runs on stdlib sqlite3, but skips when the
+environment forces ``REPRO_SQL_BACKEND=duckdb`` and duckdb is absent.
 """
+
+import os
 
 import pytest
 
-from repro.core import ENGINES
+from repro.core import ENGINES, duckdb_enabled
 from repro.relational import numpy_enabled
 
 
@@ -33,6 +34,12 @@ def detection_engine(request):
     engine = request.param
     if engine == "fused-numpy" and not numpy_enabled():
         pytest.skip("numpy not importable (or disabled via REPRO_NUMPY=0)")
+    if (
+        engine == "sql"
+        and os.environ.get("REPRO_SQL_BACKEND") == "duckdb"
+        and not duckdb_enabled()
+    ):
+        pytest.skip("REPRO_SQL_BACKEND=duckdb but duckdb is not importable")
     patcher = pytest.MonkeyPatch()
     patcher.setenv("REPRO_ENGINE", engine)
     yield engine

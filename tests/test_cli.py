@@ -130,3 +130,94 @@ def test_cli_figures_unknown(capsys):
     code = main(["figures", "--only", "fig9z"])
     assert code == 2
     assert "unknown figures" in capsys.readouterr().err
+
+
+# -- --engine / REPRO_SQL_BACKEND ---------------------------------------------
+
+
+def test_cli_check_engine_sql(emp_csv, capsys):
+    code = main([
+        "check", "--data", emp_csv, "--engine", "sql",
+        "--cfd", "([CC=44, zip] -> [street])",
+    ])
+    output = capsys.readouterr().out
+    assert code == 1
+    assert "1 violating pattern" in output
+    assert "(2,)" in output  # same keys as the reference engine
+    assert os.environ.get("REPRO_ENGINE") is None  # override was scoped
+
+
+def test_cli_detect_engine_sql(emp_csv, capsys):
+    code = main([
+        "detect", "--data", emp_csv, "--sites", "2", "--engine", "sql",
+        "--cfd", "([CC=44, zip] -> [street])",
+    ])
+    output = capsys.readouterr().out
+    assert code == 1
+    assert "violating pattern" in output
+    assert os.environ.get("REPRO_ENGINE") is None
+
+
+def test_cli_engine_flag_restores_previous_value(emp_csv, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "fused")
+    main([
+        "check", "--data", emp_csv, "--engine", "reference",
+        "--cfd", "([CC, title] -> [salary])",
+    ])
+    capsys.readouterr()
+    assert os.environ["REPRO_ENGINE"] == "fused"
+
+
+def test_cli_unknown_engine_env_exits_2(emp_csv, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "turbo")
+    code = main(["check", "--data", emp_csv, "--cfd", "([a] -> [b])"])
+    assert code == 2
+    assert "unknown REPRO_ENGINE" in capsys.readouterr().err
+
+
+def test_cli_unknown_sql_backend_exits_2(emp_csv, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SQL_BACKEND", "bogus")
+    code = main(["check", "--data", emp_csv, "--cfd", "([a] -> [b])"])
+    assert code == 2
+    assert "unknown SQL backend" in capsys.readouterr().err
+
+
+def test_cli_duckdb_backend_without_package_exits_2(capsys, monkeypatch):
+    from repro.core import duckdb_enabled
+
+    if duckdb_enabled():
+        pytest.skip("duckdb importable; the missing-package path is moot")
+    monkeypatch.setenv("REPRO_SQL_BACKEND", "duckdb")
+    code = main(["sql", "--cfd", "([a] -> [b])"])
+    assert code == 2
+    assert "duckdb" in capsys.readouterr().err
+
+
+# -- datagen ------------------------------------------------------------------
+
+
+def test_cli_datagen_tpch_writes_manifest_and_csvs(tmp_path, capsys):
+    out = tmp_path / "tp"
+    code = main([
+        "datagen", "tpch", "--sf", "0.001", "--seed", "5",
+        "--ratio", "0.05", "--out", str(out),
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "8 tables" in output
+    assert "manifest.json" in output
+    assert (out / "manifest.json").exists()
+    assert (out / "lineitem.csv").exists()
+
+    # the generated workload closes the loop through check --engine sql:
+    # the injected nation violation is detected from the CSV on disk
+    code = main([
+        "check", "--data", str(out / "nation.csv"), "--engine", "sql",
+        "--key", "n_nationkey", "--cfd", "([n_regionkey] -> [n_region])",
+    ])
+    capsys.readouterr()
+    import json
+
+    manifest = json.loads((out / "manifest.json").read_text())
+    expected = manifest["tables"]["nation"]["families"]["nation_region"]
+    assert (code == 1) == (expected["expected_violations"] > 0)

@@ -1,10 +1,10 @@
-"""Property-based differential suite: reference ≡ fused ≡ fused-numpy.
+"""Property-based differential suite: reference ≡ fused ≡ fused-numpy ≡ sql.
 
-The reference engine is the executable spec; the fused engine and its
-vectorized twin must reproduce it bit-for-bit — violations *and* collected
-tuple keys — on every input.  This module drives all three engines over
-random relations and CFD sets covering the paths where the backends
-genuinely diverge in implementation:
+The reference engine is the executable spec; the fused engine, its
+vectorized twin and the database-backed ``sql`` engine must reproduce it
+bit-for-bit — violations *and* collected tuple keys — on every input.
+This module drives all four engines over random relations and CFD sets
+covering the paths where the backends genuinely diverge in implementation:
 
 * eCFD predicate entries (``OneOf`` / ``NotValue`` / ``Range``) on both
   sides of the pattern;
@@ -14,7 +14,14 @@ genuinely diverge in implementation:
 * both horizontal partition kinds, empty relations and fragments,
   single-row X-groups, and all-identical columns;
 * warm re-detection on a cached store (the vectorized folds switch their
-  tuple-key collection strategy on the second run).
+  tuple-key collection strategy on the second run; the sql engine reuses
+  its per-relation database handle);
+* relations with ``None`` cells — SQL three-valued logic vs the in-memory
+  engines' "None is an ordinary value" contract (the null-safe compilation
+  strategy is documented in :mod:`repro.core.sql`).
+
+The ``sql`` legs run on stdlib sqlite3 alone; when duckdb is importable
+they run again against it (and skip cleanly when it is not).
 
 ``VECTORIZE_MIN_ROWS`` is forced to 0 for the whole module so the
 hypothesis-sized relations actually take the vectorized encode and fold
@@ -34,7 +41,10 @@ from repro.core import (
     Range,
     WILDCARD,
     detect_violations,
+    detect_violations_sql,
+    duckdb_enabled,
 )
+from repro.core import SQLEngineError
 from repro.partition import partition_by_attribute, partition_uniform
 from repro.relational import Relation, Schema, column_store, numpy_enabled
 from repro.relational import columnar
@@ -60,17 +70,27 @@ def engines():
     names = ["reference", "fused"]
     if numpy_enabled():
         names.append("fused-numpy")
+    names.append("sql")
     return names
 
 
 def assert_engines_agree(relation, sigma):
     expected = detect_violations(relation, sigma, engine="reference")
     for engine in engines()[1:]:
-        # twice per engine: the second run folds over a warm columnar store
+        # twice per engine: the second run folds over a warm columnar
+        # store (or, for sql, a warm per-relation database handle)
         for _ in range(2):
             report = detect_violations(relation, sigma, engine=engine)
             assert report.violations == expected.violations, engine
             assert report.tuple_keys == expected.tuple_keys, engine
+    if duckdb_enabled():
+        try:
+            report = detect_violations_sql(relation, sigma, backend="duckdb")
+        except SQLEngineError:
+            pass  # mixed-type columns duckdb cannot store; sqlite covered it
+        else:
+            assert report.violations == expected.violations, "sql/duckdb"
+            assert report.tuple_keys == expected.tuple_keys, "sql/duckdb"
 
 
 rows = st.lists(
@@ -137,6 +157,111 @@ def test_engines_agree_on_uniform_fragments(relation, sigma, n_sites):
 def test_engines_agree_on_attribute_fragments(relation, sigma):
     for site in partition_by_attribute(relation, "a").sites:
         assert_engines_agree(site.fragment, sigma)
+
+
+# -- NULL semantics: sql three-valued logic vs "None is a value" -------------
+
+#: like VALUES but with None cells — the domain where SQL's three-valued
+#: logic diverges hardest from the in-memory engines' contract (None equals
+#: itself, differs from everything, never orders)
+NULL_VALUES = [0, 1, "x", None]
+
+null_rows = st.lists(
+    st.tuples(*[st.sampled_from(NULL_VALUES) for _ in ATTRS]),
+    min_size=0,
+    max_size=24,
+)
+
+
+@st.composite
+def null_relations(draw):
+    body = draw(null_rows)
+    return Relation(SCHEMA, [(i,) + r for i, r in enumerate(body)])
+
+
+@st.composite
+def null_pattern_entries(draw):
+    kind = draw(st.integers(0, 7))
+    if kind == 0:
+        return WILDCARD
+    if kind == 1:
+        return OneOf(
+            draw(st.sets(st.sampled_from(NULL_VALUES), min_size=1, max_size=3))
+        )
+    if kind == 2:
+        return NotValue(draw(st.sampled_from(NULL_VALUES)))
+    if kind == 3:
+        # int and str bounds: the sqlite typeof-guard must keep cross-type
+        # (and NULL) comparisons out, like Python's TypeError -> no match
+        return Range(
+            draw(st.sampled_from(["<", "<=", ">", ">="])),
+            draw(st.sampled_from([0, 1, "x"])),
+        )
+    return draw(st.sampled_from(NULL_VALUES))
+
+
+@st.composite
+def null_cfds(draw):
+    lhs_size = draw(st.integers(1, 3))
+    attrs = draw(st.permutations(ATTRS).map(lambda p: list(p[: lhs_size + 1])))
+    lhs, rhs = attrs[:-1], [attrs[-1]]
+    tableau = [
+        PatternTuple(
+            [draw(null_pattern_entries()) for _ in lhs],
+            [draw(null_pattern_entries()) for _ in rhs],
+        )
+        for _ in range(draw(st.integers(1, 3)))
+    ]
+    return CFD(lhs, rhs, tableau, name=f"null{draw(st.integers(0, 10 ** 6))}")
+
+
+@SETTINGS
+@given(null_relations(), st.lists(null_cfds(), min_size=1, max_size=3))
+def test_engines_agree_with_null_cells(relation, sigma):
+    assert_engines_agree(relation, sigma)
+
+
+def test_null_groups_and_keys_deterministic():
+    """None is an X value and a Y value like any other: a group keyed on
+    None conflicts iff its Y values differ, where None != 0 counts as a
+    difference but None == None does not."""
+    relation = Relation(
+        SCHEMA,
+        [
+            (0, None, None, 0, 0),
+            (1, None, None, 0, 1),  # same (None, None) on a,b: no conflict
+            (2, None, 0, 0, 2),  # b flips None -> 0: conflict on X=None
+            (3, "x", None, None, 3),
+            (4, "x", None, None, 4),
+        ],
+    )
+    sigma = [CFD(["a"], ["b"], name="phi")]
+    assert_engines_agree(relation, sigma)
+    report = detect_violations(relation, sigma, engine="sql")
+    assert report.violations == detect_violations(
+        relation, sigma, engine="reference"
+    ).violations
+    assert {v.lhs_values for v in report.violations} == {(None,)}
+    assert report.tuple_keys == {(0,), (1,), (2,)}
+
+
+def test_null_constant_rhs_violation():
+    """A None cell violates a constant RHS pattern (no match -> violated),
+    and a None RHS constant is only satisfied by a None cell."""
+    relation = Relation(
+        SCHEMA,
+        [(0, 1, None, 0, 0), (1, 1, "x", 0, 0), (2, 2, None, 0, 0)],
+    )
+    sigma = [
+        CFD(["a"], ["b"], [PatternTuple((1,), ("x",))], name="want_x"),
+        CFD(["a"], ["b"], [PatternTuple((2,), (None,))], name="want_null"),
+    ]
+    assert_engines_agree(relation, sigma)
+    report = detect_violations(relation, sigma, engine="sql")
+    assert {(v.cfd, v.lhs_values) for v in report.violations} == {
+        ("want_x", (1,))
+    }
+    assert report.tuple_keys == {(0,)}
 
 
 # -- deterministic edge cases -------------------------------------------------

@@ -1,14 +1,32 @@
-"""Tests for the SQL generation of [2], executed on sqlite3.
+"""Tests for the SQL generation of [2] and the ``sql`` engine built on it.
 
 The generated queries must return exactly ``Vioπ(φ, D)`` as computed by
 the built-in detector — verified on the paper's running example and on
-random instances (hypothesis).
+random instances (hypothesis).  Since the display-path SQL now executes on
+the very table the ``sql`` engine loads (:func:`run_detection_on_sqlite`
+shares the engine's relation handle), these tests also pin the generation
+helpers and the engine to each other: drift in either fails here.
 """
 
+import math
+
 import hypothesis.strategies as st
+import pytest
 from hypothesis import given, settings
 
-from repro.core import CFD, PatternTuple, WILDCARD, detect_violations, parse_cfd
+from repro.core import (
+    CFD,
+    PatternTuple,
+    SQLEngineError,
+    WILDCARD,
+    close_sql_handles,
+    detect_violations,
+    detect_violations_sql,
+    duckdb_enabled,
+    parse_cfd,
+    resolve_sql_backend,
+    sql_handle,
+)
 from repro.core.sql import (
     constant_violation_sql,
     create_table_sql,
@@ -23,6 +41,13 @@ from repro.relational import Relation, Schema
 def vio_pi(relation, cfds) -> set:
     report = detect_violations(relation, cfds, collect_tuples=False)
     return {(v.cfd, v.lhs_values) for v in report.violations}
+
+
+def assert_sql_engine_matches_reference(relation, cfds):
+    reference = detect_violations(relation, cfds, engine="reference")
+    via_sql = detect_violations(relation, cfds, engine="sql")
+    assert via_sql.violations == reference.violations
+    assert via_sql.tuple_keys == reference.tuple_keys
 
 
 # -- structure -----------------------------------------------------------
@@ -60,11 +85,13 @@ def test_identifiers_and_strings_quoted():
     assert '"my""table"' in query
 
 
-def test_create_table_affinities():
+def test_create_table_declares_no_affinities():
+    # declared types would let sqlite coerce values on insert ('2' under
+    # INTEGER affinity becomes the integer 2), so columns stay untyped
     schema = Schema("R", ["i", "f", "s"], key=["i"])
     relation = Relation(schema, [(1, 2.5, "x")])
     ddl = create_table_sql(relation, "T")
-    assert '"i" INTEGER' in ddl and '"f" REAL' in ddl and '"s" TEXT' in ddl
+    assert ddl == 'CREATE TABLE "T" ("i", "f", "s")'
 
 
 # -- equivalence on the paper's example ------------------------------------
@@ -80,6 +107,167 @@ def test_sqlite_matches_detector_on_cust():
     data = generate_cust(3000)
     cfd = cust_street_cfd(80)
     assert run_detection_on_sqlite(data, cfd) == vio_pi(data, cfd)
+
+
+# -- the engine entry point --------------------------------------------------
+
+
+def test_engine_matches_reference_and_display_sql_on_emp():
+    d0 = emp_instance()
+    cfds = emp_tableau_cfds()
+    assert_sql_engine_matches_reference(d0, cfds)
+    # the display SQL and the engine agree on Vioπ — no drift
+    report = detect_violations_sql(d0, cfds, collect_tuples=False)
+    assert {(v.cfd, v.lhs_values) for v in report.violations} == (
+        run_detection_on_sqlite(d0, cfds)
+    )
+
+
+def test_engine_collect_tuples_false_reports_no_keys():
+    d0 = emp_instance()
+    report = detect_violations_sql(d0, emp_tableau_cfds(), collect_tuples=False)
+    assert report.violations and not report.tuple_keys
+
+
+def test_handle_is_cached_per_relation():
+    d0 = emp_instance()
+    first = sql_handle(d0, backend="sqlite")
+    assert sql_handle(d0, backend="sqlite") is first
+    other = emp_instance()
+    assert sql_handle(other, backend="sqlite") is not first
+
+
+def test_dispatcher_routes_sql_engine(monkeypatch):
+    d0 = emp_instance()
+    monkeypatch.setenv("REPRO_ENGINE", "sql")
+    via_env = detect_violations(d0, emp_tableau_cfds())
+    monkeypatch.setenv("REPRO_ENGINE", "reference")
+    reference = detect_violations(d0, emp_tableau_cfds())
+    assert via_env.violations == reference.violations
+    assert via_env.tuple_keys == reference.tuple_keys
+
+
+# -- backend resolution ------------------------------------------------------
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown SQL backend"):
+        resolve_sql_backend("postgres")
+
+
+def test_unknown_backend_env_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_SQL_BACKEND", "bogus")
+    with pytest.raises(ValueError, match="unknown SQL backend"):
+        resolve_sql_backend()
+
+
+def test_auto_backend_always_resolves():
+    assert resolve_sql_backend("auto") == "auto"
+    assert resolve_sql_backend("sqlite") == "sqlite"
+
+
+@pytest.mark.skipif(duckdb_enabled(), reason="duckdb importable here")
+def test_duckdb_backend_without_duckdb_fails_loudly():
+    with pytest.raises(RuntimeError, match="duckdb"):
+        resolve_sql_backend("duckdb")
+
+
+@pytest.mark.skipif(not duckdb_enabled(), reason="duckdb not importable")
+def test_duckdb_backend_matches_reference_on_emp():
+    d0 = emp_instance()
+    cfds = emp_tableau_cfds()
+    reference = detect_violations(d0, cfds, engine="reference")
+    report = detect_violations_sql(d0, cfds, backend="duckdb")
+    assert report.violations == reference.violations
+    assert report.tuple_keys == reference.tuple_keys
+
+
+# -- quoting / parameterization regressions ----------------------------------
+
+# the breaking inputs of the audit: identifiers with spaces and embedded
+# quotes, values with quotes, percent signs and injection-shaped payloads
+NASTY_SCHEMA = Schema(
+    "nasty", ("row id", 'att"r', "va'l"), key=("row id",)
+)
+NASTY_ROWS = [
+    (1, "o'brien", "100%"),
+    (2, "o'brien", "100%"),
+    (3, "o'brien", "'; DROP TABLE D; --"),
+    (4, 'quo"ted', "100%"),
+    (5, "plain", "_ LIKE %"),
+]
+
+
+def nasty_relation():
+    return Relation(NASTY_SCHEMA, NASTY_ROWS)
+
+
+def test_engine_handles_quoted_identifiers_and_values():
+    relation = nasty_relation()
+    fd = CFD(
+        ('att"r',), ("va'l",), [PatternTuple((WILDCARD,), (WILDCARD,))],
+        name="fd",
+    )
+    constant = CFD(
+        ('att"r',),
+        ("va'l",),
+        [PatternTuple(("o'brien",), ("100%",))],
+        name="const",
+    )
+    assert_sql_engine_matches_reference(relation, [fd, constant])
+
+
+def test_display_sql_survives_quoted_identifiers_and_values():
+    relation = nasty_relation()
+    constant = CFD(
+        ('att"r',),
+        ("va'l",),
+        [PatternTuple(("o'brien",), ("100%",))],
+        name="const",
+    )
+    assert run_detection_on_sqlite(relation, constant) == vio_pi(
+        relation, constant
+    )
+
+
+def test_injection_shaped_values_stay_data():
+    relation = nasty_relation()
+    constant = CFD(
+        ("va'l",),
+        ('att"r',),
+        [PatternTuple(("'; DROP TABLE D; --",), ("never",))],
+        name="inj",
+    )
+    assert_sql_engine_matches_reference(relation, [constant])
+    # the table must still exist afterwards (the payload stayed a value)
+    assert detect_violations_sql(relation, [constant]).violations
+
+
+# -- unrepresentable values fail loudly --------------------------------------
+
+
+def test_nan_cells_rejected():
+    schema = Schema("R", ("id", "a"), key=("id",))
+    relation = Relation(schema, [(1, math.nan)])
+    fd = CFD(("a",), ("id",), [PatternTuple((WILDCARD,), (WILDCARD,))])
+    with pytest.raises(SQLEngineError, match="NaN"):
+        detect_violations_sql(relation, fd)
+
+
+def test_oversized_integers_rejected():
+    schema = Schema("R", ("id", "a"), key=("id",))
+    relation = Relation(schema, [(1, 2**63)])
+    fd = CFD(("a",), ("id",), [PatternTuple((WILDCARD,), (WILDCARD,))])
+    with pytest.raises(SQLEngineError, match="64 bits"):
+        detect_violations_sql(relation, fd)
+
+
+def test_non_primitive_cells_rejected():
+    schema = Schema("R", ("id", "a"), key=("id",))
+    relation = Relation(schema, [(1, (2, 3))])
+    fd = CFD(("a",), ("id",), [PatternTuple((WILDCARD,), (WILDCARD,))])
+    with pytest.raises(SQLEngineError, match="not\\s+representable"):
+        detect_violations_sql(relation, fd)
 
 
 # -- equivalence on random instances ----------------------------------------
@@ -117,3 +305,14 @@ def random_case(draw):
 def test_sqlite_matches_detector_random(case):
     relation, cfd = case
     assert run_detection_on_sqlite(relation, cfd) == vio_pi(relation, cfd)
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_case())
+def test_engine_matches_reference_random(case):
+    relation, cfd = case
+    assert_sql_engine_matches_reference(relation, [cfd])
+
+
+def teardown_module(module):
+    close_sql_handles()
