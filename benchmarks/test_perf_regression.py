@@ -133,6 +133,27 @@ def test_engine_speedups_and_equivalence():
     )
     assert serve["writers"] >= 4 and serve["folds"] <= serve["updates"], serve
 
+    # the durability leg gates on *equivalence* only: every fsync-policy
+    # deployment's final report — and its recovered-after-restart report —
+    # must equal the reference oracle over the serially-replayed rows, and
+    # the 10k-record recovery leg must replay to the pre-crash report.
+    # WAL overhead and recovery time are recorded, not floored: both are
+    # dominated by the host's disk, so a timing gate would flake on CI
+    durability = summary.get("durability")
+    assert durability is not None and durability["matches_serial_replay"], (
+        f"durable detection diverged from serial replay: {durability}"
+    )
+    for policy in ("off", "batch", "always"):
+        assert durability["policies"][policy]["matches_serial_replay"], (
+            f"fsync={policy} deployment diverged after restart: "
+            f"{durability['policies'][policy]}"
+        )
+    recovery = durability["recovery"]
+    assert recovery["replayed_records"] == recovery["wal_records"], (
+        f"recovery replayed {recovery['replayed_records']} of "
+        f"{recovery['wal_records']} WAL records: {recovery}"
+    )
+
     # provenance must be present so recorded trajectories self-describe,
     # and the headline timing sections must have run fault-free
     provenance = summary["provenance"]
@@ -229,6 +250,19 @@ def test_engine_speedups_and_equivalence():
         f"{serve['updates']} updates), churn "
         f"{serve['churn_sessions_per_sec']:,.1f} sessions/s"
     )
+    durability_line = (
+        "durability: in-memory p50 "
+        f"{durability['memory']['update_p50_seconds'] * 1000:.2f}ms; "
+        + "; ".join(
+            f"fsync={policy} "
+            f"{leg['update_p50_seconds'] * 1000:.2f}ms "
+            f"({leg['overhead_p50_vs_memory']:.1f}x)"
+            for policy, leg in durability["policies"].items()
+        )
+        + f"; recovery {recovery['wal_records']:,} records in "
+        f"{recovery['recovery_seconds']:.2f}s "
+        f"({recovery['records_per_sec']:,.0f}/s)"
+    )
     print(
         "\n"
         + "\n".join(
@@ -245,4 +279,6 @@ def test_engine_speedups_and_equivalence():
         + robustness_line
         + "\n"
         + serve_line
+        + "\n"
+        + durability_line
     )

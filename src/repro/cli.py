@@ -285,6 +285,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="max update requests folded as one combined batch "
         "(default REPRO_SERVE_COALESCE or 16)",
     )
+    serve.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durable session store: per-session write-ahead log + "
+        "atomic snapshots under DIR, with WAL replay recovery on "
+        "startup (default: memory only)",
+    )
+    serve.add_argument(
+        "--fsync", default=None, metavar="POLICY",
+        help="WAL fsync policy: always | batch | off "
+        "(default REPRO_SERVE_FSYNC or batch; needs --data-dir)",
+    )
+    serve.add_argument(
+        "--checkpoint", type=int, default=None, metavar="N",
+        help="WAL records between snapshot checkpoints "
+        "(default REPRO_SERVE_CHECKPOINT or 256; needs --data-dir)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-connection socket timeout so stalled clients cannot "
+        "pin handler threads (default REPRO_SERVE_TIMEOUT or 30)",
+    )
     return parser
 
 
@@ -566,14 +587,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_sessions=args.max_sessions,
         queue_depth=args.queue,
         coalesce=args.coalesce,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        checkpoint=args.checkpoint,
     )
-    server = serve_http(service, host=args.host, port=args.port)
+    server = serve_http(
+        service, host=args.host, port=args.port, timeout=args.timeout
+    )
     host, port = server.server_address
     registry = service.registry
+    durable = ""
+    if registry.store is not None:
+        durable = (
+            f", data_dir={registry.store.root}, "
+            f"fsync={registry.store.fsync}, "
+            f"checkpoint={registry.store.checkpoint_every}, "
+            f"recovered={service.recovered}"
+        )
     print(
         f"repro serve listening on http://{host}:{port} "
         f"(max_sessions={registry.max_sessions}, "
-        f"queue={registry.queue_depth}, coalesce={registry.coalesce})",
+        f"queue={registry.queue_depth}, coalesce={registry.coalesce}"
+        f"{durable})",
         flush=True,
     )
     try:
@@ -732,6 +767,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{serve['matches_serial_replay']} "
             f"(verify ok: {serve['verify_ok']})"
         )
+    durability = summary.get("durability")
+    if durability:
+        memory = durability["memory"]
+        line = (
+            f"  durability ({durability['requests']} updates, "
+            f"{durability['base_rows']} resident rows): in-memory p50 "
+            f"{memory['update_p50_seconds'] * 1000:.2f}ms"
+        )
+        for policy, leg in durability["policies"].items():
+            line += (
+                f"; fsync={policy} "
+                f"{leg['update_p50_seconds'] * 1000:.2f}ms "
+                f"({leg['overhead_p50_vs_memory']:.1f}x)"
+            )
+        print(line)
+        recovery = durability["recovery"]
+        print(
+            f"  durability recovery: {recovery['wal_records']:,} WAL "
+            f"records replayed in {recovery['recovery_seconds']:.2f}s "
+            f"({recovery['records_per_sec']:,.0f} records/s)"
+        )
+        print(
+            "  durability matches serial replay: "
+            f"{durability['matches_serial_replay']}"
+        )
     if record:
         print(f"[saved to {args.out}]")
     ok = (
@@ -753,6 +813,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             serve is None
             or (serve["matches_serial_replay"] and serve["verify_ok"])
         )
+        and (durability is None or durability["matches_serial_replay"])
     )
     return 0 if ok else 1
 
@@ -783,15 +844,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         resolve_order_retries()
         active_plan()  # a malformed REPRO_FAULTS raises FaultSpecError
 
+        from .core.sql import resolve_handle_cap
+        from .serve.durability import resolve_checkpoint, resolve_fsync
         from .serve.service import (
             resolve_coalesce,
             resolve_max_sessions,
             resolve_queue_depth,
+            resolve_timeout,
         )
 
+        resolve_handle_cap()
         resolve_max_sessions()
         resolve_queue_depth()
         resolve_coalesce()
+        resolve_timeout()
+        resolve_fsync()
+        resolve_checkpoint()
     except (ValueError, RuntimeError) as error:
         # RuntimeError: REPRO_SQL_BACKEND=duckdb without the package —
         # same exit code as a typo, the run could not have proceeded

@@ -33,6 +33,7 @@ This module makes failures first-class and deterministic:
       REPRO_FAULTS="crash@3,corrupt@7,slow@2,drop@11,latency=0.005"
       REPRO_FAULTS="seed=13,rate=0.05"          # seeded random faults
       REPRO_FAULTS="seed=13,rate=0.05,kinds=crash|drop"
+      REPRO_FAULTS="torn-write@2,fsync-fail@5"  # disk faults (WAL appends)
 
   Explicit ``kind@order`` entries fire **once** (so a retried order
   succeeds and recovery is observable); seeded random faults draw
@@ -59,10 +60,23 @@ import os
 import random
 import threading
 from collections import Counter
+from typing import Iterable, Mapping
 
 #: fault kinds a plan can inject, in priority order when several target
 #: the same order.
 FAULT_KINDS = ("crash", "drop", "corrupt", "slow")
+
+#: disk fault kinds, keyed by an independent **disk order** counter (one
+#: per WAL append) so scheduler chaos and durability chaos compose in one
+#: plan without renumbering each other:
+#:
+#: - ``torn-write``  — the append writes only a prefix of the record
+#:   frame, then fails, exactly like a crash mid-``write(2)``;
+#: - ``bit-flip``    — the record is written whole but one payload byte
+#:   is flipped *after* the CRC was computed: silent corruption that only
+#:   recovery's checksum scan can see;
+#: - ``fsync-fail``  — the append's ``fsync`` raises, like a dying disk.
+DISK_FAULT_KINDS = ("torn-write", "bit-flip", "fsync-fail")
 
 #: process-wide recovery statistics: ``respawns``, ``re_requests``,
 #: ``timeouts``, ``crashes``, ``retries``, ``degraded_runs``.  Tests and
@@ -96,6 +110,15 @@ class FaultSpecError(ValueError):
     """An unparsable ``REPRO_FAULTS`` specification."""
 
 
+class DiskFaultInjected(OSError):
+    """An injected disk fault surfaced (torn write / failed fsync).
+
+    Deliberately an :class:`OSError`: the durability layer must treat an
+    injected torn write or fsync failure exactly like the real one, so
+    chaos tests exercise the same handling path production errors take.
+    """
+
+
 class FaultPlan:
     """A deterministic schedule of injected faults, keyed by order number.
 
@@ -118,11 +141,19 @@ class FaultPlan:
         rate: float = 0.0,
         seed: int = 0,
         kinds=FAULT_KINDS,
+        disk: Mapping[str, Iterable[int]] | None = None,
     ) -> None:
         self.crash = frozenset(crash)
         self.drop = frozenset(drop)
         self.corrupt = frozenset(corrupt)
         self.slow = frozenset(slow)
+        self.disk = {kind: frozenset() for kind in DISK_FAULT_KINDS}
+        for kind, orders in (disk or {}).items():
+            if kind not in DISK_FAULT_KINDS:
+                raise FaultSpecError(
+                    f"unknown disk fault kind {kind!r}; use {DISK_FAULT_KINDS}"
+                )
+            self.disk[kind] = frozenset(orders)
         self.latency = float(latency)
         self.rate = float(rate)
         self.seed = seed
@@ -135,6 +166,7 @@ class FaultPlan:
         if not 0.0 <= self.rate <= 1.0:
             raise FaultSpecError("fault rate must be in [0, 1]")
         self._next = 0
+        self._disk_next = 0
         self._fired: set[tuple[str, int]] = set()
         self._lock = threading.Lock()
 
@@ -142,6 +174,9 @@ class FaultPlan:
     def parse(cls, spec: str) -> "FaultPlan":
         """Build a plan from the ``REPRO_FAULTS`` grammar (see module doc)."""
         orders: dict[str, list[int]] = {kind: [] for kind in FAULT_KINDS}
+        disk_orders: dict[str, list[int]] = {
+            kind: [] for kind in DISK_FAULT_KINDS
+        }
         options: dict[str, object] = {}
         for raw in spec.split(","):
             part = raw.strip()
@@ -150,13 +185,15 @@ class FaultPlan:
             if "@" in part:
                 kind, _, position = part.partition("@")
                 kind = kind.strip()
-                if kind not in orders:
+                if kind not in orders and kind not in disk_orders:
                     raise FaultSpecError(
                         f"unknown fault kind {kind!r} in REPRO_FAULTS "
-                        f"entry {part!r}; use one of {FAULT_KINDS}"
+                        f"entry {part!r}; use one of "
+                        f"{FAULT_KINDS + DISK_FAULT_KINDS}"
                     )
                 try:
-                    orders[kind].append(int(position))
+                    target = orders if kind in orders else disk_orders
+                    target[kind].append(int(position))
                 except ValueError:
                     raise FaultSpecError(
                         f"fault order must be an integer in {part!r}"
@@ -196,6 +233,7 @@ class FaultPlan:
             drop=orders["drop"],
             corrupt=orders["corrupt"],
             slow=orders["slow"],
+            disk=disk_orders,
             **options,
         )
 
@@ -228,10 +266,35 @@ class FaultPlan:
                     return (kind, self.latency)
         return None
 
+    def next_disk_order(self) -> int:
+        """Allot the next disk order number (one per WAL append attempt).
+
+        An independent counter from :meth:`next_order`: scheduler faults
+        and disk faults in one plan target their own sequences, so
+        ``crash@3,torn-write@3`` means the 4th work order *and* the 4th
+        WAL append, not a collision.
+        """
+        with self._lock:
+            order = self._disk_next
+            self._disk_next = order + 1
+            return order
+
+    def disk_fault_for(self, order: int) -> str | None:
+        """The disk fault kind to inject at disk ``order`` (one-shot)."""
+        with self._lock:
+            for kind in DISK_FAULT_KINDS:
+                if order in self.disk[kind]:
+                    if (kind, order) in self._fired:
+                        continue
+                    self._fired.add((kind, order))
+                    return kind
+        return None
+
     def reset(self) -> None:
-        """Forget fired entries and restart the order counter."""
+        """Forget fired entries and restart both order counters."""
         with self._lock:
             self._next = 0
+            self._disk_next = 0
             self._fired.clear()
 
     def __repr__(self) -> str:
@@ -240,6 +303,11 @@ class FaultPlan:
             for kind in FAULT_KINDS
             for order in sorted(getattr(self, kind))
         ]
+        parts.extend(
+            f"{kind}@{order}"
+            for kind in DISK_FAULT_KINDS
+            for order in sorted(self.disk[kind])
+        )
         if self.rate:
             parts.append(f"rate={self.rate} seed={self.seed}")
         return f"FaultPlan({', '.join(parts) or 'empty'})"
@@ -299,3 +367,8 @@ def failure_for(kind: str, order: int) -> WorkerFailure:
     return PayloadCorruptionError(
         f"injected payload corruption at order {order}"
     )
+
+
+def disk_failure_for(kind: str, order: int) -> DiskFaultInjected:
+    """The :class:`OSError` an injected disk fault surfaces as."""
+    return DiskFaultInjected(f"injected {kind} at disk order {order}")

@@ -802,6 +802,32 @@ _HANDLES_CAP = 8
 _HANDLES_LOCK = threading.Lock()
 
 
+def resolve_handle_cap(override: int | None = None) -> int:
+    """The handle-cache bound (``REPRO_SQL_HANDLES``, default 8).
+
+    Each cached entry is a live database connection pinning its relation
+    in memory, so the cache is a bounded LRU that *closes* what it
+    evicts — this knob sizes it for hosts juggling many relations.
+    Malformed values fail loudly (the CLI maps the ValueError to exit
+    code 2, like every other knob).
+    """
+    if override is not None:
+        value = override
+    else:
+        raw = os.environ.get("REPRO_SQL_HANDLES")
+        if raw is None or raw == "":
+            return _HANDLES_CAP
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SQL_HANDLES must be a positive integer, got {raw!r}"
+            ) from None
+    if value < 1:
+        raise ValueError(f"REPRO_SQL_HANDLES must be >= 1, got {value!r}")
+    return value
+
+
 def _backend_for(relation: Relation, preference: str) -> str:
     if preference == "sqlite":
         return "sqlite"
@@ -823,6 +849,7 @@ def sql_handle(
     """
     preference = resolve_sql_backend(backend)
     resolved = _backend_for(relation, preference)
+    cap = resolve_handle_cap()
     key = (id(relation), resolved)
     with _HANDLES_LOCK:
         handle = _HANDLES.get(key)
@@ -837,7 +864,7 @@ def sql_handle(
             _HANDLES.move_to_end(key)
             handle.close()
             return racer
-        while len(_HANDLES) >= _HANDLES_CAP:
+        while len(_HANDLES) >= cap:
             _, old = _HANDLES.popitem(last=False)
             evicted.append(old)
         _HANDLES[key] = handle

@@ -883,6 +883,171 @@ def _bench_serve(data, cfd, repeats: int, writers: int = 4) -> dict:
     }
 
 
+def _bench_durability(data, cfd, repeats: int) -> dict:
+    """WAL overhead per fsync policy, and recovery cost of a long log.
+
+    Part one drives the same single-row update stream through four
+    deployments of the detection service — in-memory (no ``--data-dir``)
+    and durable at each ``REPRO_SERVE_FSYNC`` policy — and records the
+    update latency quantiles, so the recorded trajectory shows what an
+    acknowledged-durable update costs over an acknowledged-resident one.
+    Part two builds a session whose WAL holds 10k committed records
+    (checkpointing disabled), then times a cold restart's recovery —
+    snapshot load plus full replay through the normal ``update()`` path.
+    Both parts are equivalence-gated (``matches_serial_replay``): every
+    deployment's final report, and the recovered report, must equal the
+    reference oracle over the serially-replayed rows; timing is recorded
+    but not gated, like the other concurrency-shaped legs.
+    """
+    import tempfile
+
+    from ..core import detect_violations_reference, format_cfd
+    from ..relational import Relation
+    from ..serve import DetectionService
+
+    schema = data.schema
+    key_position = schema.key_positions()[0]
+    street = schema.position("street")
+    base = [list(row) for row in data.rows[: min(len(data), 2_000)]]
+    spec = {
+        "kind": "central",
+        "schema": {
+            "name": schema.name,
+            "attributes": list(schema.attributes),
+            "key": list(schema.key),
+        },
+        "cfds": [format_cfd(cfd)],
+        "rows": base,
+    }
+    n_updates = max(120, 40 * repeats)
+
+    def stream(service) -> list[float]:
+        """The timed workload: single-row updates, every 4th a delete."""
+        service.create_session("bench", "wal", spec)
+        latencies = []
+        for step in range(n_updates):
+            key = 20_000_000 + step
+            if step % 4 == 3:
+                body = {"deleted": [key - 2]}
+            else:
+                row = list(base[step % len(base)])
+                row[key_position] = key
+                row[street] = f"durability bench {step}"
+                body = {"inserted": [row]}
+            start = time.perf_counter()
+            service.update("bench", "wal", **body)
+            latencies.append(time.perf_counter() - start)
+        return sorted(latencies)
+
+    def final_rows() -> list[tuple]:
+        alive: dict[int, tuple] = {}
+        for step in range(n_updates):
+            key = 20_000_000 + step
+            if step % 4 == 3:
+                alive.pop(key - 2, None)
+            else:
+                row = list(base[step % len(base)])
+                row[key_position] = key
+                row[street] = f"durability bench {step}"
+                alive[key] = tuple(row)
+        return [tuple(row) for row in base] + list(alive.values())
+
+    replay = detect_violations_reference(
+        Relation(schema, final_rows(), copy=False), [cfd]
+    )
+    expected = {(v.lhs_attributes, v.lhs_values) for v in replay.violations}
+
+    def matches(service) -> bool:
+        report = service.detect("bench", "wal")
+        served = {
+            (tuple(v["lhs_attributes"]), tuple(v["lhs_values"]))
+            for v in report["violations"]
+        }
+        return served == expected
+
+    def quantiles(samples: list[float]) -> dict:
+        return {
+            "update_p50_seconds": samples[round(0.50 * (len(samples) - 1))],
+            "update_p99_seconds": samples[round(0.99 * (len(samples) - 1))],
+        }
+
+    all_match = True
+    memory_service = DetectionService()
+    memory_samples = stream(memory_service)
+    all_match &= matches(memory_service)
+    memory = {"requests": len(memory_samples), **quantiles(memory_samples)}
+
+    policies: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+        for policy in ("off", "batch", "always"):
+            service = DetectionService(
+                data_dir=Path(tmp) / policy,
+                fsync=policy,
+                checkpoint=1_000_000,  # keep checkpoints off the timed path
+            )
+            samples = stream(service)
+            policy_matches = matches(service)
+            # the durable deployments must also survive a restart;
+            # close first so 'off'-policy buffers reach the disk files
+            service.registry.store.close()
+            revived = DetectionService(
+                data_dir=Path(tmp) / policy, fsync=policy
+            )
+            policy_matches &= revived.recovered == 1 and matches(revived)
+            all_match &= policy_matches
+            entry = quantiles(samples)
+            entry["overhead_p50_vs_memory"] = (
+                entry["update_p50_seconds"] / memory["update_p50_seconds"]
+            )
+            entry["matches_serial_replay"] = policy_matches
+            policies[policy] = entry
+
+        # part two: recovery time for a 10k-record WAL
+        records = 10_000
+        build_dir = Path(tmp) / "recovery"
+        builder = DetectionService(
+            data_dir=build_dir, fsync="off", checkpoint=10_000_000
+        )
+        builder.create_session("bench", "log", dict(spec, rows=base[:500]))
+        for step in range(records):
+            key = 30_000_000 + step
+            if step % 4 == 3:
+                builder.update("bench", "log", deleted=[key - 2])
+            else:
+                row = list(base[step % len(base)])
+                row[key_position] = key
+                row[street] = f"recovery bench {step}"
+                builder.update("bench", "log", inserted=[row])
+        before = builder.detect("bench", "log")
+        builder.registry.store.close()  # flush 'off'-policy buffers
+        start = time.perf_counter()
+        revived = DetectionService(data_dir=build_dir, fsync="off")
+        recovery_seconds = time.perf_counter() - start
+        recovery_matches = (
+            revived.recovered == 1
+            and revived.detect("bench", "log") == before
+        )
+        all_match &= recovery_matches
+        recovery = {
+            "wal_records": records,
+            "recovery_seconds": recovery_seconds,
+            "replayed_records": revived.stats()["durability"].get(
+                "replayed_records", 0
+            ),
+            "records_per_sec": records / recovery_seconds,
+            "matches_serial_replay": recovery_matches,
+        }
+
+    return {
+        "requests": n_updates,
+        "base_rows": len(base),
+        "memory": memory,
+        "policies": policies,
+        "recovery": recovery,
+        "matches_serial_replay": bool(all_match),
+    }
+
+
 def bench_detection(
     out: str | Path | None = None,
     repeats: int = 3,
@@ -1045,6 +1210,9 @@ def bench_detection(
     # service), so it runs regardless of the process-worker knob
     summary["serve"] = _bench_serve(
         data, workloads["fig3c_single_cfd"][0], repeats, writers=4
+    )
+    summary["durability"] = _bench_durability(
+        data, workloads["fig3c_single_cfd"][0], repeats
     )
     if out is not None:
         out = Path(out)

@@ -8,11 +8,20 @@ See :mod:`repro.serve.service` for the session machinery and
 :mod:`repro.serve.http` for the wire protocol.
 """
 
+from .durability import (
+    DurableStore,
+    SessionJournal,
+    WalScan,
+    read_wal,
+    resolve_checkpoint,
+    resolve_fsync,
+)
 from .http import ServeHandler, serve_http
 from .registry import SessionRegistry
 from .service import (
     Backpressure,
     BadSessionSpec,
+    BadSnapshot,
     DetectionService,
     DuplicateSession,
     ManagedSession,
@@ -20,25 +29,36 @@ from .service import (
     ServeError,
     SessionRetired,
     UnknownSession,
+    WALError,
     resolve_coalesce,
     resolve_max_sessions,
     resolve_queue_depth,
+    resolve_timeout,
 )
 
 __all__ = [
     "Backpressure",
     "BadSessionSpec",
+    "BadSnapshot",
     "DetectionService",
     "DuplicateSession",
+    "DurableStore",
     "ManagedSession",
     "SESSION_KINDS",
     "ServeError",
     "ServeHandler",
+    "SessionJournal",
     "SessionRegistry",
     "SessionRetired",
     "UnknownSession",
+    "WALError",
+    "WalScan",
+    "read_wal",
+    "resolve_checkpoint",
     "resolve_coalesce",
+    "resolve_fsync",
     "resolve_max_sessions",
     "resolve_queue_depth",
+    "resolve_timeout",
     "serve_http",
 ]

@@ -36,6 +36,7 @@ from .service import (
     DetectionService,
     DuplicateSession,
     UnknownSession,
+    resolve_timeout,
 )
 
 _SESSION = re.compile(r"^/v1/([^/]+)/sessions/([^/]+)$")
@@ -54,6 +55,13 @@ class ServeHandler(BaseHTTPRequestHandler):
     # would drown their output
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass
+
+    def setup(self) -> None:
+        # per-connection socket timeout (REPRO_SERVE_TIMEOUT): the stdlib
+        # applies self.timeout via connection.settimeout(), so a stalled
+        # client gets disconnected instead of pinning a handler thread
+        self.timeout = getattr(self.server, "request_timeout", self.timeout)
+        super().setup()
 
     # -- plumbing ----------------------------------------------------------
 
@@ -119,8 +127,10 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send(409, {"error": str(error)})
         except (BadSessionSpec, SchemaError, ValueError, TypeError) as error:
             self._send(400, {"error": str(error)})
-        except BrokenPipeError:  # client went away mid-response
-            pass
+        except (BrokenPipeError, TimeoutError):
+            # client went away, or stalled past REPRO_SERVE_TIMEOUT,
+            # mid-response; the connection is closed either way
+            self.close_connection = True
         except Exception as error:  # noqa: BLE001 - the 500 boundary
             self._send(500, {"error": f"{type(error).__name__}: {error}"})
 
@@ -176,14 +186,18 @@ def serve_http(
     service: DetectionService | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    timeout: float | None = None,
 ) -> ThreadingHTTPServer:
     """A ready (not yet serving) threaded server; ``port=0`` picks a free
     one — read the bound address back from ``server.server_address``.
 
     Call ``serve_forever()`` (the CLI does) or drive it from a thread in
     tests; ``daemon_threads`` keeps request threads from blocking exit.
+    ``timeout`` (else ``REPRO_SERVE_TIMEOUT``, default 30 s) bounds how
+    long one stalled connection can hold a handler thread.
     """
     server = ThreadingHTTPServer((host, port), ServeHandler)
     server.daemon_threads = True
+    server.request_timeout = resolve_timeout(timeout)
     server.service = service if service is not None else DetectionService()
     return server

@@ -8,9 +8,19 @@ rebuilds an equivalent session from it.  Clients never see the churn:
 a parked session looks exactly like a live one, it just pays a rebuild
 (one full fold) on its next request.
 
+With a :class:`~repro.serve.durability.DurableStore` attached the same
+lifecycle becomes durable: creation checkpoints the initial snapshot to
+disk, committed folds append to the session's WAL (the session holds
+the journal), LRU retire checkpoints to disk as well as parking in
+memory, drop deletes the directory, and :meth:`SessionRegistry.recover`
+rebuilds every stored session at startup — last valid snapshot plus a
+WAL replay through the normal ``update()`` path, quarantining corrupt
+tails instead of refusing to start.
+
 Lock ordering: the registry lock is taken first, session locks second
-(``retire`` runs under both).  Session code never calls back into the
-registry, so the ordering cannot invert.
+(``retire`` runs under both), journal locks last.  Session code never
+calls back into the registry and journal code never calls back into
+sessions, so the ordering cannot invert.
 """
 
 from __future__ import annotations
@@ -22,7 +32,9 @@ from typing import Mapping
 from .service import (
     DuplicateSession,
     ManagedSession,
+    ServeError,
     UnknownSession,
+    WALError,
     resolve_coalesce,
     resolve_max_sessions,
     resolve_queue_depth,
@@ -37,10 +49,13 @@ class SessionRegistry:
         max_sessions: int | None = None,
         queue_depth: int | None = None,
         coalesce: int | None = None,
+        store=None,
     ) -> None:
         self.max_sessions = resolve_max_sessions(max_sessions)
         self.queue_depth = resolve_queue_depth(queue_depth)
         self.coalesce = resolve_coalesce(coalesce)
+        #: optional DurableStore; None keeps the registry memory-only
+        self.store = store
         #: reentrant so drop() can run inside stats()-free paths that
         #: already hold it; taken before any session lock, never after
         self._lock = threading.RLock()
@@ -48,12 +63,24 @@ class SessionRegistry:
         self._parked: dict[tuple[str, str], dict] = {}
         self.counters = {"created": 0, "evicted": 0, "restored": 0, "dropped": 0}
 
+    def _bind_durable(self, session: ManagedSession, checkpoint: bool) -> None:
+        """Attach the session's journal; optionally checkpoint now."""
+        if self.store is None:
+            return
+        journal = self.store.journal(session.tenant, session.name)
+        if checkpoint:
+            journal.checkpoint(session.snapshot())
+        session.bind_journal(journal)
+
     def create(self, tenant: str, name: str, spec: Mapping) -> ManagedSession:
         """Build, attach and register a new session (409 on duplicates).
 
         The initial fold runs under the registry lock: creation is a
         once-per-session cost and serializing it keeps the name check
-        and the install atomic without a placeholder protocol.
+        and the install atomic without a placeholder protocol.  With a
+        store the initial snapshot is checkpointed before the session
+        goes live, so spec and base rows are recoverable before the
+        first WAL record exists.
         """
         key = (tenant, name)
         with self._lock:
@@ -64,6 +91,7 @@ class SessionRegistry:
             session = ManagedSession(
                 tenant, name, spec, self.queue_depth, self.coalesce
             )
+            self._bind_durable(session, checkpoint=True)
             self._live[key] = session
             self.counters["created"] += 1
             self._shed_locked()
@@ -83,6 +111,10 @@ class SessionRegistry:
             session = ManagedSession.from_snapshot(
                 snapshot, self.queue_depth, self.coalesce
             )
+            # the disk snapshot was written at retire and the WAL
+            # truncated with it, so binding without a fresh checkpoint
+            # is enough — the store already holds this exact state
+            self._bind_durable(session, checkpoint=False)
             self._live[key] = session
             self.counters["restored"] += 1
             self._shed_locked()
@@ -99,13 +131,93 @@ class SessionRegistry:
             self.counters["dropped"] += 1
             if session is not None:
                 session.retire()  # drains pending updates, then discard
+            if self.store is not None:
+                self.store.drop(tenant, name)
 
     def _shed_locked(self) -> None:
-        """Retire least-recently-used sessions down to the cap."""
+        """Retire least-recently-used sessions down to the cap.
+
+        With a store the parked snapshot goes to disk too (checkpoint +
+        WAL truncation), so a parked session survives a process death
+        exactly like a live one.
+        """
         while len(self._live) > self.max_sessions:
             key, session = self._live.popitem(last=False)
-            self._parked[key] = session.retire()
+            snapshot = session.retire()
+            self._parked[key] = snapshot
+            if self.store is not None:
+                try:
+                    self.store.checkpoint(key[0], key[1], snapshot)
+                except WALError:
+                    # the WAL + previous snapshot still hold the durable
+                    # state; the store counted the failure
+                    pass
             self.counters["evicted"] += 1
+
+    # -- startup recovery --------------------------------------------------
+
+    def recover(self) -> int:
+        """Rebuild every session the store holds; returns how many.
+
+        Per session: load the last valid snapshot (quarantine the whole
+        directory when it is unreadable), replay the WAL suffix through
+        the normal ``update()`` path, stop at the first torn/corrupt/
+        unreplayable record (quarantine the tail), then checkpoint the
+        recovered state so the next restart starts from a clean epoch.
+        Never raises for corrupt state — recovery degrades per session,
+        the server keeps serving.
+        """
+        store = self.store
+        if store is None:
+            return 0
+        recovered = 0
+        for tenant, name in store.scan():
+            try:
+                snapshot, epoch = store.load_snapshot(tenant, name)
+            except ServeError as error:
+                store.quarantine_session(tenant, name, str(error))
+                continue
+            try:
+                session = ManagedSession.from_snapshot(
+                    snapshot, self.queue_depth, self.coalesce
+                )
+            except ServeError as error:
+                store.quarantine_session(tenant, name, str(error))
+                continue
+            scan = store.read_wal(tenant, name, epoch)
+            tail_offset, tail_reason = scan.tail_offset, scan.tail_reason
+            replayed = 0
+            for index, record in enumerate(scan.records):
+                try:
+                    for site, deleted, inserted in record["updates"]:
+                        session.update(
+                            inserted=inserted, deleted=deleted, site=site
+                        )
+                    replayed += 1
+                except Exception as error:  # noqa: BLE001 - poison record
+                    tail_offset = scan.offsets[index]
+                    tail_reason = f"replay failed: {error}"
+                    break
+            if tail_reason is not None:
+                store.quarantine_wal_tail(
+                    tenant, name, epoch, tail_offset, tail_reason
+                )
+            store.count("replayed_records", replayed)
+            with self._lock:
+                key = (tenant, name)
+                try:
+                    # durable state == recovered state from here on; the
+                    # WAL restarts at a fresh epoch
+                    self._bind_durable(session, checkpoint=True)
+                except WALError as error:
+                    store.quarantine_session(tenant, name, str(error))
+                    continue
+                self._live[key] = session
+                self._parked.pop(key, None)
+                self._shed_locked()
+            store.count("recovered_sessions")
+            recovered += 1
+        return recovered
 
     def stats(self) -> dict:
         """Registry + per-session counters (the ``/v1/stats`` payload)."""
@@ -114,7 +226,7 @@ class SessionRegistry:
                 f"{tenant}/{name}": dict(session.stats)
                 for (tenant, name), session in self._live.items()
             }
-            return {
+            payload = {
                 "live": len(self._live),
                 "parked": len(self._parked),
                 "max_sessions": self.max_sessions,
@@ -123,3 +235,6 @@ class SessionRegistry:
                 **self.counters,
                 "sessions": sessions,
             }
+            if self.store is not None:
+                payload["durability"] = self.store.stats()
+            return payload

@@ -52,6 +52,7 @@ from ..relational.schema import Schema, SchemaError
 DEFAULT_MAX_SESSIONS = 64
 DEFAULT_QUEUE_DEPTH = 64
 DEFAULT_COALESCE = 16
+DEFAULT_TIMEOUT = 30.0
 
 #: session kinds the service hosts; all but ``central`` partition the
 #: payload rows uniformly over ``sites`` simulated fragments
@@ -93,6 +94,24 @@ class Backpressure(ServeError):
         self.retry_after = retry_after
 
 
+class BadSnapshot(ServeError):
+    """A snapshot payload is truncated, garbage or structurally wrong.
+
+    The typed boundary for restore paths: :meth:`ManagedSession.from_snapshot`
+    and the disk store raise this — never a bare ``KeyError`` or
+    ``json.JSONDecodeError`` — so recovery can quarantine and keep serving.
+    """
+
+
+class WALError(ServeError):
+    """Durable logging of a committed batch failed (500).
+
+    The in-memory fold already applied when this surfaces, but the batch
+    may not have reached disk — the client must treat the update outcome
+    as unknown and re-verify after a restart.
+    """
+
+
 def _resolve_positive(name: str, override, default: int) -> int:
     """One ``REPRO_SERVE_*`` knob: explicit override, else env, else
     default; anything non-integer or < 1 fails loudly (the CLI maps the
@@ -131,6 +150,35 @@ def resolve_coalesce(override: int | None = None) -> int:
     return _resolve_positive("REPRO_SERVE_COALESCE", override, DEFAULT_COALESCE)
 
 
+def resolve_timeout(override: float | None = None) -> float:
+    """Per-connection socket timeout in seconds (``REPRO_SERVE_TIMEOUT``).
+
+    Bounds how long a stalled client can pin one handler thread: the
+    stdlib handler applies it to the connection socket, so a peer that
+    stops sending (or reading) mid-request gets disconnected instead of
+    holding the thread forever.  Must be a positive number; malformed
+    values fail loudly (the CLI maps the ValueError to exit code 2).
+    """
+    if override is not None:
+        value = override
+    else:
+        raw = os.environ.get("REPRO_SERVE_TIMEOUT")
+        if raw is None or raw == "":
+            return DEFAULT_TIMEOUT
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_SERVE_TIMEOUT must be a positive number, got {raw!r}"
+            ) from None
+    value = float(value)
+    if not value > 0:
+        raise ValueError(
+            f"REPRO_SERVE_TIMEOUT must be > 0 seconds, got {value!r}"
+        )
+    return value
+
+
 class _Ticket:
     """One enqueued update: rows in, results (or the error) out."""
 
@@ -148,6 +196,41 @@ class _Ticket:
         self.result = result
         self.error = error
         self.done = True
+
+
+def validate_snapshot(snapshot) -> Mapping:
+    """Structural check of a snapshot payload; typed errors only.
+
+    Every restore path funnels through here so a truncated or corrupted
+    snapshot — from a client, the parked store or the disk store — fails
+    as :class:`BadSnapshot`, which recovery treats as "quarantine and
+    keep serving", never as a crash.
+    """
+    if not isinstance(snapshot, Mapping):
+        raise BadSnapshot(
+            f"snapshot must be a JSON object, got {type(snapshot).__name__}"
+        )
+    for field, kinds in (
+        ("tenant", str),
+        ("name", str),
+        ("spec", Mapping),
+        ("fragments", (list, tuple)),
+    ):
+        value = snapshot.get(field)
+        if not isinstance(value, kinds):
+            raise BadSnapshot(
+                f"snapshot field {field!r} is missing or malformed "
+                f"(got {type(value).__name__})"
+            )
+    for rows in snapshot["fragments"]:
+        if not isinstance(rows, (list, tuple)) or not all(
+            isinstance(row, (list, tuple)) for row in rows
+        ):
+            raise BadSnapshot("snapshot 'fragments' must be lists of rows")
+    stats = snapshot.get("stats", {})
+    if not isinstance(stats, Mapping):
+        raise BadSnapshot("snapshot 'stats' must be an object")
+    return snapshot
 
 
 def _reconcile(tickets: Sequence[_Ticket], key_of) -> tuple[list, list]:
@@ -232,6 +315,9 @@ class ManagedSession:
         self._lock = threading.RLock()
         self._pending: deque[_Ticket] = deque()
         self._retired = False
+        #: bound by the registry when a durable store is configured; the
+        #: journal is a lock leaf (registry lock → _lock → journal lock)
+        self._journal = None
         self.stats = {
             "updates": 0,
             "folds": 0,
@@ -293,15 +379,30 @@ class ManagedSession:
     def from_snapshot(
         cls, snapshot: Mapping, queue_depth: int, coalesce: int
     ) -> "ManagedSession":
-        """An equivalent session rebuilt from :meth:`snapshot` output."""
-        return cls(
-            snapshot["tenant"],
-            snapshot["name"],
-            snapshot["spec"],
-            queue_depth,
-            coalesce,
-            _snapshot=snapshot,
-        )
+        """An equivalent session rebuilt from :meth:`snapshot` output.
+
+        Raises :class:`BadSnapshot` for truncated/garbage payloads and
+        :class:`BadSessionSpec` for well-formed snapshots whose spec or
+        rows break the session contract — typed either way, so restore
+        and recovery paths can quarantine instead of crashing.
+        """
+        validate_snapshot(snapshot)
+        try:
+            return cls(
+                snapshot["tenant"],
+                snapshot["name"],
+                snapshot["spec"],
+                queue_depth,
+                coalesce,
+                _snapshot=snapshot,
+            )
+        except ServeError:
+            raise
+        except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise BadSnapshot(
+                f"snapshot does not rebuild a session: "
+                f"{type(error).__name__}: {error}"
+            ) from None
 
     # -- keys --------------------------------------------------------------
 
@@ -405,10 +506,37 @@ class ManagedSession:
         else:
             self._detector.apply_updates({site: (inserted, deleted)})
 
+    def bind_journal(self, journal) -> None:
+        """Attach the durable journal committed batches append to."""
+        with self._lock:
+            self._journal = journal
+
+    def _log_committed(self, committed: list) -> None:
+        """WAL-append one committed batch; runs under ``_lock`` after the
+        in-memory fold and *before* tickets settle, so an acknowledged
+        update is on the log (durability per the fsync policy) and a
+        logging failure surfaces as :class:`WALError` instead of a silent
+        ack.  ``committed`` is ``[(site, deleted_keys, inserted_rows)]``.
+        A due checkpoint rides the same commit: ``_lock`` is reentrant,
+        so :meth:`snapshot` can run right here in the fold path.
+        """
+        journal = self._journal
+        if journal is None:
+            return
+        journal.log(committed)
+        if journal.checkpoint_due():
+            try:
+                journal.checkpoint(self.snapshot())
+            except WALError:
+                # the WAL still holds every record the snapshot missed;
+                # the journal counted the failure, so keep serving
+                pass
+
     def _fold_combined(self, batch: list[_Ticket]) -> None:
         if self.kind == "central":
             deleted, inserted = _reconcile(batch, self._key_of)
             self._apply(0, deleted, inserted)
+            committed = [(0, deleted, inserted)]
         else:
             per_site: dict[int, list[_Ticket]] = {}
             for ticket in batch:
@@ -418,6 +546,19 @@ class ManagedSession:
                 deleted, inserted = _reconcile(tickets, self._key_of)
                 updates[site] = (inserted, deleted)
             self._detector.apply_updates(updates)
+            committed = [
+                (site, deleted, inserted)
+                for site, (inserted, deleted) in sorted(updates.items())
+            ]
+        try:
+            self._log_committed(committed)
+        except WALError as error:
+            # the fold applied in memory but may not have reached disk;
+            # never re-raise here (the caller's fallback would replay the
+            # batch on top of the applied state) — settle with the error
+            for ticket in batch:
+                ticket.settle(error=error)
+            return
         result = self._result(coalesced=len(batch))
         for ticket in batch:
             ticket.settle(result=result)
@@ -426,6 +567,9 @@ class ManagedSession:
         for ticket in batch:
             try:
                 self._apply(ticket.site, ticket.deleted, ticket.inserted)
+                self._log_committed(
+                    [(ticket.site, ticket.deleted, ticket.inserted)]
+                )
             except Exception as error:
                 ticket.settle(error=error)
             else:
@@ -562,10 +706,22 @@ class DetectionService:
         max_sessions: int | None = None,
         queue_depth: int | None = None,
         coalesce: int | None = None,
+        data_dir: str | os.PathLike | None = None,
+        fsync: str | None = None,
+        checkpoint: int | None = None,
     ) -> None:
         from .registry import SessionRegistry
 
-        self.registry = SessionRegistry(max_sessions, queue_depth, coalesce)
+        store = None
+        if data_dir is not None:
+            from .durability import DurableStore
+
+            store = DurableStore(data_dir, fsync=fsync, checkpoint=checkpoint)
+        self.registry = SessionRegistry(
+            max_sessions, queue_depth, coalesce, store=store
+        )
+        #: sessions rebuilt from disk at startup (0 without a data dir)
+        self.recovered = self.registry.recover() if store is not None else 0
 
     def create_session(self, tenant: str, name: str, spec: Mapping) -> dict:
         session = self.registry.create(tenant, name, spec)

@@ -93,6 +93,40 @@ def test_fault_plan_rejects_bad_specs(spec):
         FaultPlan.parse(spec)
 
 
+def test_fault_plan_disk_kinds_parse_on_their_own_counter():
+    plan = FaultPlan.parse("torn-write@2,bit-flip@0,fsync-fail@5,crash@3")
+    assert plan.disk["torn-write"] == {2}
+    assert plan.disk["bit-flip"] == {0}
+    assert plan.disk["fsync-fail"] == {5}
+    assert plan.crash == {3}
+    assert "torn-write@2" in repr(plan)
+    # disk orders are an independent sequence from scheduler orders
+    assert plan.next_order() == 0
+    assert plan.next_disk_order() == 0
+    assert plan.next_disk_order() == 1
+    assert plan.next_order() == 1
+
+
+def test_fault_plan_disk_entries_fire_once():
+    from repro.core.faults import DiskFaultInjected, disk_failure_for
+
+    plan = FaultPlan.parse("torn-write@1")
+    assert plan.disk_fault_for(0) is None
+    assert plan.disk_fault_for(1) == "torn-write"
+    assert plan.disk_fault_for(1) is None  # one-shot
+    plan.reset()
+    assert plan.disk_fault_for(1) == "torn-write"
+    # injected disk faults surface as OSError so the durability layer
+    # handles them on the exact path real I/O failures take
+    assert isinstance(disk_failure_for("fsync-fail", 4), OSError)
+    assert issubclass(DiskFaultInjected, OSError)
+
+
+def test_fault_plan_rejects_unknown_disk_kinds():
+    with pytest.raises(FaultSpecError):
+        FaultPlan(disk={"head-crash": [1]})
+
+
 def test_fault_plan_explicit_entries_fire_once():
     plan = FaultPlan(crash=[2])
     assert plan.fault_for(0) is None

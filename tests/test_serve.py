@@ -9,6 +9,7 @@ clients, equivalence-gated against a serial replay).
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -25,6 +26,7 @@ from repro.serve import (
     DetectionService,
     DuplicateSession,
     UnknownSession,
+    resolve_timeout,
     serve_http,
 )
 
@@ -354,6 +356,42 @@ def test_http_end_to_end_with_concurrent_clients(server):
         server, "POST", "/v1/acme/sessions/cust/verify", {}
     )
     assert status == 200 and verified["ok"]
+
+
+def test_resolve_timeout_knob(monkeypatch):
+    assert resolve_timeout() == 30.0
+    monkeypatch.setenv("REPRO_SERVE_TIMEOUT", "2.5")
+    assert resolve_timeout() == 2.5
+    assert resolve_timeout(1.0) == 1.0
+    monkeypatch.setenv("REPRO_SERVE_TIMEOUT", "soon")
+    with pytest.raises(ValueError):
+        resolve_timeout()
+    monkeypatch.setenv("REPRO_SERVE_TIMEOUT", "0")
+    with pytest.raises(ValueError):
+        resolve_timeout()
+
+
+def test_stalled_client_cannot_pin_a_handler_thread():
+    """A client that opens a connection and never finishes its request
+    must get disconnected after REPRO_SERVE_TIMEOUT, not hold a handler
+    thread (and its session locks) forever."""
+    instance = serve_http(DetectionService(), timeout=0.5)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = instance.server_address
+        with socket.create_connection((host, port), timeout=10) as stalled:
+            # a partial request line with no terminator: the server-side
+            # readline can only end via the socket timeout
+            stalled.sendall(b"POST /v1/t/sessions/s HTTP/1.1\r\n")
+            stalled.settimeout(10)
+            assert stalled.recv(1024) == b""  # server hung up
+        # the server still answers well-behaved clients afterwards
+        base = f"http://{host}:{port}"
+        assert request(base, "GET", "/healthz") == (200, {"ok": True})
+    finally:
+        instance.shutdown()
+        instance.server_close()
 
 
 def test_http_error_statuses(server):

@@ -314,5 +314,52 @@ def test_engine_matches_reference_random(case):
     assert_sql_engine_matches_reference(relation, [cfd])
 
 
+# -- the handle cache: bounded LRU that closes what it evicts ------------
+
+
+def _tiny_relation(tag: int) -> Relation:
+    schema = Schema(f"r{tag}", ("k", "v"), key=("k",))
+    return Relation(schema, [(1, tag), (2, tag)])
+
+
+def test_handle_cache_eviction_closes_the_connection(monkeypatch):
+    """Filling the cache past REPRO_SQL_HANDLES must evict LRU-first and
+    actually close the evicted database connection — a long-running host
+    cycling through relations must not leak file handles."""
+    close_sql_handles()
+    monkeypatch.setenv("REPRO_SQL_HANDLES", "3")
+    relations = [_tiny_relation(i) for i in range(5)]
+    handles = [sql_handle(relation, backend="sqlite") for relation in relations]
+    # the two oldest were evicted; their connections are closed for real
+    for evicted in handles[:2]:
+        with pytest.raises(Exception) as caught:
+            evicted._connection.execute("SELECT 1")
+        assert "closed" in str(caught.value).lower()
+    # the three youngest still answer, and re-requesting one is a cache
+    # hit (same object), not a rebuild
+    for kept, relation in zip(handles[2:], relations[2:]):
+        assert kept._connection.execute("SELECT 1") is not None
+        assert sql_handle(relation, backend="sqlite") is kept
+    # an evicted relation gets a *fresh* working handle on re-request
+    fresh = sql_handle(relations[0], backend="sqlite")
+    assert fresh is not handles[0]
+    assert fresh._connection.execute("SELECT 1") is not None
+    close_sql_handles()
+
+
+def test_resolve_handle_cap_rejects_garbage(monkeypatch):
+    from repro.core.sql import resolve_handle_cap
+
+    assert resolve_handle_cap() == 8
+    monkeypatch.setenv("REPRO_SQL_HANDLES", "16")
+    assert resolve_handle_cap() == 16
+    monkeypatch.setenv("REPRO_SQL_HANDLES", "lots")
+    with pytest.raises(ValueError):
+        resolve_handle_cap()
+    monkeypatch.setenv("REPRO_SQL_HANDLES", "0")
+    with pytest.raises(ValueError):
+        resolve_handle_cap()
+
+
 def teardown_module(module):
     close_sql_handles()
