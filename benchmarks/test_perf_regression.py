@@ -44,6 +44,16 @@ INCREMENTAL_FLOOR = float(
 INCREMENTAL_10_FLOOR = float(
     os.environ.get("REPRO_BENCH_INCREMENTAL_10_FLOOR", "2.0")
 )
+#: overload-leg gates: accepted p99 (the governed enqueue→settle span)
+#: may stretch to at most this multiple of the uncontended p99, and
+#: goodput under 2× queue-capacity load must stay within this fraction
+#: of the uncontended serve leg's throughput
+OVERLOAD_P99_FACTOR = float(
+    os.environ.get("REPRO_BENCH_OVERLOAD_P99_FACTOR", "5.0")
+)
+OVERLOAD_GOODPUT_FRACTION = float(
+    os.environ.get("REPRO_BENCH_OVERLOAD_GOODPUT_FRACTION", "0.8")
+)
 
 
 def test_engine_speedups_and_equivalence():
@@ -132,6 +142,35 @@ def test_engine_speedups_and_equivalence():
         f"the served session failed its invariant check: {serve}"
     )
     assert serve["writers"] >= 4 and serve["folds"] <= serve["updates"], serve
+
+    # the overload leg gates on the governor's contract: equivalence on
+    # exactly the accepted set, Retry-After on every shed request, the
+    # accepted (governed) p99 bounded relative to uncontended, and
+    # goodput within a fraction of the uncontended serve leg despite the
+    # 2× queue-capacity offered load
+    overload = summary.get("overload")
+    assert overload is not None and overload["matches_serial_replay"], (
+        f"overloaded service diverged from the accepted-set replay: "
+        f"{overload}"
+    )
+    assert overload["all_shed_carry_retry_after"], (
+        f"a shed request went out without Retry-After: {overload}"
+    )
+    assert overload["shed"] > 0, (
+        f"the overload leg shed nothing — the governor was never "
+        f"exercised: {overload}"
+    )
+    assert overload["p99_ratio"] <= OVERLOAD_P99_FACTOR, (
+        f"accepted p99 stretched to {overload['p99_ratio']:.1f}x the "
+        f"uncontended p99 (gate {OVERLOAD_P99_FACTOR}x): {overload}"
+    )
+    goodput_floor = OVERLOAD_GOODPUT_FRACTION * serve["requests_per_sec"]
+    assert overload["goodput_per_sec"] >= goodput_floor, (
+        f"goodput under overload fell to "
+        f"{overload['goodput_per_sec']:,.0f}/s (floor "
+        f"{goodput_floor:,.0f}/s = {OVERLOAD_GOODPUT_FRACTION:.0%} of the "
+        f"serve leg): {overload}"
+    )
 
     # the durability leg gates on *equivalence* only: every fsync-policy
     # deployment's final report — and its recovered-after-restart report —
@@ -250,6 +289,17 @@ def test_engine_speedups_and_equivalence():
         f"{serve['updates']} updates), churn "
         f"{serve['churn_sessions_per_sec']:,.1f} sessions/s"
     )
+    overload_line = (
+        f"overload ({overload['tenants']} tenants x "
+        f"{overload['writers_per_tenant']} writers, "
+        f"{overload['offered_factor']:.0f}x queue capacity): goodput "
+        f"{overload['goodput_per_sec']:,.0f}/s, shed "
+        f"{overload['shed']}/{overload['offered']} "
+        f"({overload['shed_rate']:.0%}), governed p99 "
+        f"{overload['p99_accepted_seconds'] * 1000:.1f}ms "
+        f"({overload['p99_ratio']:.1f}x uncontended), deadline "
+        f"{overload['deadline_seconds'] * 1000:.1f}ms"
+    )
     durability_line = (
         "durability: in-memory p50 "
         f"{durability['memory']['update_p50_seconds'] * 1000:.2f}ms; "
@@ -279,6 +329,8 @@ def test_engine_speedups_and_equivalence():
         + robustness_line
         + "\n"
         + serve_line
+        + "\n"
+        + overload_line
         + "\n"
         + durability_line
     )

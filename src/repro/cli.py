@@ -306,6 +306,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-connection socket timeout so stalled clients cannot "
         "pin handler threads (default REPRO_SERVE_TIMEOUT or 30)",
     )
+    serve.add_argument(
+        "--tenant-sessions", type=int, default=None, metavar="N",
+        help="resident sessions per tenant before 429 QuotaExceeded "
+        "(default REPRO_SERVE_TENANT_SESSIONS or 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, metavar="REQ_PER_SEC",
+        help="token-bucket admission rate per tenant "
+        "(default REPRO_SERVE_RATE or 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--max-rows", type=int, default=None, metavar="N",
+        help="rows (inserted + deleted) per update request "
+        "(default REPRO_SERVE_MAX_ROWS or 100000)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="queue-residence deadline: updates still queued past it "
+        "are shed with 503 before folding "
+        "(default REPRO_SERVE_DEADLINE or 0 = never)",
+    )
+    serve.add_argument(
+        "--breaker", type=int, default=None, metavar="K",
+        help="consecutive fold/WAL failures before a session's circuit "
+        "breaker opens (default REPRO_SERVE_BREAKER or 5)",
+    )
+    serve.add_argument(
+        "--cooldown", type=float, default=None, metavar="SECONDS",
+        help="open-breaker cool-down before the half-open probe "
+        "(default REPRO_SERVE_COOLDOWN or 1.0)",
+    )
+    serve.add_argument(
+        "--max-body", type=int, default=None, metavar="BYTES",
+        help="request body cap before 413 "
+        "(default REPRO_SERVE_MAX_BODY or 8 MiB)",
+    )
+    serve.add_argument(
+        "--scrub", type=float, default=None, metavar="SECONDS",
+        help="background integrity-scrub interval; drifted sessions "
+        "are quarantined (default REPRO_SERVE_SCRUB or 0 = off)",
+    )
+    serve.add_argument(
+        "--scrub-sample", type=int, default=None, metavar="N",
+        help="sampled keys per scrub verify "
+        "(default REPRO_SERVE_SCRUB_SAMPLE or 64)",
+    )
     return parser
 
 
@@ -583,19 +629,52 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import DetectionService, serve_http
 
-    service = DetectionService(
-        max_sessions=args.max_sessions,
-        queue_depth=args.queue,
-        coalesce=args.coalesce,
-        data_dir=args.data_dir,
-        fsync=args.fsync,
-        checkpoint=args.checkpoint,
-    )
-    server = serve_http(
-        service, host=args.host, port=args.port, timeout=args.timeout
-    )
+    try:
+        # env knobs were validated before dispatch; flag overrides resolve
+        # here and get the same fail-loudly exit 2, not a traceback
+        service = DetectionService(
+            max_sessions=args.max_sessions,
+            queue_depth=args.queue,
+            coalesce=args.coalesce,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            checkpoint=args.checkpoint,
+            tenant_sessions=args.tenant_sessions,
+            rate=args.rate,
+            max_rows=args.max_rows,
+            deadline=args.deadline,
+            breaker=args.breaker,
+            cooldown=args.cooldown,
+            scrub=args.scrub,
+            scrub_sample=args.scrub_sample,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        server = serve_http(
+            service,
+            host=args.host,
+            port=args.port,
+            timeout=args.timeout,
+            max_body=args.max_body,
+        )
+    except ValueError as error:
+        service.close()
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     host, port = server.server_address
     registry = service.registry
+    governor = service.governor
+    governed = ""
+    if governor.rate or governor.tenant_sessions or governor.deadline:
+        governed = (
+            f", rate={governor.rate:g}/s, "
+            f"tenant_sessions={governor.tenant_sessions}, "
+            f"deadline={governor.deadline:g}s"
+        )
+    if service.scrubber.interval:
+        governed += f", scrub={service.scrubber.interval:g}s"
     durable = ""
     if registry.store is not None:
         durable = (
@@ -608,7 +687,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"repro serve listening on http://{host}:{port} "
         f"(max_sessions={registry.max_sessions}, "
         f"queue={registry.queue_depth}, coalesce={registry.coalesce}"
-        f"{durable})",
+        f"{governed}{durable})",
         flush=True,
     )
     try:
@@ -616,6 +695,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        service.close()
         server.server_close()
     return 0
 
@@ -767,6 +847,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"{serve['matches_serial_replay']} "
             f"(verify ok: {serve['verify_ok']})"
         )
+    overload = summary.get("overload")
+    if overload:
+        print(
+            f"  overload ({overload['tenants']} tenants at "
+            f"{overload['offered_factor']:g}x queue capacity): goodput "
+            f"{overload['goodput_per_sec']:,.0f} accepted/s "
+            f"({overload['accepted']}/{overload['offered']} offered, "
+            f"shed rate {overload['shed_rate']:.0%}), accepted p99 "
+            f"{overload['p99_accepted_seconds'] * 1000:.1f}ms "
+            f"({overload['p99_ratio']:.1f}x uncontended)"
+        )
+        print(
+            "  overload shed with Retry-After: "
+            f"{overload['all_shed_carry_retry_after']}; matches serial "
+            f"replay on the accepted set: {overload['matches_serial_replay']}"
+        )
     durability = summary.get("durability")
     if durability:
         memory = durability["memory"]
@@ -814,6 +910,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             or (serve["matches_serial_replay"] and serve["verify_ok"])
         )
         and (durability is None or durability["matches_serial_replay"])
+        and (
+            summary.get("overload") is None
+            or (
+                summary["overload"]["matches_serial_replay"]
+                and summary["overload"]["all_shed_carry_retry_after"]
+            )
+        )
     )
     return 0 if ok else 1
 
@@ -846,6 +949,17 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         from .core.sql import resolve_handle_cap
         from .serve.durability import resolve_checkpoint, resolve_fsync
+        from .serve.governor import (
+            resolve_breaker,
+            resolve_cooldown,
+            resolve_deadline,
+            resolve_max_body,
+            resolve_max_rows,
+            resolve_rate,
+            resolve_scrub,
+            resolve_scrub_sample,
+            resolve_tenant_sessions,
+        )
         from .serve.service import (
             resolve_coalesce,
             resolve_max_sessions,
@@ -860,6 +974,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         resolve_timeout()
         resolve_fsync()
         resolve_checkpoint()
+        resolve_tenant_sessions()
+        resolve_rate()
+        resolve_max_rows()
+        resolve_deadline()
+        resolve_breaker()
+        resolve_cooldown()
+        resolve_max_body()
+        resolve_scrub()
+        resolve_scrub_sample()
     except (ValueError, RuntimeError) as error:
         # RuntimeError: REPRO_SQL_BACKEND=duckdb without the package —
         # same exit code as a typo, the run could not have proceeded

@@ -78,6 +78,17 @@ FAULT_KINDS = ("crash", "drop", "corrupt", "slow")
 #: - ``fsync-fail``  — the append's ``fsync`` raises, like a dying disk.
 DISK_FAULT_KINDS = ("torn-write", "bit-flip", "fsync-fail")
 
+#: resident-service fault kinds, each on its own order counter so serve
+#: chaos composes with scheduler and disk chaos in one plan:
+#:
+#: - ``fold-fail``    — the Nth session fold attempt raises before any
+#:   state mutates (one order per fold attempt); drives the per-session
+#:   circuit breaker deterministically;
+#: - ``verify-drift`` — the Nth *scrubber* integrity check reports drift
+#:   (one order per scrub verify); drives the quarantine path without
+#:   needing to actually corrupt resident state.
+SERVE_FAULT_KINDS = ("fold-fail", "verify-drift")
+
 #: process-wide recovery statistics: ``respawns``, ``re_requests``,
 #: ``timeouts``, ``crashes``, ``retries``, ``degraded_runs``.  Tests and
 #: the robustness bench snapshot it before/after a run.
@@ -119,6 +130,17 @@ class DiskFaultInjected(OSError):
     """
 
 
+class FoldFaultInjected(RuntimeError):
+    """An injected session fold failure (``fold-fail@N``).
+
+    Deliberately a plain :class:`RuntimeError` raised *before* the
+    detector mutates: the serve layer must treat it exactly like a real
+    mid-fold application error — transactional rollback, per-ticket
+    fallback, circuit-breaker accounting — so chaos tests exercise the
+    production failure path, not a special injected one.
+    """
+
+
 class FaultPlan:
     """A deterministic schedule of injected faults, keyed by order number.
 
@@ -142,6 +164,7 @@ class FaultPlan:
         seed: int = 0,
         kinds=FAULT_KINDS,
         disk: Mapping[str, Iterable[int]] | None = None,
+        serve: Mapping[str, Iterable[int]] | None = None,
     ) -> None:
         self.crash = frozenset(crash)
         self.drop = frozenset(drop)
@@ -154,6 +177,14 @@ class FaultPlan:
                     f"unknown disk fault kind {kind!r}; use {DISK_FAULT_KINDS}"
                 )
             self.disk[kind] = frozenset(orders)
+        self.serve = {kind: frozenset() for kind in SERVE_FAULT_KINDS}
+        for kind, orders in (serve or {}).items():
+            if kind not in SERVE_FAULT_KINDS:
+                raise FaultSpecError(
+                    f"unknown serve fault kind {kind!r}; "
+                    f"use {SERVE_FAULT_KINDS}"
+                )
+            self.serve[kind] = frozenset(orders)
         self.latency = float(latency)
         self.rate = float(rate)
         self.seed = seed
@@ -167,6 +198,11 @@ class FaultPlan:
             raise FaultSpecError("fault rate must be in [0, 1]")
         self._next = 0
         self._disk_next = 0
+        #: independent serve-side counters: one per session fold attempt
+        #: and one per scrubber verify, so ``fold-fail@3`` means the 4th
+        #: fold whatever the scheduler or the WAL are doing
+        self._fold_next = 0
+        self._verify_next = 0
         self._fired: set[tuple[str, int]] = set()
         self._lock = threading.Lock()
 
@@ -177,6 +213,9 @@ class FaultPlan:
         disk_orders: dict[str, list[int]] = {
             kind: [] for kind in DISK_FAULT_KINDS
         }
+        serve_orders: dict[str, list[int]] = {
+            kind: [] for kind in SERVE_FAULT_KINDS
+        }
         options: dict[str, object] = {}
         for raw in spec.split(","):
             part = raw.strip()
@@ -185,14 +224,23 @@ class FaultPlan:
             if "@" in part:
                 kind, _, position = part.partition("@")
                 kind = kind.strip()
-                if kind not in orders and kind not in disk_orders:
+                if (
+                    kind not in orders
+                    and kind not in disk_orders
+                    and kind not in serve_orders
+                ):
                     raise FaultSpecError(
                         f"unknown fault kind {kind!r} in REPRO_FAULTS "
                         f"entry {part!r}; use one of "
-                        f"{FAULT_KINDS + DISK_FAULT_KINDS}"
+                        f"{FAULT_KINDS + DISK_FAULT_KINDS + SERVE_FAULT_KINDS}"
                     )
                 try:
-                    target = orders if kind in orders else disk_orders
+                    if kind in orders:
+                        target = orders
+                    elif kind in disk_orders:
+                        target = disk_orders
+                    else:
+                        target = serve_orders
                     target[kind].append(int(position))
                 except ValueError:
                     raise FaultSpecError(
@@ -234,6 +282,7 @@ class FaultPlan:
             corrupt=orders["corrupt"],
             slow=orders["slow"],
             disk=disk_orders,
+            serve=serve_orders,
             **options,
         )
 
@@ -290,11 +339,45 @@ class FaultPlan:
                     return kind
         return None
 
+    def next_fold_order(self) -> int:
+        """Allot the next serve fold order number (one per fold attempt)."""
+        with self._lock:
+            order = self._fold_next
+            self._fold_next = order + 1
+            return order
+
+    def fold_fault_for(self, order: int) -> bool:
+        """Whether the fold at serve ``order`` must fail (one-shot)."""
+        with self._lock:
+            if order in self.serve["fold-fail"]:
+                if ("fold-fail", order) not in self._fired:
+                    self._fired.add(("fold-fail", order))
+                    return True
+        return False
+
+    def next_verify_order(self) -> int:
+        """Allot the next scrub verify order number (one per check)."""
+        with self._lock:
+            order = self._verify_next
+            self._verify_next = order + 1
+            return order
+
+    def verify_fault_for(self, order: int) -> bool:
+        """Whether the scrub check at ``order`` reports drift (one-shot)."""
+        with self._lock:
+            if order in self.serve["verify-drift"]:
+                if ("verify-drift", order) not in self._fired:
+                    self._fired.add(("verify-drift", order))
+                    return True
+        return False
+
     def reset(self) -> None:
-        """Forget fired entries and restart both order counters."""
+        """Forget fired entries and restart every order counter."""
         with self._lock:
             self._next = 0
             self._disk_next = 0
+            self._fold_next = 0
+            self._verify_next = 0
             self._fired.clear()
 
     def __repr__(self) -> str:
@@ -307,6 +390,11 @@ class FaultPlan:
             f"{kind}@{order}"
             for kind in DISK_FAULT_KINDS
             for order in sorted(self.disk[kind])
+        )
+        parts.extend(
+            f"{kind}@{order}"
+            for kind in SERVE_FAULT_KINDS
+            for order in sorted(self.serve[kind])
         )
         if self.rate:
             parts.append(f"rate={self.rate} seed={self.seed}")

@@ -34,6 +34,52 @@ def scaled(n_paper_tuples: int) -> int:
     return max(100, int(n_paper_tuples * scale()))
 
 
+#: ceiling on one honored ``Retry-After`` pause: a confused (or
+#: adversarial) server must not be able to stall a client for minutes
+#: by advertising a huge backoff
+MAX_RETRY_AFTER = 1.0
+
+
+def request_json(
+    request,
+    timeout: float = 60.0,
+    on_backpressure: Callable[[], None] | None = None,
+    max_retry_after: float = MAX_RETRY_AFTER,
+    opener=None,
+) -> dict:
+    """One JSON request against ``repro serve``, with a 429 retry loop.
+
+    Retries **only** 429 (backpressure / quota): the server declared the
+    condition transient and said when to come back — the advertised
+    ``Retry-After`` is honored, capped at ``max_retry_after`` seconds.
+    Everything else fails fast with the ``HTTPError`` surfaced; in
+    particular a 503 from an open circuit breaker must NOT be retried
+    here — hammering a tripped session just resets its cool-down
+    observation window, the caller has to back off for real.
+
+    ``opener`` swaps ``urllib.request.urlopen`` for a scripted one in
+    tests; ``on_backpressure`` is a counter hook per 429 absorbed.
+    """
+    import urllib.error
+    import urllib.request
+
+    open_request = opener if opener is not None else urllib.request.urlopen
+    while True:
+        try:
+            with open_request(request, timeout=timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            if error.code != 429:
+                raise
+            if on_backpressure is not None:
+                on_backpressure()
+            try:
+                delay = float(error.headers.get("Retry-After", "0.05"))
+            except (TypeError, ValueError):
+                delay = 0.05
+            time.sleep(min(max(delay, 0.0), max_retry_after))
+
+
 @dataclass
 class Series:
     """One curve of a figure."""
@@ -721,7 +767,6 @@ def _bench_serve(data, cfd, repeats: int, writers: int = 4) -> dict:
     concurrency-shaped legs).
     """
     import threading
-    import urllib.error
     import urllib.request
 
     from ..core import detect_violations_reference, format_cfd
@@ -754,6 +799,9 @@ def _bench_serve(data, cfd, repeats: int, writers: int = 4) -> dict:
     root = f"http://{host}:{port}/v1/bench/sessions"
     backpressured = [0]
 
+    def on_backpressure() -> None:
+        backpressured[0] += 1
+
     def call(method: str, path: str, body=None) -> dict:
         payload = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
@@ -761,15 +809,7 @@ def _bench_serve(data, cfd, repeats: int, writers: int = 4) -> dict:
         )
         if payload is not None:
             request.add_header("Content-Type", "application/json")
-        while True:
-            try:
-                with urllib.request.urlopen(request, timeout=60) as response:
-                    return json.loads(response.read())
-            except urllib.error.HTTPError as error:
-                if error.code != 429:
-                    raise
-                backpressured[0] += 1
-                time.sleep(float(error.headers.get("Retry-After", "0.05")))
+        return request_json(request, on_backpressure=on_backpressure)
 
     try:
         call("POST", "/cust", spec)
@@ -879,6 +919,244 @@ def _bench_serve(data, cfd, repeats: int, writers: int = 4) -> dict:
         "backpressure_retries": backpressured[0],
         "churn_sessions_per_sec": cycles / churn_seconds,
         "verify_ok": verify_ok,
+        "matches_serial_replay": matches,
+    }
+
+
+def _bench_overload(data, cfd, repeats: int, tenants: int = 4) -> dict:
+    """The governed service at 2× queue capacity: goodput, shed, p99.
+
+    Four tenants each own one resident session behind a governed
+    ``repro serve`` deployment with a deliberately tight queue and a
+    per-update rows cap.  Phase one is uncontended — one sequential
+    writer per tenant — and establishes the baseline *governed* p99
+    (the server-reported ``queue_seconds``: enqueue → group-commit
+    settle, the span the admission deadline bounds; client wall time
+    would mostly measure transport and scheduler noise in front of
+    admission, which no server-side governor can shed).  The
+    queue-residence deadline is then armed at ≈3× that baseline, so
+    queue waits cannot stretch accepted latency past the 5× gate.
+    Phase two offers **2× queue capacity** per tenant:
+    ``2 × queue_depth`` concurrent writers per tenant fire single-row
+    inserts with NO retry — and every tenth request is a bulk update
+    over the rows cap, guaranteed abusive load the governor must
+    reject.  A shed request (429 backpressure / quota, 503 expired
+    deadline) is counted, its ``Retry-After`` header checked, and
+    abandoned.  Every writer records exactly which of its inserts were
+    accepted, so the equivalence gate is sharp: per tenant, the served
+    report must equal the reference oracle over base rows + *exactly
+    the accepted set* — a shed update leaving any trace, or an
+    accepted one lost, fails ``matches_serial_replay``.
+    """
+    import threading
+    import urllib.error
+    import urllib.request
+
+    from ..core import detect_violations_reference, format_cfd
+    from ..relational import Relation
+    from ..serve import DetectionService, serve_http
+
+    schema = data.schema
+    key_position = schema.key_positions()[0]
+    street = schema.position("street")
+    base = [list(row) for row in data.rows[: min(len(data), 20_000)]]
+    queue_depth = 4
+    max_rows = 256
+    bulk_every = 10  # every tenth request exceeds the rows cap
+    writers_per_tenant = 2 * queue_depth  # the 2× capacity offered load
+    per_writer = max(20, 5 * repeats)
+    uncontended_per_tenant = 16
+
+    def session_spec() -> dict:
+        return {
+            "kind": "central",
+            "schema": {
+                "name": schema.name,
+                "attributes": list(schema.attributes),
+                "key": list(schema.key),
+            },
+            "cfds": [format_cfd(cfd)],
+            "rows": base,
+        }
+
+    service = DetectionService(
+        queue_depth=queue_depth, coalesce=8, deadline=0, max_rows=max_rows
+    )
+    server = serve_http(service)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    host, port = server.server_address
+
+    def url(tenant: int, action: str = "") -> str:
+        return (
+            f"http://{host}:{port}/v1/tenant{tenant}/sessions/cust{action}"
+        )
+
+    def post(target: str, body) -> dict:
+        request = urllib.request.Request(
+            target, data=json.dumps(body).encode(), method="POST"
+        )
+        request.add_header("Content-Type", "application/json")
+        return request_json(request)
+
+    def row_for(tenant: int, writer: int, step: int, phase: int) -> list:
+        key = 20_000_000 + ((phase * 64 + tenant) * 64 + writer) * 100_000 + step
+        row = list(base[(writer * per_writer + step) % len(base)])
+        row[key_position] = key
+        row[street] = f"overload {tenant}-{writer}-{step}-{phase}"
+        return row
+
+    try:
+        for tenant in range(tenants):
+            post(url(tenant), session_spec())
+
+        # phase 1: uncontended — one sequential writer per tenant; all
+        # accepted, establishes the p99 the 5× bound is measured against
+        accepted_rows: list[list[dict[int, list]]] = [
+            [dict() for _ in range(writers_per_tenant + 1)]
+            for _ in range(tenants)
+        ]
+        uncontended: list[float] = []
+        for tenant in range(tenants):
+            for step in range(uncontended_per_tenant):
+                row = row_for(tenant, writers_per_tenant, step, phase=0)
+                ack = post(url(tenant, "/update"), {"inserted": [row]})
+                uncontended.append(ack["queue_seconds"])
+                accepted_rows[tenant][writers_per_tenant][row[key_position]] = row
+        uncontended.sort()
+        p99_uncontended = uncontended[round(0.99 * (len(uncontended) - 1))]
+
+        # arm the deadline for phase 2 (the governor reads it per
+        # ticket, so flipping it between phases is race-free): 3× the
+        # uncontended governed p99, so an accepted ticket that waits
+        # right up to the deadline and then folds still lands ≈4× —
+        # inside the 5× gate
+        deadline = max(3.0 * p99_uncontended, 0.002)
+        service.governor.deadline = deadline
+
+        accepted_latencies: list[list[float]] = [
+            [] for _ in range(tenants * writers_per_tenant)
+        ]
+        shed_count = [0] * (tenants * writers_per_tenant)
+        shed_missing_retry_after = [0] * (tenants * writers_per_tenant)
+        errors: list[BaseException] = []
+        gate = threading.Barrier(tenants * writers_per_tenant)
+
+        # a bulk update over the rows cap: the governor must shed it
+        # before any fold, so the junk rows are never validated
+        bulk_payload = json.dumps(
+            {"inserted": [[0]] * (max_rows + 64)}
+        ).encode()
+
+        def writer(tenant: int, index: int) -> None:
+            slot = tenant * writers_per_tenant + index
+            target = url(tenant, "/update")
+            gate.wait()
+            try:
+                for step in range(per_writer):
+                    bulk = step % bulk_every == bulk_every - 1
+                    if bulk:
+                        payload = bulk_payload
+                    else:
+                        row = row_for(tenant, index, step, phase=1)
+                        payload = json.dumps({"inserted": [row]}).encode()
+                    request = urllib.request.Request(
+                        target, data=payload, method="POST"
+                    )
+                    request.add_header("Content-Type", "application/json")
+                    try:
+                        with urllib.request.urlopen(
+                            request, timeout=60
+                        ) as response:
+                            ack = json.loads(response.read())
+                    except urllib.error.HTTPError as error:
+                        if error.code not in (429, 503):
+                            raise
+                        error.read()
+                        shed_count[slot] += 1
+                        if error.headers.get("Retry-After") is None:
+                            shed_missing_retry_after[slot] += 1
+                        continue  # shed: no retry, keep the pressure on
+                    if bulk:
+                        raise AssertionError(
+                            "bulk update over the rows cap was accepted"
+                        )
+                    accepted_latencies[slot].append(ack["queue_seconds"])
+                    accepted_rows[tenant][index][row[key_position]] = row
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=writer, args=(tenant, index))
+            for tenant in range(tenants)
+            for index in range(writers_per_tenant)
+        ]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall = time.perf_counter() - wall_start
+        if errors:
+            raise errors[0]
+
+        # equivalence on exactly the accepted set, per tenant
+        matches = True
+        for tenant in range(tenants):
+            final_rows = [tuple(row) for row in base] + [
+                tuple(row)
+                for per_writer_rows in accepted_rows[tenant]
+                for row in per_writer_rows.values()
+            ]
+            replay = detect_violations_reference(
+                Relation(schema, final_rows, copy=False), [cfd]
+            )
+            request = urllib.request.Request(
+                url(tenant, "/detect"), method="GET"
+            )
+            report = request_json(request)
+            served_violations = {
+                (tuple(v["lhs_attributes"]), tuple(v["lhs_values"]))
+                for v in report["violations"]
+            }
+            served_keys = {tuple(k) for k in report["tuple_keys"]}
+            matches = (
+                matches
+                and served_violations
+                == {(v.lhs_attributes, v.lhs_values) for v in replay.violations}
+                and served_keys == set(replay.tuple_keys)
+            )
+        governor_stats = service.stats()["governor"]
+    finally:
+        server.shutdown()
+        service.close()
+        server.server_close()
+
+    accepted = sorted(t for per in accepted_latencies for t in per)
+    shed = sum(shed_count)
+    offered = tenants * writers_per_tenant * per_writer
+    p99_accepted = (
+        accepted[round(0.99 * (len(accepted) - 1))] if accepted else 0.0
+    )
+    return {
+        "tenants": tenants,
+        "queue_depth": queue_depth,
+        "max_rows": max_rows,
+        "writers_per_tenant": writers_per_tenant,
+        "offered_factor": writers_per_tenant / queue_depth,
+        "deadline_seconds": deadline,
+        "offered": offered,
+        "accepted": len(accepted),
+        "shed": shed,
+        "shed_rate": shed / offered if offered else 0.0,
+        "goodput_per_sec": len(accepted) / wall if wall else 0.0,
+        "p99_uncontended_seconds": p99_uncontended,
+        "p99_accepted_seconds": p99_accepted,
+        "p99_ratio": (
+            p99_accepted / p99_uncontended if p99_uncontended else 0.0
+        ),
+        "all_shed_carry_retry_after": sum(shed_missing_retry_after) == 0,
+        "shed_by_reason": governor_stats["shed"],
         "matches_serial_replay": matches,
     }
 
@@ -1210,6 +1488,11 @@ def bench_detection(
     # service), so it runs regardless of the process-worker knob
     summary["serve"] = _bench_serve(
         data, workloads["fig3c_single_cfd"][0], repeats, writers=4
+    )
+    # the overload leg drives the same service 2× past queue capacity
+    # and records what the governor sheds (and that it sheds cleanly)
+    summary["overload"] = _bench_overload(
+        data, workloads["fig3c_single_cfd"][0], repeats
     )
     summary["durability"] = _bench_durability(
         data, workloads["fig3c_single_cfd"][0], repeats

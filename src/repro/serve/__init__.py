@@ -16,17 +16,37 @@ from .durability import (
     resolve_checkpoint,
     resolve_fsync,
 )
+from .governor import (
+    CircuitBreaker,
+    Governor,
+    TokenBucket,
+    resolve_breaker,
+    resolve_cooldown,
+    resolve_deadline,
+    resolve_max_body,
+    resolve_max_rows,
+    resolve_rate,
+    resolve_scrub,
+    resolve_scrub_sample,
+    resolve_tenant_sessions,
+)
 from .http import ServeHandler, serve_http
 from .registry import SessionRegistry
+from .scrubber import Scrubber
 from .service import (
     Backpressure,
     BadSessionSpec,
     BadSnapshot,
+    CircuitOpen,
+    DeadlineExceeded,
     DetectionService,
     DuplicateSession,
     ManagedSession,
+    PayloadTooLarge,
+    QuotaExceeded,
     SESSION_KINDS,
     ServeError,
+    SessionQuarantined,
     SessionRetired,
     UnknownSession,
     WALError,
@@ -40,25 +60,43 @@ __all__ = [
     "Backpressure",
     "BadSessionSpec",
     "BadSnapshot",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DeadlineExceeded",
     "DetectionService",
     "DuplicateSession",
     "DurableStore",
+    "Governor",
     "ManagedSession",
+    "PayloadTooLarge",
+    "QuotaExceeded",
     "SESSION_KINDS",
+    "Scrubber",
     "ServeError",
     "ServeHandler",
     "SessionJournal",
+    "SessionQuarantined",
     "SessionRegistry",
     "SessionRetired",
+    "TokenBucket",
     "UnknownSession",
     "WALError",
     "WalScan",
     "read_wal",
+    "resolve_breaker",
     "resolve_checkpoint",
     "resolve_coalesce",
+    "resolve_cooldown",
+    "resolve_deadline",
     "resolve_fsync",
+    "resolve_max_body",
+    "resolve_max_rows",
     "resolve_max_sessions",
     "resolve_queue_depth",
+    "resolve_rate",
+    "resolve_scrub",
+    "resolve_scrub_sample",
+    "resolve_tenant_sessions",
     "resolve_timeout",
     "serve_http",
 ]

@@ -235,6 +235,13 @@ class SessionJournal:
         with self._lock:
             return self._epoch
 
+    @property
+    def wedged(self) -> bool:
+        """Whether append repair gave up: every further log() fails
+        until a checkpoint rolls the epoch.  Feeds ``/healthz``."""
+        with self._lock:
+            return self._wedged
+
     # -- the append path ---------------------------------------------------
 
     def log(self, committed: list) -> None:

@@ -18,8 +18,16 @@ Routes (all payloads JSON)::
     GET    /v1/<tenant>/sessions/<name>/snapshot     durable session state
 
 Typed service failures map onto statuses: bad payloads → 400, unknown
-sessions → 404, duplicate creates → 409, backpressure → 429 with a
-``Retry-After`` header, anything unexpected → 500.
+sessions → 404, duplicate creates → 409, backpressure and quota
+rejections → 429 with a ``Retry-After`` header, oversized bodies → 413,
+open circuit breakers / expired deadlines / quarantined sessions → 503
+(breakers and deadlines carry ``Retry-After`` too), anything
+unexpected → 500.
+
+``/healthz`` is truthful: 200 only while nothing is degraded (no
+quarantined session, no wedged journal, no breaker sitting open), else
+503 with the degraded inventory.  ``/healthz?live=1`` stays a pure
+liveness probe for orchestrators that only need "the process answers".
 """
 
 from __future__ import annotations
@@ -30,11 +38,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote
 
 from ..relational.schema import SchemaError
+from .governor import DEFAULT_MAX_BODY, resolve_max_body
 from .service import (
     Backpressure,
     BadSessionSpec,
+    CircuitOpen,
+    DeadlineExceeded,
     DetectionService,
     DuplicateSession,
+    PayloadTooLarge,
+    SessionQuarantined,
     UnknownSession,
     resolve_timeout,
 )
@@ -66,7 +79,20 @@ class ServeHandler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------
 
     def _body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise BadSessionSpec("Content-Length is not an integer") from None
+        limit = getattr(self.server, "max_body", DEFAULT_MAX_BODY)
+        if length > limit:
+            # reject on the declared length, before reading a byte: an
+            # unbounded rfile.read() is exactly the memory hole this cap
+            # closes.  The unread body poisons the connection for
+            # keep-alive, so the 413 handler closes it.
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the {limit}-byte "
+                "cap (REPRO_SERVE_MAX_BODY)"
+            )
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return {}
@@ -90,13 +116,14 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         service: DetectionService = self.server.service
+        path, _, query = self.path.partition("?")
         try:
-            match = _ACTION.match(self.path)
+            match = _ACTION.match(path)
             if match:
                 tenant, name, action = map(unquote, match.groups())
                 self._session_action(service, method, tenant, name, action)
                 return
-            match = _SESSION.match(self.path)
+            match = _SESSION.match(path)
             if match:
                 tenant, name = map(unquote, match.groups())
                 if method == "POST":
@@ -108,19 +135,37 @@ class ServeHandler(BaseHTTPRequestHandler):
                 else:
                     self._send(405, {"error": f"{method} not allowed here"})
                 return
-            if self.path == "/healthz" and method == "GET":
-                self._send(200, {"ok": True})
+            if path == "/healthz" and method == "GET":
+                if "live=1" in query.split("&"):
+                    self._send(200, {"ok": True, "live": True})
+                    return
+                health = service.health()
+                self._send(200 if health["ok"] else 503, health)
                 return
-            if self.path == "/v1/stats" and method == "GET":
+            if path == "/v1/stats" and method == "GET":
                 self._send(200, service.stats())
                 return
             self._send(404, {"error": f"no route {self.path}"})
         except Backpressure as error:
+            # QuotaExceeded lands here too — same remedy for clients
             self._send(
                 429,
                 {"error": str(error), "retry_after": error.retry_after},
                 headers={"Retry-After": f"{error.retry_after:.3f}"},
             )
+        except (CircuitOpen, DeadlineExceeded) as error:
+            self._send(
+                503,
+                {"error": str(error), "retry_after": error.retry_after},
+                headers={"Retry-After": f"{error.retry_after:.3f}"},
+            )
+        except SessionQuarantined as error:
+            self._send(503, {"error": str(error)})
+        except PayloadTooLarge as error:
+            # the declared body was never read; keep-alive would misread
+            # it as the next request, so this connection must die
+            self.close_connection = True
+            self._send(413, {"error": str(error)})
         except UnknownSession as error:
             self._send(404, {"error": str(error)})
         except DuplicateSession as error:
@@ -187,6 +232,7 @@ def serve_http(
     host: str = "127.0.0.1",
     port: int = 0,
     timeout: float | None = None,
+    max_body: int | None = None,
 ) -> ThreadingHTTPServer:
     """A ready (not yet serving) threaded server; ``port=0`` picks a free
     one — read the bound address back from ``server.server_address``.
@@ -198,6 +244,11 @@ def serve_http(
     """
     server = ThreadingHTTPServer((host, port), ServeHandler)
     server.daemon_threads = True
+    # the stdlib default accept backlog (5) resets connections the
+    # moment a burst outruns the accept loop; overload must be answered
+    # by the governor (429/503 + Retry-After), not by kernel RSTs
+    server.socket.listen(128)
     server.request_timeout = resolve_timeout(timeout)
+    server.max_body = resolve_max_body(max_body)
     server.service = service if service is not None else DetectionService()
     return server

@@ -37,11 +37,13 @@ from __future__ import annotations
 
 import os
 import threading
+import time
 from collections import deque
 from typing import Iterable, Mapping, Sequence
 
 from ..core import parse_cfd
 from ..core.detection import detect_violations_reference
+from ..core.faults import FoldFaultInjected, active_plan
 from ..core.incremental import IncrementalDetector
 from ..detect.clust import IncrementalClustDetector
 from ..detect.incremental import IncrementalHorizontalDetector
@@ -112,6 +114,57 @@ class WALError(ServeError):
     """
 
 
+class QuotaExceeded(Backpressure):
+    """A tenant is over one of its admission quotas (429).
+
+    Subclasses :class:`Backpressure` on purpose: the HTTP layer already
+    maps that to 429 + ``Retry-After``, and for clients the remedy is
+    identical — back off and retry.  Raised *before* any fold runs, so
+    an over-quota request never partially applies.
+    """
+
+
+class CircuitOpen(ServeError):
+    """The session's circuit breaker is open (503 + ``Retry-After``).
+
+    After K consecutive fold/WAL failures the session degrades to fast
+    failure instead of burning a handler thread per doomed request;
+    ``retry_after`` is the cool-down remaining before the next half-open
+    probe is allowed through.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceeded(ServeError):
+    """The ticket expired in the queue before its fold ran (503).
+
+    Only raised *before* folding — an acknowledged fold is never
+    un-applied — so a shed update is guaranteed to have left no trace.
+    ``retry_after`` suggests when queue pressure may have drained.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.05) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class SessionQuarantined(ServeError):
+    """The session was quarantined by the integrity scrubber (503).
+
+    Deliberately *not* a :class:`SessionRetired`: the façade's retry
+    would loop on a session that is gone for cause, not for capacity.
+    Its durable state sits under ``.quarantine/`` for forensics; drop
+    or re-create the name to serve it again.
+    """
+
+
+class PayloadTooLarge(ServeError):
+    """The request body exceeds ``REPRO_SERVE_MAX_BODY`` (413)."""
+
+
 def _resolve_positive(name: str, override, default: int) -> int:
     """One ``REPRO_SERVE_*`` knob: explicit override, else env, else
     default; anything non-integer or < 1 fails loudly (the CLI maps the
@@ -180,9 +233,16 @@ def resolve_timeout(override: float | None = None) -> float:
 
 
 class _Ticket:
-    """One enqueued update: rows in, results (or the error) out."""
+    """One enqueued update: rows in, results (or the error) out.
 
-    __slots__ = ("inserted", "deleted", "site", "done", "result", "error")
+    ``deadline`` (absolute, governor clock) is stamped at admission when
+    ``REPRO_SERVE_DEADLINE`` is set; the group-commit leader sheds
+    tickets that expired while queued before folding them.
+    """
+
+    __slots__ = (
+        "inserted", "deleted", "site", "done", "result", "error", "deadline"
+    )
 
     def __init__(self, inserted: list, deleted: list, site: int) -> None:
         self.inserted = inserted
@@ -191,6 +251,7 @@ class _Ticket:
         self.done = False
         self.result = None
         self.error: BaseException | None = None
+        self.deadline: float | None = None
 
     def settle(self, result=None, error: BaseException | None = None) -> None:
         self.result = result
@@ -315,9 +376,16 @@ class ManagedSession:
         self._lock = threading.RLock()
         self._pending: deque[_Ticket] = deque()
         self._retired = False
+        #: quarantine reason once the scrubber condemned this session;
+        #: stale references fail typed instead of serving drifted state
+        self._degraded: str | None = None
         #: bound by the registry when a durable store is configured; the
         #: journal is a lock leaf (registry lock → _lock → journal lock)
         self._journal = None
+        #: bound by the registry when the service runs governed; the
+        #: governor (and the breaker it built) is a lock leaf too
+        self._governor = None
+        self.breaker = None
         self.stats = {
             "updates": 0,
             "folds": 0,
@@ -325,6 +393,7 @@ class ManagedSession:
             "detects": 0,
             "verifies": 0,
             "restores": 0,
+            "deadline_dropped": 0,
         }
         if _snapshot is not None:
             self.stats.update(_snapshot.get("stats", {}))
@@ -449,31 +518,52 @@ class ManagedSession:
             raise BadSessionSpec(
                 f"site {site} out of range for {self.sites} sites"
             )
+        if self.breaker is not None:
+            self.breaker.admit()  # CircuitOpen before any work queues
         ticket = _Ticket(
             [self._check_row(row) for row in inserted],
             [self._check_key(key) for key in deleted],
             int(site or 0),
         )
-        with self._admit:
-            if self._retired:
-                raise SessionRetired(
-                    f"session {self.tenant}/{self.name} was retired"
-                )
-            if len(self._pending) >= self._queue_depth:
-                raise Backpressure(
-                    f"session {self.tenant}/{self.name} has "
-                    f"{len(self._pending)} pending updates (limit "
-                    f"{self._queue_depth}); retry shortly"
-                )
-            self._pending.append(ticket)
-        while not ticket.done:
-            with self._lock:
-                if ticket.done:
-                    break
-                self._fold_round()
+        governor = self._governor
+        if governor is not None:
+            ticket.deadline = governor.deadline_for()
+            governor.ticket_admitted(self.tenant)  # QuotaExceeded
+        admitted = time.perf_counter()
+        try:
+            with self._admit:
+                if self._degraded is not None:
+                    raise SessionQuarantined(
+                        f"session {self.tenant}/{self.name} is "
+                        f"quarantined: {self._degraded}"
+                    )
+                if self._retired:
+                    raise SessionRetired(
+                        f"session {self.tenant}/{self.name} was retired"
+                    )
+                if len(self._pending) >= self._queue_depth:
+                    raise Backpressure(
+                        f"session {self.tenant}/{self.name} has "
+                        f"{len(self._pending)} pending updates (limit "
+                        f"{self._queue_depth}); retry shortly"
+                    )
+                self._pending.append(ticket)
+            while not ticket.done:
+                with self._lock:
+                    if ticket.done:
+                        break
+                    self._fold_round()
+        finally:
+            if governor is not None:
+                governor.ticket_settled(self.tenant)
         if ticket.error is not None:
             raise ticket.error
-        return ticket.result
+        # queue_seconds is the governed region — enqueue to settle — the
+        # span the deadline bounds; clients use it to see p99 without
+        # the transport noise in front of admission
+        result = dict(ticket.result)
+        result["queue_seconds"] = time.perf_counter() - admitted
+        return result
 
     def _fold_round(self) -> None:
         """Leader duty: drain one coalesced batch and fold it once.
@@ -488,6 +578,29 @@ class ManagedSession:
                 batch.append(self._pending.popleft())
         if not batch:
             return
+        governor = self._governor
+        if governor is not None:
+            # deadline shedding happens here and only here: strictly
+            # before the fold, never after — an acked fold is never
+            # un-applied, and a shed ticket provably left no trace
+            now = governor.clock()
+            expired = [
+                ticket for ticket in batch
+                if ticket.deadline is not None and now > ticket.deadline
+            ]
+            if expired:
+                batch = [t for t in batch if t not in expired]
+                governor.count_expired(len(expired))
+                self.stats["deadline_dropped"] += len(expired)
+                error = DeadlineExceeded(
+                    f"update queued past its {governor.deadline:g}s "
+                    f"deadline in session {self.tenant}/{self.name}; "
+                    "it was not applied"
+                )
+                for ticket in expired:
+                    ticket.settle(error=error)
+            if not batch:
+                return
         self.stats["folds"] += 1
         self.stats["updates"] += len(batch)
         if len(batch) > self.stats["coalesced_max"]:
@@ -500,7 +613,20 @@ class ManagedSession:
         except Exception:
             self._fold_each(batch)
 
+    def _maybe_inject_fold_fault(self) -> None:
+        """``fold-fail@N`` hook: raise *before* the detector mutates, so
+        the injected failure exercises the exact production path — the
+        transactional rollback, the per-ticket fallback and the circuit
+        breaker all see a real application error."""
+        plan = active_plan()
+        if plan is not None and plan.fold_fault_for(plan.next_fold_order()):
+            raise FoldFaultInjected(
+                f"injected fold failure in session "
+                f"{self.tenant}/{self.name} (fold-fail)"
+            )
+
     def _apply(self, site: int, deleted: list, inserted: list) -> None:
+        self._maybe_inject_fold_fault()
         if self.kind == "central":
             self._detector.update(inserted, deleted)
         else:
@@ -510,6 +636,29 @@ class ManagedSession:
         """Attach the durable journal committed batches append to."""
         with self._lock:
             self._journal = journal
+
+    def bind_governor(self, governor) -> None:
+        """Attach the service governor: deadlines, ticket quotas and a
+        *fresh* circuit breaker — failure history deliberately does not
+        survive retire/restore (a rebuilt session starts closed)."""
+        with self._lock:
+            self._governor = governor
+            self.breaker = governor.new_breaker() if governor else None
+
+    def degrade(self, reason: str) -> None:
+        """Quarantine verdict: updates fail typed from here on."""
+        with self._admit:
+            self._degraded = reason
+
+    def busy(self) -> bool:
+        """Whether foreground tickets are queued (the scrubber yields)."""
+        with self._admit:
+            return bool(self._pending)
+
+    def journal_wedged(self) -> bool:
+        """Whether the durable journal gave up appending (healthz)."""
+        journal = self._journal
+        return bool(journal is not None and journal.wedged)
 
     def _log_committed(self, committed: list) -> None:
         """WAL-append one committed batch; runs under ``_lock`` after the
@@ -545,6 +694,7 @@ class ManagedSession:
             for site, tickets in sorted(per_site.items()):
                 deleted, inserted = _reconcile(tickets, self._key_of)
                 updates[site] = (inserted, deleted)
+            self._maybe_inject_fold_fault()
             self._detector.apply_updates(updates)
             committed = [
                 (site, deleted, inserted)
@@ -556,9 +706,13 @@ class ManagedSession:
             # the fold applied in memory but may not have reached disk;
             # never re-raise here (the caller's fallback would replay the
             # batch on top of the applied state) — settle with the error
+            if self.breaker is not None:
+                self.breaker.record_failure()
             for ticket in batch:
                 ticket.settle(error=error)
             return
+        if self.breaker is not None:
+            self.breaker.record_success()
         result = self._result(coalesced=len(batch))
         for ticket in batch:
             ticket.settle(result=result)
@@ -571,8 +725,14 @@ class ManagedSession:
                     [(ticket.site, ticket.deleted, ticket.inserted)]
                 )
             except Exception as error:
+                # every fold/WAL failure feeds the breaker; K in a row
+                # trips it open (the half-open probe lands here too)
+                if self.breaker is not None:
+                    self.breaker.record_failure()
                 ticket.settle(error=error)
             else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
                 ticket.settle(result=self._result(coalesced=1))
 
     def _result(self, coalesced: int) -> dict:
@@ -709,21 +869,56 @@ class DetectionService:
         data_dir: str | os.PathLike | None = None,
         fsync: str | None = None,
         checkpoint: int | None = None,
+        tenant_sessions: int | None = None,
+        rate: float | None = None,
+        max_rows: int | None = None,
+        deadline: float | None = None,
+        breaker: int | None = None,
+        cooldown: float | None = None,
+        scrub: float | None = None,
+        scrub_sample: int | None = None,
     ) -> None:
+        from .governor import Governor
         from .registry import SessionRegistry
+        from .scrubber import Scrubber
 
         store = None
         if data_dir is not None:
             from .durability import DurableStore
 
             store = DurableStore(data_dir, fsync=fsync, checkpoint=checkpoint)
+        depth = resolve_queue_depth(queue_depth)
+        #: the admission authority every request funnels through; quotas
+        #: default off (rate/deadline/tenant caps = 0) so an ungoverned
+        #: service behaves exactly like the PR 7/9 one
+        self.governor = Governor(
+            tenant_sessions,
+            rate,
+            max_rows,
+            deadline,
+            breaker,
+            cooldown,
+            queue_depth=depth,
+        )
         self.registry = SessionRegistry(
-            max_sessions, queue_depth, coalesce, store=store
+            max_sessions, depth, coalesce, store=store, governor=self.governor
         )
         #: sessions rebuilt from disk at startup (0 without a data dir)
         self.recovered = self.registry.recover() if store is not None else 0
+        #: always constructed (stats show enabled: false when off); the
+        #: daemon thread only starts with REPRO_SERVE_SCRUB > 0
+        self.scrubber = Scrubber(self.registry, scrub, scrub_sample)
+        self.scrubber.start()
+
+    def close(self) -> None:
+        """Stop background machinery (the scrubber thread)."""
+        self.scrubber.stop()
 
     def create_session(self, tenant: str, name: str, spec: Mapping) -> dict:
+        # rate-limited but exempt from the rows-per-update cap: the cap
+        # governs the incremental stream, while a session's bootstrap
+        # relation is already bounded by REPRO_SERVE_MAX_BODY
+        self.governor.admit_request(tenant)
         session = self.registry.create(tenant, name, spec)
         report = session.detect()
         return {
@@ -754,6 +949,12 @@ class DetectionService:
     ) -> dict:
         inserted = list(inserted)
         deleted = list(deleted)
+        # governed admission runs here, in the client-facing façade —
+        # recovery replay calls session.update() directly and must never
+        # be throttled by client quotas
+        self.governor.admit_request(
+            tenant, rows=len(inserted) + len(deleted)
+        )
         return self._with_session(
             tenant, name, lambda s: s.update(inserted, deleted, site)
         )
@@ -776,5 +977,23 @@ class DetectionService:
         self.registry.drop(tenant, name)
         return {"dropped": f"{tenant}/{name}"}
 
+    def health(self) -> dict:
+        """Truthful readiness: ``ok`` only while nothing is degraded.
+
+        Degraded means: a quarantined session, a wedged journal, or a
+        circuit breaker sitting open.  ``/healthz`` serves 503 with this
+        payload when not ok (``?live=1`` stays a pure liveness probe).
+        """
+        detail = self.registry.health()
+        detail["ok"] = not (
+            detail["quarantined"]
+            or detail["wedged"]
+            or detail["breakers_open"]
+        )
+        return detail
+
     def stats(self) -> dict:
-        return self.registry.stats()
+        payload = self.registry.stats()
+        payload["governor"] = self.governor.stats()
+        payload["scrubber"] = self.scrubber.stats()
+        return payload

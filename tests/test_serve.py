@@ -306,7 +306,7 @@ def request(base: str, method: str, path: str, body=None):
 
 def test_http_end_to_end_with_concurrent_clients(server):
     status, payload = request(server, "GET", "/healthz")
-    assert (status, payload) == (200, {"ok": True})
+    assert status == 200 and payload["ok"] is True
 
     rows = base_rows()
     status, created = request(
@@ -388,7 +388,8 @@ def test_stalled_client_cannot_pin_a_handler_thread():
             assert stalled.recv(1024) == b""  # server hung up
         # the server still answers well-behaved clients afterwards
         base = f"http://{host}:{port}"
-        assert request(base, "GET", "/healthz") == (200, {"ok": True})
+        status, payload = request(base, "GET", "/healthz")
+        assert status == 200 and payload["ok"] is True
     finally:
         instance.shutdown()
         instance.server_close()
